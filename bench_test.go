@@ -1,0 +1,189 @@
+package pinatubo_test
+
+// One benchmark per table/figure of the paper's evaluation section. Each
+// regenerates its figure from the simulator and reports the headline
+// metrics via b.ReportMetric, so `go test -bench=.` doubles as the
+// reproduction run (cmd/figures prints the full tables).
+
+import (
+	"testing"
+
+	"pinatubo/internal/figures"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// BenchmarkTable1Workloads builds every workload trace of Table 1.
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		traces, err := figures.AllTraces()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(traces) != 11 {
+			b.Fatalf("%d workloads", len(traces))
+		}
+	}
+}
+
+// BenchmarkFig9Throughput regenerates the OR-throughput sweep and reports
+// the two headline corners: the 2-row and 128-row throughput at the full
+// 2^19-bit row.
+func BenchmarkFig9Throughput(b *testing.B) {
+	var rows []figures.Fig9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.LenLog == 19 && r.Rows == 2 {
+			b.ReportMetric(r.GBps, "GBps-2row")
+		}
+		if r.LenLog == 19 && r.Rows == 128 {
+			b.ReportMetric(r.GBps, "GBps-128row")
+		}
+	}
+}
+
+// BenchmarkFig10Speedup regenerates the bitwise-speedup comparison and
+// reports the per-engine geometric means (paper: Pinatubo-128 ≈ 500x,
+// 22x over S-DRAM).
+func BenchmarkFig10Speedup(b *testing.B) {
+	var rows []figures.ComparisonRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	g := figures.Gmeans(rows)
+	b.ReportMetric(g["Pinatubo-128"], "gmean-P128")
+	b.ReportMetric(g["Pinatubo-2"], "gmean-P2")
+	b.ReportMetric(g["S-DRAM"], "gmean-SDRAM")
+	b.ReportMetric(g["AC-PIM"], "gmean-ACPIM")
+}
+
+// BenchmarkFig11Energy regenerates the energy-saving comparison (paper:
+// ~2800x average for Pinatubo).
+func BenchmarkFig11Energy(b *testing.B) {
+	var rows []figures.ComparisonRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	g := figures.Gmeans(rows)
+	b.ReportMetric(g["Pinatubo-128"], "gmean-P128")
+	b.ReportMetric(g["AC-PIM"], "gmean-ACPIM")
+}
+
+// BenchmarkFig12Overall regenerates the whole-application comparison
+// (paper: 1.12x overall speedup, 1.11x energy; dblp 1.37x; database 1.29x).
+func BenchmarkFig12Overall(b *testing.B) {
+	var rows []figures.Fig12Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sp := figures.Fig12Gmeans(rows, "", false)
+	en := figures.Fig12Gmeans(rows, "", true)
+	b.ReportMetric(sp["Pinatubo-128"], "speedup-P128")
+	b.ReportMetric(en["Pinatubo-128"], "energy-P128")
+	for _, r := range rows {
+		if r.Workload == "dblp" {
+			b.ReportMetric(r.Speedup["Pinatubo-128"], "dblp-speedup")
+		}
+	}
+}
+
+// BenchmarkFig13Area regenerates the area-overhead comparison (paper:
+// Pinatubo 0.9%, AC-PIM 6.4%).
+func BenchmarkFig13Area(b *testing.B) {
+	var res *figures.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = figures.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PinatuboFraction*100, "pinatubo-%")
+	b.ReportMetric(res.ACPIMFraction*100, "acpim-%")
+}
+
+// BenchmarkEngineMatrix prices one representative request on every engine —
+// a quick relative-cost probe.
+func BenchmarkEngineMatrix(b *testing.B) {
+	engines, err := figures.Engines()
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := append(engines.Compared(), engines.SIMD)
+	for _, e := range all {
+		b.Run(e.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.OpCost(orSpec()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func orSpec() workload.OpSpec {
+	return workload.OpSpec{
+		Op:        sense.OpOR,
+		Operands:  128,
+		Bits:      1 << 19,
+		Placement: workload.PlaceIntra,
+	}
+}
+
+// BenchmarkAblationDepth regenerates the OR-depth ablation and reports the
+// endpoints (the value of multi-row sensing).
+func BenchmarkAblationDepth(b *testing.B) {
+	var rows []figures.DepthAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.DepthAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Depth {
+		case 2:
+			b.ReportMetric(r.GmeanSpeedup, "gmean-depth2")
+		case 128:
+			b.ReportMetric(r.GmeanSpeedup, "gmean-depth128")
+		}
+	}
+}
+
+// BenchmarkAblationMux regenerates the column-mux ablation and reports the
+// paper's 32:1 design point.
+func BenchmarkAblationMux(b *testing.B) {
+	var rows []figures.MuxAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.MuxAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.MuxRatio == 32 {
+			b.ReportMetric(r.GBps128Row, "GBps-128row")
+			b.ReportMetric(r.AreaFraction*100, "area-%")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command figures regenerates the paper's evaluation tables and figures
+// (Table 1, Figs. 9–13) from the simulator and prints them as aligned text
+// tables. EXPERIMENTS.md records a reference run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	figures            # everything
+//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pinatubo/internal/analog"
+	"pinatubo/internal/figures"
+	"pinatubo/internal/nvm"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, all")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
+	flag.Parse()
+
+	if err := run(*fig, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, csvOut bool) error {
+	want := func(name string) bool { return fig == "all" || fig == name }
+	printed := false
+
+	if want("table1") {
+		fmt.Println(figures.FormatTable1())
+		printed = true
+	}
+	if want("9") {
+		rows, err := figures.Fig9()
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteFig9CSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatFig9(rows))
+		fmt.Println("  turning point A at 2^14 (SA sharing), B at 2^19 (rank row);")
+		fmt.Println("  regions: <12.8 GBps below the DDR bus, >1842 GBps beyond internal bandwidth")
+		fmt.Println()
+		printed = true
+	}
+	if want("10") {
+		rows, err := figures.Fig10()
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteComparisonCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatComparison("Fig. 10 — bitwise-operation speedup vs SIMD baseline", rows))
+		printed = true
+	}
+	if want("11") {
+		rows, err := figures.Fig11()
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteComparisonCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatComparison("Fig. 11 — bitwise-operation energy saving vs SIMD baseline", rows))
+		printed = true
+	}
+	if want("12") {
+		rows, err := figures.Fig12()
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteFig12CSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatFig12(rows))
+		printed = true
+	}
+	if want("13") {
+		res, err := figures.Fig13()
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteFig13CSV(os.Stdout, res)
+		}
+		fmt.Println(figures.FormatFig13(res))
+		printed = true
+	}
+	if want("margins") {
+		printMargins()
+		printed = true
+	}
+	if want("ablation") {
+		d, err := figures.DepthAblation()
+		if err != nil {
+			return err
+		}
+		m, err := figures.MuxAblation()
+		if err != nil {
+			return err
+		}
+		te, err := figures.TechAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.FormatAblations(d, m, te))
+		conc, err := figures.ConcurrencyAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.FormatConcurrency(conc))
+		printed = true
+	}
+	if want("extended") {
+		rows, err := figures.Extended()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.FormatExtended(rows))
+		printed = true
+	}
+	if !printed {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// printMargins reports the sensing-margin analysis behind the paper's
+// multi-row claims (the Fig. 5/6 design-space content).
+func printMargins() {
+	cfg := analog.DefaultSenseConfig()
+	fmt.Println("Sensing margins (worst case, 4σ variation, 5% SA offset tolerance)")
+	for _, p := range nvm.All() {
+		orMax, err := analog.MaxORRows(cfg, p, 512)
+		if err != nil {
+			fmt.Printf("  %-9s %v\n", p.Tech, err)
+			continue
+		}
+		andMax, err := analog.MaxANDRows(cfg, p, 16)
+		if err != nil {
+			fmt.Printf("  %-9s %v\n", p.Tech, err)
+			continue
+		}
+		fmt.Printf("  %-9s ON/OFF %6.1f  analog OR depth %3d  AND depth %d  architectural cap %d\n",
+			p.Tech, p.Cell.OnOffRatio(), orMax, andMax, p.MaxOpenRows)
+		for _, n := range []int{2, 8, 32, 128} {
+			m := analog.ORMargin(cfg, p.Cell, n)
+			fmt.Printf("      %3d-row OR margin %+.3f\n", n, m)
+		}
+	}
+	fmt.Println()
+	printReliability(cfg)
+}
+
+// printReliability reports the PCM drift/temperature sensitivity of the
+// multi-row margins (an extension beyond the paper's fixed-condition
+// analysis).
+func printReliability(cfg analog.SenseConfig) {
+	p := nvm.Get(nvm.PCM)
+	fmt.Println("PCM reliability sweeps (128-row OR margin / depth)")
+	drift, err := analog.DriftSweep(cfg, p, []float64{1, 1e3, 1e6, 1e8})
+	if err != nil {
+		fmt.Println("  drift sweep:", err)
+		return
+	}
+	for _, pt := range drift {
+		fmt.Printf("  drift %8.0es:  ON/OFF %7.0f  margin %+.3f  depth %3d\n",
+			pt.Condition, pt.Ratio, pt.Margin128, pt.Depth)
+	}
+	temps, err := analog.TemperatureSweep(cfg, p, []float64{0, 25, 50, 85})
+	if err != nil {
+		fmt.Println("  temperature sweep:", err)
+		return
+	}
+	for _, pt := range temps {
+		fmt.Printf("  +%3.0f°C:          ON/OFF %7.1f  margin %+.3f  depth %3d\n",
+			pt.Condition, pt.Ratio, pt.Margin128, pt.Depth)
+	}
+	fmt.Println()
+}

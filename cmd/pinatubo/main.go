@@ -1,0 +1,264 @@
+// Command pinatubo is a small driver around the public API: it builds a
+// simulated Pinatubo system, runs a bulk bitwise operation of the requested
+// shape, and reports the DDR command sequence class, latency, energy and
+// throughput — a quick way to explore the design space from the shell.
+//
+// Usage:
+//
+//	pinatubo -op or -rows 128 -bits 524288
+//	pinatubo -op xor -bits 4096 -tech stt
+//	pinatubo -inspect            # print geometry and technology tables
+//	pinatubo -showcmds -rows 4   # dump the DDR command sequence of the op
+//	pinatubo -waveform           # render the CSA sensing transient (Fig. 6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"pinatubo"
+	"pinatubo/internal/analog"
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/pim"
+	"pinatubo/internal/sense"
+)
+
+func main() {
+	op := flag.String("op", "or", "operation: or, and, xor, not")
+	rows := flag.Int("rows", 2, "operand rows (or: any >= 1; and/xor: 2; not: 1)")
+	bits := flag.Int("bits", 1<<19, "bit-vector length")
+	tech := flag.String("tech", "pcm", "technology: pcm, stt, reram")
+	inspect := flag.Bool("inspect", false, "print geometry and technology tables and exit")
+	showCmds := flag.Bool("showcmds", false, "dump the DDR command sequence of the operation")
+	waveform := flag.Bool("waveform", false, "render the CSA sensing transient and exit")
+	seed := flag.Int64("seed", 1, "data seed")
+	flag.Parse()
+
+	if *waveform {
+		printWaveform()
+		return
+	}
+	if *showCmds {
+		if err := runShowCmds(*op, *rows, *bits); err != nil {
+			fmt.Fprintln(os.Stderr, "pinatubo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*op, *rows, *bits, *tech, *inspect, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pinatubo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opName string, rows, bits int, techName string, inspect bool, seed int64) error {
+	if inspect {
+		printInspect()
+		return nil
+	}
+
+	cfg := pinatubo.DefaultConfig()
+	switch strings.ToLower(techName) {
+	case "pcm":
+		cfg.Tech = pinatubo.PCM
+	case "stt", "stt-mram":
+		cfg.Tech = pinatubo.STTMRAM
+	case "reram":
+		cfg.Tech = pinatubo.ReRAM
+	default:
+		return fmt.Errorf("unknown technology %q", techName)
+	}
+	sys, err := pinatubo.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %v, %d-bit rank rows, one-step OR depth %d\n",
+		cfg.Tech, sys.RowBits(), sys.MaxORRows())
+
+	rng := rand.New(rand.NewSource(seed))
+	alloc := func(n int) ([]*pinatubo.BitVector, error) {
+		if bits <= sys.RowBits() {
+			return sys.AllocGroup(n, bits)
+		}
+		out := make([]*pinatubo.BitVector, n)
+		for i := range out {
+			v, err := sys.Alloc(bits)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var nops int
+	switch strings.ToLower(opName) {
+	case "or":
+		nops = rows
+		if nops < 1 {
+			return fmt.Errorf("or needs at least 1 row")
+		}
+	case "and", "xor":
+		nops = 2
+	case "not":
+		nops = 1
+	default:
+		return fmt.Errorf("unknown op %q", opName)
+	}
+
+	srcs, err := alloc(nops)
+	if err != nil {
+		return err
+	}
+	words := make([]uint64, (bits+63)/64)
+	for _, v := range srcs {
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		if _, err := sys.Write(v, words); err != nil {
+			return err
+		}
+	}
+	dst, err := sys.Alloc(bits)
+	if err != nil {
+		return err
+	}
+
+	var res pinatubo.Result
+	switch strings.ToLower(opName) {
+	case "or":
+		res, err = sys.Or(dst, srcs...)
+	case "and":
+		res, err = sys.And(dst, srcs[0], srcs[1])
+	case "xor":
+		res, err = sys.Xor(dst, srcs[0], srcs[1])
+	case "not":
+		res, err = sys.Not(dst, srcs[0])
+	}
+	if err != nil {
+		return err
+	}
+
+	operandBytes := float64(nops) * float64(bits) / 8
+	fmt.Printf("%s over %d row(s) of %d bits:\n", strings.ToUpper(opName), nops, bits)
+	fmt.Printf("  class      %s\n", res.Class)
+	fmt.Printf("  requests   %d\n", res.Requests)
+	fmt.Printf("  latency    %v\n", res.Latency)
+	fmt.Printf("  energy     %.3g J\n", res.EnergyJoules)
+	fmt.Printf("  throughput %.1f GBps of operand data\n",
+		operandBytes/res.Latency.Seconds()/1e9)
+
+	n, _, err := sys.Popcount(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  result popcount %d / %d\n", n, bits)
+	return nil
+}
+
+func printInspect() {
+	geo := memarch.Default()
+	fmt.Println("geometry (default):")
+	fmt.Printf("  channels=%d ranks/ch=%d chips/rank=%d banks/chip=%d\n",
+		geo.Channels, geo.RanksPerChannel, geo.ChipsPerRank, geo.BanksPerChip)
+	fmt.Printf("  subarrays/bank=%d mats/subarray=%d rows/subarray=%d\n",
+		geo.SubarraysPerBank, geo.MatsPerSubarray, geo.RowsPerSubarray)
+	fmt.Printf("  mat row=%d bits, mux=%d:1, rank row=%d bits, sense width=%d bits\n",
+		geo.MatRowBits, geo.MuxRatio, geo.RowBits(), geo.SenseWidthBits())
+	fmt.Printf("  capacity %.1f GiB\n", float64(geo.CapacityBits())/8/(1<<30))
+	fmt.Println("technologies:")
+	for _, p := range append(nvm.All(), nvm.Get(nvm.DRAM)) {
+		fmt.Printf("  %-9s Rlow=%-8.0f Rhigh=%-9.0f tRCD=%.1fns tCL=%.1fns tWR=%.1fns maxRows=%d\n",
+			p.Tech, p.Cell.RLow, p.Cell.RHigh,
+			p.Timing.TRCD*1e9, p.Timing.TCL*1e9, p.Timing.TWR*1e9, p.MaxOpenRows)
+	}
+}
+
+// runShowCmds executes one op on a bare controller and dumps the DDR
+// command sequence the controller issued — the paper's "only commands and
+// addresses on the bus" property made visible.
+func runShowCmds(opName string, rows, bits int) error {
+	mem, err := memarch.NewMemory(memarch.Default(), nvm.Get(nvm.PCM))
+	if err != nil {
+		return err
+	}
+	ctl, err := pim.NewController(mem, 0)
+	if err != nil {
+		return err
+	}
+	var op sense.Op
+	n := rows
+	switch strings.ToLower(opName) {
+	case "or":
+		op = sense.OpOR
+	case "and":
+		op, n = sense.OpAND, 2
+	case "xor":
+		op, n = sense.OpXOR, 2
+	case "not":
+		op, n = sense.OpINV, 1
+	default:
+		return fmt.Errorf("unknown op %q", opName)
+	}
+	srcs := make([]memarch.RowAddr, n)
+	for i := range srcs {
+		srcs[i] = memarch.RowAddr{Subarray: 0, Row: i}
+	}
+	dst := memarch.RowAddr{Subarray: 0, Row: memarch.Default().RowsPerSubarray - 1}
+	res, err := ctl.Execute(op, srcs, bits, &dst)
+	if err != nil {
+		return err
+	}
+	tech := nvm.Get(nvm.PCM)
+	bus := ddr.DefaultBus()
+	fmt.Printf("%v over %d row(s), %d bits → %s, %.4g s total\n",
+		op, n, bits, res.Class, res.Seconds)
+	t := 0.0
+	for i, c := range res.Commands {
+		d := ddr.CmdTime(c, tech.Timing, bus)
+		fmt.Printf("  %3d  t=%8.2fns  %-10v %v", i, t*1e9, c.Kind, c.Addr)
+		if c.Bits > 0 {
+			fmt.Printf("  (%d bits)", c.Bits)
+		}
+		fmt.Println()
+		t += d
+	}
+	return nil
+}
+
+// printWaveform renders the three-phase CSA transient for a weakest-"1"
+// 128-row OR (the hardest pattern) as an ASCII plot — the Fig. 6 HSPICE
+// panel, regenerated.
+func printWaveform() {
+	cfg := analog.DefaultSenseConfig()
+	cell := nvm.Get(nvm.PCM).Cell
+	iBL := cfg.VRead / analog.BLResistance(cell, 1, 127)
+	iRef := cfg.VRead / analog.RefOR(cell, 128)
+	csa := analog.DefaultCSAParams()
+	trace, out := csa.Transient(iBL, iRef, 60)
+
+	fmt.Println("CSA transient — 128-row OR, weakest '1' pattern (one low cell)")
+	fmt.Printf("iBL=%.3gA iRef=%.3gA → output %v\n", iBL, iRef, out)
+	const width = 40
+	for _, p := range trace {
+		vc := int(p.VC / 0.8 * width)
+		vr := int(p.VR / 0.8 * width)
+		line := make([]byte, width+1)
+		for i := range line {
+			line[i] = ' '
+		}
+		if vr >= 0 && vr <= width {
+			line[vr] = 'r'
+		}
+		if vc >= 0 && vc <= width {
+			line[vc] = 'C'
+		}
+		fmt.Printf("%7.2fns |%s| %-26s\n", p.T*1e9, line, p.Phase)
+	}
+	fmt.Println("(C = cell-side node, r = reference-side node; rails 0..0.8 V)")
+}

@@ -1,0 +1,84 @@
+package pinatubo_test
+
+import (
+	"fmt"
+	"log"
+
+	"pinatubo"
+)
+
+// ExampleSystem_Or demonstrates the headline operation: a one-step
+// multi-row OR computed by the modified sense amplifiers.
+func ExampleSystem_Or() {
+	sys, err := pinatubo.New(pinatubo.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Three 256-bit vectors co-located in one subarray.
+	vs, err := sys.AllocGroup(3, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range vs {
+		if _, err := sys.Write(v, []uint64{1 << (8 * i)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dst, err := sys.Alloc(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Or(dst, vs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	words, _, err := sys.Read(dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class=%s requests=%d result=%#x\n", res.Class, res.Requests, words[0])
+	// Output: class=intra-subarray requests=1 result=0x10101
+}
+
+// ExampleSystem_Not shows the single-row inversion (the SA latch's
+// differential output).
+func ExampleSystem_Not() {
+	sys, err := pinatubo.New(pinatubo.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.Alloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Write(a, []uint64{0x0F}); err != nil {
+		log.Fatal(err)
+	}
+	dst, err := sys.Alloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Not(dst, a); err != nil {
+		log.Fatal(err)
+	}
+	words, _, err := sys.Read(dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%#x\n", words[0])
+	// Output: 0xfffffffffffffff0
+}
+
+// ExampleSystem_MaxORRows shows the technology-dependent one-step depth.
+func ExampleSystem_MaxORRows() {
+	pcm, err := pinatubo.New(pinatubo.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stt, err := pinatubo.New(pinatubo.Config{Tech: pinatubo.STTMRAM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pcm.MaxORRows(), stt.MaxORRows())
+	// Output: 128 2
+}

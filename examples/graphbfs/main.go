@@ -1,0 +1,130 @@
+// Graph BFS example: the paper's graph-processing workload end to end.
+//
+// Part 1 runs a bitmap BFS *functionally* on a simulated Pinatubo memory:
+// the adjacency rows of a small graph live one-per-row, and every frontier
+// expansion is a real in-memory multi-row OR through the public API.
+//
+// Part 2 builds the full dblp-like evaluation trace and prices it on every
+// engine of the paper's comparison (SIMD, S-DRAM, AC-PIM, Pinatubo-2/-128),
+// reproducing the Fig. 10/12 story for one dataset.
+//
+//	go run ./examples/graphbfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pinatubo"
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/figures"
+	"pinatubo/internal/graph"
+)
+
+func main() {
+	if err := functionalBFS(); err != nil {
+		log.Fatal(err)
+	}
+	if err := engineComparison(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// functionalBFS runs BFS where the frontier expansion is executed by the
+// simulated memory itself.
+func functionalBFS() error {
+	g, err := graph.RMAT(9, 8, 7) // 512 vertices
+	if err != nil {
+		return err
+	}
+	n := g.N()
+
+	sys, err := pinatubo.New(pinatubo.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// One adjacency bitmap per vertex, co-located for one-step ORs.
+	adj, err := sys.AllocGroup(n, n)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if _, err := sys.Write(adj[v], g.AdjacencyBitmap(v).Words()); err != nil {
+			return err
+		}
+	}
+	next, err := sys.Alloc(n)
+	if err != nil {
+		return err
+	}
+
+	visited := bitvec.New(n)
+	visited.Set(0)
+	frontier := []int{0}
+	level := 0
+	totalLatency := 0.0
+	totalRequests := 0
+
+	for len(frontier) > 0 {
+		level++
+		// next = OR of the adjacency rows of the whole frontier — one
+		// logical op regardless of frontier width.
+		operands := make([]*pinatubo.BitVector, len(frontier))
+		for i, v := range frontier {
+			operands[i] = adj[v]
+		}
+		res, err := sys.Or(next, operands...)
+		if err != nil {
+			return err
+		}
+		totalLatency += res.Latency.Seconds()
+		totalRequests += res.Requests
+
+		words, _, err := sys.Read(next)
+		if err != nil {
+			return err
+		}
+		nextBits := bitvec.FromWords(n, words)
+		nextBits.AndNot(nextBits, visited)
+		visited.Or(visited, nextBits)
+		frontier = frontier[:0]
+		nextBits.ForEachSet(func(i int) { frontier = append(frontier, i) })
+		if len(frontier) > 0 {
+			fmt.Printf("level %d: frontier %4d vertices, OR in %d request(s), %v\n",
+				level, len(frontier), res.Requests, res.Latency)
+		}
+	}
+
+	fmt.Printf("visited %d/%d vertices in %d levels; in-memory time %.3g s over %d requests\n\n",
+		visited.Popcount(), n, level-1, totalLatency, totalRequests)
+	return nil
+}
+
+// engineComparison prices the dblp workload on the paper's engine matrix.
+func engineComparison() error {
+	tr, err := figures.GraphTrace("dblp")
+	if err != nil {
+		return err
+	}
+	engines, err := figures.Engines()
+	if err != nil {
+		return err
+	}
+	base, err := tr.Run(engines.SIMD)
+	if err != nil {
+		return err
+	}
+	fmt.Println("dblp bitmap-BFS on the engine matrix (bitwise phase | whole app):")
+	fmt.Printf("  %-14s %12s %10s %12s\n", "engine", "bitwise", "speedup", "overall")
+	fmt.Printf("  %-14s %12.4gs %10s %12s\n", "SIMD", base.Bitwise.Seconds, "1.0x", "1.00x")
+	for _, e := range engines.Compared() {
+		r, err := tr.Run(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-14s %12.4gs %9.1fx %11.2fx\n",
+			e.Name(), r.Bitwise.Seconds, r.Speedup(base), r.OverallSpeedup(base))
+	}
+	return nil
+}

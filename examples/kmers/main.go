@@ -1,0 +1,130 @@
+// K-mer example: the bio-informatics use the paper motivates. A family of
+// related genomes is reduced to k-mer presence bitmaps; the pan-genome
+// spectrum (union), conserved core (intersection) and containment screens
+// all execute as bulk bitwise operations inside the simulated Pinatubo
+// memory, verified against the CPU reference.
+//
+//	go run ./examples/kmers
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pinatubo"
+	"pinatubo/internal/bioseq"
+	"pinatubo/internal/bitvec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		members   = 48
+		genomeLen = 50000
+		k         = 9 // 4^9 = 2^18-bit spectra
+	)
+	fam, err := bioseq.NewFamily(members, genomeLen, k, 0xB10)
+	if err != nil {
+		return err
+	}
+	bits := bioseq.SpectrumBits(k)
+	fmt.Printf("family: %d genomes of %d bases, k=%d → %d-bit spectra\n",
+		members, genomeLen, k, bits)
+
+	sys, err := pinatubo.New(pinatubo.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	spectra, err := sys.AllocGroup(members, bits)
+	if err != nil {
+		return err
+	}
+	for i, sp := range fam.Spectra {
+		if _, err := sys.Write(spectra[i], sp.Words()); err != nil {
+			return err
+		}
+	}
+
+	// Pan-genome: one multi-row OR over all 48 spectra.
+	pan, err := sys.Alloc(bits)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Or(pan, spectra...)
+	if err != nil {
+		return err
+	}
+	panBits, _, err := sys.Popcount(pan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pan-genome union: %d distinct k-mers — %d request(s), %v, %.3g J\n",
+		panBits, res.Requests, res.Latency, res.EnergyJoules)
+
+	// Conserved core: AND chain in memory.
+	core, err := sys.Alloc(bits)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Copy(core, spectra[0]); err != nil {
+		return err
+	}
+	coreLatency := 0.0
+	for _, sp := range spectra[1:] {
+		r, err := sys.And(core, core, sp)
+		if err != nil {
+			return err
+		}
+		coreLatency += r.Latency.Seconds()
+	}
+	coreBits, _, err := sys.Popcount(core)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conserved core: %d k-mers shared by all %d genomes (%.3g s of AND chain)\n",
+		coreBits, members, coreLatency)
+
+	// Verify against the CPU reference.
+	wantPan := bitvec.New(bits)
+	wantPan.OrAll(fam.Spectra...)
+	wantCore := bitvec.New(bits)
+	wantCore.AndAll(fam.Spectra...)
+	if wantPan.Popcount() != panBits || wantCore.Popcount() != coreBits {
+		return fmt.Errorf("PIM results diverge from CPU reference")
+	}
+	fmt.Println("verified against the CPU reference ✓")
+
+	// Containment screen: is an unknown sample part of the family?
+	rng := rand.New(rand.NewSource(5))
+	stranger, err := bioseq.KmerSpectrum(bioseq.RandomGenome(rng, genomeLen, 8), k)
+	if err != nil {
+		return err
+	}
+	sBV, err := sys.Alloc(bits)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Write(sBV, stranger.Words()); err != nil {
+		return err
+	}
+	hit, err := sys.Alloc(bits)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.And(hit, sBV, pan); err != nil {
+		return err
+	}
+	hits, _, err := sys.Popcount(hit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stranger screen: %.1f%% of its k-mers hit the pan-genome (member would be ~100%%)\n",
+		100*float64(hits)/float64(stranger.Popcount()))
+	return nil
+}

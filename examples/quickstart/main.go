@@ -1,0 +1,88 @@
+// Quickstart: allocate bit-vectors in a simulated Pinatubo PCM memory, run
+// a one-step multi-row OR inside the memory, and inspect what it cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pinatubo"
+)
+
+func main() {
+	// A default system: PCM main memory, 4 channels, 2^19-bit rank rows,
+	// modified SAs good for one-step ORs over up to 128 rows.
+	sys, err := pinatubo.New(pinatubo.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pinatubo system: rank row %d bits, one-step OR depth %d\n\n",
+		sys.RowBits(), sys.MaxORRows())
+
+	// pim_malloc: 32 bit-vectors of 64 Kbit, co-located in one subarray so
+	// the OR below is a single multi-row activation.
+	const nVectors, bits = 32, 1 << 16
+	vectors, err := sys.AllocGroup(nVectors, bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill them with random data through the host interface.
+	rng := rand.New(rand.NewSource(42))
+	words := make([]uint64, bits/64)
+	for _, v := range vectors {
+		for i := range words {
+			words[i] = rng.Uint64() & rng.Uint64() & rng.Uint64() // sparse-ish
+		}
+		if _, err := sys.Write(v, words); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One bulk OR over all 32 vectors — computed by the sense amplifiers,
+	// the result written back through the write drivers without ever
+	// touching the DDR bus.
+	dst, err := sys.Alloc(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Or(dst, vectors...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OR over %d × %d-bit vectors:\n", nVectors, bits)
+	fmt.Printf("  placement class: %s\n", res.Class)
+	fmt.Printf("  hardware requests: %d (one-step multi-row activation)\n", res.Requests)
+	fmt.Printf("  latency: %v\n", res.Latency)
+	fmt.Printf("  energy:  %.3g J\n", res.EnergyJoules)
+	operandGB := float64(nVectors) * bits / 8 / 1e9
+	fmt.Printf("  operand throughput: %.1f GBps\n\n", operandGB/res.Latency.Seconds())
+
+	// AND / XOR / INV work too (2-row and 1-row SA modes).
+	other, err := sys.Alloc(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Not(other, dst); err != nil {
+		log.Fatal(err)
+	}
+	and, err := sys.Alloc(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.And(and, dst, other); err != nil {
+		log.Fatal(err)
+	}
+	n, _, err := sys.Popcount(and)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("x AND NOT x has %d set bits (should be 0)\n\n", n)
+
+	st := sys.Stats()
+	fmt.Printf("session stats: %d intra-subarray ops, %d requests, %.3g s busy, %.3g J\n",
+		st.Ops["intra-subarray"], st.Requests, st.BusySeconds, st.EnergyJoules)
+}

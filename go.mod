@@ -1,0 +1,3 @@
+module pinatubo
+
+go 1.24

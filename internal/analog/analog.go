@@ -1,0 +1,309 @@
+// Package analog models Pinatubo's modified current sense amplifier (CSA)
+// numerically, standing in for the HSPICE validation in the paper
+// (Figs. 5–7).
+//
+// The model works in current space. Activating n cells on one bitline puts
+// their resistances in parallel; the CSA samples the bitline current and
+// compares it with a programmable reference current. Pinatubo's change is
+// exactly the reference: besides the normal read reference, it adds an OR
+// reference (between "all operands 0" and "exactly one operand 1") and an
+// AND reference (between "all operands 1" and "exactly one operand 0").
+//
+// The package provides
+//   - the reference placement math (worst-case midpoints),
+//   - a sensing-margin analysis with log-normal process variation and a
+//     finite SA offset tolerance, which yields the paper's claims: 128-row
+//     OR for PCM/ReRAM, 2-row only for STT-MRAM, and no multi-row AND, and
+//   - a three-phase transient model of the CSA (current sampling, current
+//     ratio amplification, second-stage amplification) used by the examples
+//     to render Fig. 6-style waveforms and by the timing model to check the
+//     resolve time fits within tCL.
+package analog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pinatubo/internal/nvm"
+)
+
+// SenseConfig sets the robustness requirements of the margin analysis.
+type SenseConfig struct {
+	// QuantileSigmas is how many sigmas of log-normal resistance spread the
+	// worst-case analysis allows for (per cell, applied coherently — the
+	// pessimistic assumption).
+	QuantileSigmas float64
+	// OffsetTol is the minimum relative current-mode margin
+	// (Ia-Ib)/(Ia+Ib) that the CSA can resolve, covering its input-referred
+	// offset. Chang's JSSC'13 CSA is offset tolerant but not offset free.
+	OffsetTol float64
+	// VRead is the read voltage applied to the bitline.
+	VRead float64
+}
+
+// DefaultSenseConfig returns the configuration used throughout the
+// evaluation: 4-sigma worst case and a 5% relative offset tolerance.
+func DefaultSenseConfig() SenseConfig {
+	return SenseConfig{QuantileSigmas: 4, OffsetTol: 0.05, VRead: 0.3}
+}
+
+// ErrNotResistive is returned when a charge-based technology (DRAM) is used
+// with the resistive sensing model.
+var ErrNotResistive = errors.New("analog: technology is not resistive; Pinatubo sensing requires resistance-based cells")
+
+// ParallelR returns the equivalent resistance of resistances in parallel.
+// It panics if rs is empty or contains a non-positive resistance.
+func ParallelR(rs ...float64) float64 {
+	if len(rs) == 0 {
+		panic("analog: ParallelR of no resistances")
+	}
+	g := 0.0
+	for _, r := range rs {
+		if r <= 0 {
+			panic(fmt.Sprintf("analog: non-positive resistance %g", r))
+		}
+		g += 1 / r
+	}
+	return 1 / g
+}
+
+// BLResistance returns the nominal bitline equivalent resistance when
+// `ones` cells in the low-resistance state and `zeros` cells in the
+// high-resistance state are activated together.
+func BLResistance(c nvm.CellParams, ones, zeros int) float64 {
+	if ones < 0 || zeros < 0 || ones+zeros == 0 {
+		panic(fmt.Sprintf("analog: bad cell counts ones=%d zeros=%d", ones, zeros))
+	}
+	g := float64(ones)/c.RLow + float64(zeros)/c.RHigh
+	return 1 / g
+}
+
+// blCurrent is the nominal bitline current for the given open-cell mix.
+func blCurrent(cfg SenseConfig, c nvm.CellParams, ones, zeros int) float64 {
+	return cfg.VRead / BLResistance(c, ones, zeros)
+}
+
+// worstLow returns the lowest plausible current for the mix (resistances
+// inflated by the configured quantile), worstHigh the highest plausible
+// current (resistances deflated).
+func worstLow(cfg SenseConfig, c nvm.CellParams, ones, zeros int) float64 {
+	f := math.Exp(cfg.QuantileSigmas * c.SigmaLog)
+	g := float64(ones)/(c.RLow*f) + float64(zeros)/(c.RHigh*f)
+	return cfg.VRead * g
+}
+
+func worstHigh(cfg SenseConfig, c nvm.CellParams, ones, zeros int) float64 {
+	f := math.Exp(-cfg.QuantileSigmas * c.SigmaLog)
+	g := float64(ones)/(c.RLow*f) + float64(zeros)/(c.RHigh*f)
+	return cfg.VRead * g
+}
+
+// relMargin is the relative current margin between a (larger) and b
+// (smaller); non-positive means the classes overlap.
+func relMargin(a, b float64) float64 { return (a - b) / (a + b) }
+
+// RefRead returns the read reference resistance: the geometric mean of RLow
+// and RHigh (Fig. 5a's Rref-read).
+func RefRead(c nvm.CellParams) float64 { return math.Sqrt(c.RLow * c.RHigh) }
+
+// RefOR returns the reference resistance for an n-row OR (Fig. 5b's
+// Rref-or generalised): the geometric midpoint between the weakest "1"
+// pattern (one low cell, n-1 high cells) and the strongest "0" pattern
+// (n high cells).
+func RefOR(c nvm.CellParams, n int) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("analog: RefOR needs n>=2, got %d", n))
+	}
+	r1 := BLResistance(c, 1, n-1) // weakest "1"
+	r0 := BLResistance(c, 0, n)   // strongest "0"
+	return math.Sqrt(r1 * r0)
+}
+
+// RefAND returns the reference resistance for an n-row AND: the geometric
+// midpoint between the all-ones pattern and the strongest not-all-ones
+// pattern (n-1 low cells, one high cell).
+func RefAND(c nvm.CellParams, n int) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("analog: RefAND needs n>=2, got %d", n))
+	}
+	r1 := BLResistance(c, n, 0)   // all ones
+	r0 := BLResistance(c, n-1, 1) // weakest "0" case
+	return math.Sqrt(r1 * r0)
+}
+
+// ORMargin returns the worst-case relative current margin of an n-row OR:
+// the gap between the weakest "1" (one low-resistance cell among n-1 high)
+// and the strongest "0" (all n high), after process variation. A margin
+// below cfg.OffsetTol means the SA cannot resolve the operation reliably.
+func ORMargin(cfg SenseConfig, c nvm.CellParams, n int) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("analog: ORMargin needs n>=2, got %d", n))
+	}
+	i1 := worstLow(cfg, c, 1, n-1) // weakest "1" current
+	i0 := worstHigh(cfg, c, 0, n)  // strongest "0" current
+	return relMargin(i1, i0)
+}
+
+// ANDMargin returns the worst-case relative current margin of an n-row AND:
+// the gap between all-ones and (n-1) ones + one zero.
+func ANDMargin(cfg SenseConfig, c nvm.CellParams, n int) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("analog: ANDMargin needs n>=2, got %d", n))
+	}
+	i1 := worstLow(cfg, c, n, 0)
+	i0 := worstHigh(cfg, c, n-1, 1)
+	return relMargin(i1, i0)
+}
+
+// ReadMargin returns the single-cell read margin (Fig. 5a).
+func ReadMargin(cfg SenseConfig, c nvm.CellParams) float64 {
+	i1 := worstLow(cfg, c, 1, 0)
+	i0 := worstHigh(cfg, c, 0, 1)
+	return relMargin(i1, i0)
+}
+
+// MaxORRows returns the largest n (searched up to limit) for which an n-row
+// OR still meets the sensing margin, and ErrNotResistive for DRAM. n==1
+// means not even a 2-row OR resolves.
+func MaxORRows(cfg SenseConfig, p nvm.Params, limit int) (int, error) {
+	if !p.Tech.Resistive() {
+		return 0, ErrNotResistive
+	}
+	n := 1
+	for k := 2; k <= limit; k++ {
+		if ORMargin(cfg, p.Cell, k) < cfg.OffsetTol {
+			break
+		}
+		n = k
+	}
+	return n, nil
+}
+
+// MaxANDRows is the AND counterpart of MaxORRows.
+func MaxANDRows(cfg SenseConfig, p nvm.Params, limit int) (int, error) {
+	if !p.Tech.Resistive() {
+		return 0, ErrNotResistive
+	}
+	n := 1
+	for k := 2; k <= limit; k++ {
+		if ANDMargin(cfg, p.Cell, k) < cfg.OffsetTol {
+			break
+		}
+		n = k
+	}
+	return n, nil
+}
+
+// SenseOR resolves an n-row OR for the given cell values through the
+// current comparison (not through boolean logic): it draws the nominal
+// bitline current for the pattern and compares it against the OR reference.
+func SenseOR(cfg SenseConfig, c nvm.CellParams, cells []bool) bool {
+	ones, zeros := countCells(cells)
+	if ones+zeros < 2 {
+		panic("analog: SenseOR needs at least 2 cells")
+	}
+	iBL := blCurrent(cfg, c, ones, zeros)
+	iRef := cfg.VRead / RefOR(c, ones+zeros)
+	return iBL > iRef
+}
+
+// SenseAND resolves an n-row AND through the current comparison.
+func SenseAND(cfg SenseConfig, c nvm.CellParams, cells []bool) bool {
+	ones, zeros := countCells(cells)
+	if ones+zeros < 2 {
+		panic("analog: SenseAND needs at least 2 cells")
+	}
+	iBL := blCurrent(cfg, c, ones, zeros)
+	iRef := cfg.VRead / RefAND(c, ones+zeros)
+	return iBL > iRef
+}
+
+// SenseRead resolves a normal single-cell read.
+func SenseRead(cfg SenseConfig, c nvm.CellParams, cell bool) bool {
+	ones, zeros := 0, 1
+	if cell {
+		ones, zeros = 1, 0
+	}
+	iBL := blCurrent(cfg, c, ones, zeros)
+	iRef := cfg.VRead / RefRead(c)
+	return iBL > iRef
+}
+
+func countCells(cells []bool) (ones, zeros int) {
+	for _, b := range cells {
+		if b {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	return ones, zeros
+}
+
+// MonteCarloResult summarises a Monte-Carlo sensing experiment.
+type MonteCarloResult struct {
+	Trials int
+	Errors int
+}
+
+// ErrorRate returns Errors/Trials.
+func (m MonteCarloResult) ErrorRate() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return float64(m.Errors) / float64(m.Trials)
+}
+
+// MonteCarloOR samples n-row OR sensing with log-normally distributed cell
+// resistances and random data patterns, counting misclassifications against
+// the boolean OR of the pattern. An SA offset uniform in ±OffsetTol of the
+// reference current is injected each trial.
+func MonteCarloOR(cfg SenseConfig, c nvm.CellParams, n, trials int, rng *rand.Rand) MonteCarloResult {
+	return monteCarlo(cfg, c, n, trials, rng, true)
+}
+
+// MonteCarloAND is the AND counterpart of MonteCarloOR.
+func MonteCarloAND(cfg SenseConfig, c nvm.CellParams, n, trials int, rng *rand.Rand) MonteCarloResult {
+	return monteCarlo(cfg, c, n, trials, rng, false)
+}
+
+func monteCarlo(cfg SenseConfig, c nvm.CellParams, n, trials int, rng *rand.Rand, isOR bool) MonteCarloResult {
+	if n < 2 {
+		panic("analog: monte carlo needs n>=2")
+	}
+	res := MonteCarloResult{Trials: trials}
+	for t := 0; t < trials; t++ {
+		g := 0.0
+		want := !isOR // identity element: OR→false, AND→true
+		for i := 0; i < n; i++ {
+			bit := rng.Intn(2) == 1
+			if isOR {
+				want = want || bit
+			} else {
+				want = want && bit
+			}
+			base := c.RHigh
+			if bit {
+				base = c.RLow
+			}
+			r := base * math.Exp(rng.NormFloat64()*c.SigmaLog)
+			g += 1 / r
+		}
+		iBL := cfg.VRead * g
+		var ref float64
+		if isOR {
+			ref = RefOR(c, n)
+		} else {
+			ref = RefAND(c, n)
+		}
+		iRef := cfg.VRead / ref
+		// Inject SA offset as a fraction of the reference current.
+		iRef *= 1 + (rng.Float64()*2-1)*cfg.OffsetTol
+		if got := iBL > iRef; got != want {
+			res.Errors++
+		}
+	}
+	return res
+}

@@ -1,0 +1,383 @@
+package analog
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pinatubo/internal/nvm"
+)
+
+var cfg = DefaultSenseConfig()
+
+func TestParallelR(t *testing.T) {
+	if got := ParallelR(100); got != 100 {
+		t.Errorf("ParallelR(100)=%g", got)
+	}
+	if got := ParallelR(100, 100); math.Abs(got-50) > 1e-9 {
+		t.Errorf("ParallelR(100,100)=%g want 50", got)
+	}
+	if got := ParallelR(100, 100, 100, 100); math.Abs(got-25) > 1e-9 {
+		t.Errorf("ParallelR(4x100)=%g want 25", got)
+	}
+}
+
+func TestParallelRPanics(t *testing.T) {
+	for _, bad := range [][]float64{{}, {0}, {-5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ParallelR(%v) did not panic", bad)
+				}
+			}()
+			ParallelR(bad...)
+		}()
+	}
+}
+
+func TestBLResistance(t *testing.T) {
+	c := nvm.Get(nvm.PCM).Cell
+	// One low cell alone.
+	if got := BLResistance(c, 1, 0); got != c.RLow {
+		t.Errorf("1 low cell R=%g want %g", got, c.RLow)
+	}
+	// Rlow || Rhigh.
+	want := 1 / (1/c.RLow + 1/c.RHigh)
+	if got := BLResistance(c, 1, 1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("low||high=%g want %g", got, want)
+	}
+	// n high cells: Rhigh/n.
+	if got := BLResistance(c, 0, 4); math.Abs(got-c.RHigh/4) > 1e-9 {
+		t.Errorf("4 high cells=%g want %g", got, c.RHigh/4)
+	}
+}
+
+func TestReferenceOrdering(t *testing.T) {
+	// Fig. 5: Rref-or must sit strictly between the weakest "1" pattern and
+	// the strongest "0" pattern, for every operand count we support.
+	c := nvm.Get(nvm.PCM).Cell
+	for n := 2; n <= 128; n *= 2 {
+		r1 := BLResistance(c, 1, n-1)
+		r0 := BLResistance(c, 0, n)
+		ref := RefOR(c, n)
+		if !(r1 < ref && ref < r0) {
+			t.Errorf("n=%d: RefOR %g not between %g and %g", n, ref, r1, r0)
+		}
+	}
+	// AND reference between all-ones and one-zero patterns.
+	r1 := BLResistance(c, 2, 0)
+	r0 := BLResistance(c, 1, 1)
+	ref := RefAND(c, 2)
+	if !(r1 < ref && ref < r0) {
+		t.Errorf("RefAND %g not between %g and %g", ref, r1, r0)
+	}
+	// Read reference between Rlow and Rhigh.
+	if rr := RefRead(c); !(c.RLow < rr && rr < c.RHigh) {
+		t.Errorf("RefRead %g outside (%g,%g)", rr, c.RLow, c.RHigh)
+	}
+}
+
+func TestPaperClaimPCM128RowOR(t *testing.T) {
+	// The paper's headline sensing claim: PCM supports up to 128-row OR.
+	p := nvm.Get(nvm.PCM)
+	n, err := MaxORRows(cfg, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 128 {
+		t.Fatalf("PCM analog OR depth %d, need >= 128", n)
+	}
+}
+
+func TestPaperClaimReRAMMultiRowOR(t *testing.T) {
+	p := nvm.Get(nvm.ReRAM)
+	n, err := MaxORRows(cfg, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 128 {
+		t.Fatalf("ReRAM analog OR depth %d, need >= 128", n)
+	}
+}
+
+func TestPaperClaimSTTShallow(t *testing.T) {
+	// The paper conservatively caps STT-MRAM at 2-row operations because of
+	// its low ON/OFF ratio. The analog depth must be small (2 or 3), with
+	// the architectural cap at 2.
+	p := nvm.Get(nvm.STTMRAM)
+	n, err := MaxORRows(cfg, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 || n > 3 {
+		t.Fatalf("STT-MRAM analog OR depth %d, want 2..3", n)
+	}
+	if p.MaxOpenRows != 2 {
+		t.Fatalf("STT-MRAM architectural cap %d, want 2", p.MaxOpenRows)
+	}
+}
+
+func TestPaperClaimNoMultiRowAND(t *testing.T) {
+	// Footnote 3: multi-row AND is not supported for n>2 — Rlow/(n-1)||Rhigh
+	// is indistinguishable from Rlow/n.
+	for _, p := range nvm.All() {
+		n, err := MaxANDRows(cfg, p, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 2 {
+			t.Errorf("%v: analog AND depth %d, paper says max 2", p.Tech, n)
+		}
+		if p.Tech != nvm.STTMRAM && n != 2 {
+			t.Errorf("%v: 2-row AND should resolve, got depth %d", p.Tech, n)
+		}
+	}
+}
+
+func TestMaxRowsDRAMRejected(t *testing.T) {
+	if _, err := MaxORRows(cfg, nvm.Get(nvm.DRAM), 8); !errors.Is(err, ErrNotResistive) {
+		t.Fatalf("err=%v want ErrNotResistive", err)
+	}
+	if _, err := MaxANDRows(cfg, nvm.Get(nvm.DRAM), 8); !errors.Is(err, ErrNotResistive) {
+		t.Fatalf("err=%v want ErrNotResistive", err)
+	}
+}
+
+func TestMarginsMonotoneInN(t *testing.T) {
+	// More open rows always shrink the OR margin.
+	c := nvm.Get(nvm.PCM).Cell
+	prev := math.Inf(1)
+	for n := 2; n <= 256; n *= 2 {
+		m := ORMargin(cfg, c, n)
+		if m >= prev {
+			t.Fatalf("OR margin not decreasing at n=%d: %g >= %g", n, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestReadMarginHealthy(t *testing.T) {
+	for _, p := range nvm.All() {
+		if m := ReadMargin(cfg, p.Cell); m < cfg.OffsetTol {
+			t.Errorf("%v: read margin %g below offset tolerance", p.Tech, m)
+		}
+	}
+}
+
+func TestSenseORTruthTable(t *testing.T) {
+	c := nvm.Get(nvm.PCM).Cell
+	cases := []struct {
+		cells []bool
+		want  bool
+	}{
+		{[]bool{false, false}, false},
+		{[]bool{true, false}, true},
+		{[]bool{false, true}, true},
+		{[]bool{true, true}, true},
+	}
+	for _, tc := range cases {
+		if got := SenseOR(cfg, c, tc.cells); got != tc.want {
+			t.Errorf("SenseOR(%v)=%v want %v", tc.cells, got, tc.want)
+		}
+	}
+}
+
+func TestSenseANDTruthTable(t *testing.T) {
+	c := nvm.Get(nvm.PCM).Cell
+	cases := []struct {
+		cells []bool
+		want  bool
+	}{
+		{[]bool{false, false}, false},
+		{[]bool{true, false}, false},
+		{[]bool{false, true}, false},
+		{[]bool{true, true}, true},
+	}
+	for _, tc := range cases {
+		if got := SenseAND(cfg, c, tc.cells); got != tc.want {
+			t.Errorf("SenseAND(%v)=%v want %v", tc.cells, got, tc.want)
+		}
+	}
+}
+
+func TestSenseReadXORINV(t *testing.T) {
+	c := nvm.Get(nvm.PCM).Cell
+	if !SenseRead(cfg, c, true) || SenseRead(cfg, c, false) {
+		t.Error("SenseRead wrong")
+	}
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			if got := SenseXOR(cfg, c, a, b); got != (a != b) {
+				t.Errorf("SenseXOR(%v,%v)=%v", a, b, got)
+			}
+		}
+		if got := SenseINV(cfg, c, a); got != !a {
+			t.Errorf("SenseINV(%v)=%v", a, got)
+		}
+	}
+}
+
+// Property: for any pattern of up to 128 PCM cells with at least 2 cells,
+// the analog OR sense agrees with the boolean OR of the pattern.
+func TestPropAnalogORMatchesBoolean(t *testing.T) {
+	c := nvm.Get(nvm.PCM).Cell
+	f := func(seed int64, nSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSeed)%127 + 2
+		cells := make([]bool, n)
+		want := false
+		for i := range cells {
+			cells[i] = rng.Intn(2) == 1
+			want = want || cells[i]
+		}
+		return SenseOR(cfg, c, cells) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloORCleanAtApprovedDepth(t *testing.T) {
+	// At the architecturally approved depths the Monte-Carlo error rate
+	// must be zero (the margin analysis is the 4-sigma worst case, so
+	// random sampling should never err).
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range nvm.All() {
+		res := MonteCarloOR(cfg, p.Cell, p.MaxOpenRows, 20000, rng)
+		if res.Errors != 0 {
+			t.Errorf("%v: %d/%d OR sense errors at depth %d",
+				p.Tech, res.Errors, res.Trials, p.MaxOpenRows)
+		}
+	}
+}
+
+func TestMonteCarloANDCleanAt2(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, p := range nvm.All() {
+		res := MonteCarloAND(cfg, p.Cell, 2, 20000, rng)
+		if res.Errors != 0 {
+			t.Errorf("%v: %d/%d AND sense errors at depth 2",
+				p.Tech, res.Errors, res.Trials)
+		}
+	}
+}
+
+func TestMarginCollapsesBeyondDepth(t *testing.T) {
+	// Far beyond the approved depth the worst-case classes overlap outright
+	// (negative margin) — the analysis is sensitive to depth, not vacuous.
+	c := nvm.Get(nvm.STTMRAM).Cell
+	if m := ORMargin(cfg, c, 16); m >= 0 {
+		t.Errorf("16-row OR margin on STT-MRAM = %g, want negative (class overlap)", m)
+	}
+	pcm := nvm.Get(nvm.PCM).Cell
+	if m := ORMargin(cfg, pcm, 1024); m >= cfg.OffsetTol {
+		t.Errorf("1024-row OR margin on PCM = %g, want below tolerance", m)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if (MonteCarloResult{}).ErrorRate() != 0 {
+		t.Error("empty result should have rate 0")
+	}
+	if got := (MonteCarloResult{Trials: 4, Errors: 1}).ErrorRate(); got != 0.25 {
+		t.Errorf("rate=%g want 0.25", got)
+	}
+}
+
+func TestResolveTimeWithinTCL(t *testing.T) {
+	// A nominal 2-row and a 128-row PCM OR must both resolve within tCL,
+	// otherwise the timing model's one-sense-step-per-tCL assumption breaks.
+	p := nvm.Get(nvm.PCM)
+	csa := DefaultCSAParams()
+	for _, n := range []int{2, 128} {
+		iBL := cfg.VRead / BLResistance(p.Cell, 1, n-1) // weakest "1"
+		iRef := cfg.VRead / RefOR(p.Cell, n)
+		tr, ok := csa.ResolveTime(iBL, iRef)
+		if !ok {
+			t.Fatalf("n=%d: latch did not flip", n)
+		}
+		if tr > p.Timing.TCL {
+			t.Errorf("n=%d: resolve time %.3gs exceeds tCL %.3gs", n, tr, p.Timing.TCL)
+		}
+	}
+}
+
+func TestResolveTimeDegradesWithMargin(t *testing.T) {
+	csa := DefaultCSAParams()
+	tBig, ok1 := csa.ResolveTime(10e-6, 5e-6)
+	tSmall, ok2 := csa.ResolveTime(5.05e-6, 5e-6)
+	if !ok1 || !ok2 {
+		t.Fatal("both should resolve")
+	}
+	if tSmall <= tBig {
+		t.Error("smaller margin should take longer to resolve")
+	}
+	if _, ok := csa.ResolveTime(5e-6, 5e-6); ok {
+		t.Error("zero margin must not resolve")
+	}
+}
+
+func TestTransientWaveform(t *testing.T) {
+	csa := DefaultCSAParams()
+	trace, out := csa.Transient(10e-6, 5e-6, 50)
+	if !out {
+		t.Fatal("iBL > iRef should latch 1")
+	}
+	if len(trace) != 50 {
+		t.Fatalf("trace has %d points want 50", len(trace))
+	}
+	// Phases must appear in order and all be present.
+	seen := map[Phase]bool{}
+	last := Phase(-1)
+	for _, pt := range trace {
+		if pt.Phase < last {
+			t.Fatalf("phase went backwards: %v after %v", pt.Phase, last)
+		}
+		last = pt.Phase
+		seen[pt.Phase] = true
+	}
+	for _, ph := range []Phase{PhaseSample, PhaseAmplify, PhaseSecond} {
+		if !seen[ph] {
+			t.Errorf("phase %v missing from waveform", ph)
+		}
+	}
+	// Final point carries the latched output at VDD.
+	if fin := trace[len(trace)-1]; fin.Out == 0 {
+		t.Error("final output should be at VDD")
+	}
+	// Opposite comparison latches 0.
+	trace0, out0 := csa.Transient(2e-6, 5e-6, 10)
+	if out0 {
+		t.Error("iBL < iRef should latch 0")
+	}
+	if fin := trace0[len(trace0)-1]; fin.Out != 0 {
+		t.Error("final output should be 0")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseSample.String() == "" || Phase(9).String() == "" {
+		t.Error("Phase.String empty")
+	}
+}
+
+func BenchmarkSenseOR128(b *testing.B) {
+	c := nvm.Get(nvm.PCM).Cell
+	cells := make([]bool, 128)
+	cells[17] = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SenseOR(cfg, c, cells)
+	}
+}
+
+func BenchmarkMonteCarloOR(b *testing.B) {
+	c := nvm.Get(nvm.PCM).Cell
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MonteCarloOR(cfg, c, 128, 100, rng)
+	}
+}

@@ -1,0 +1,162 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"pinatubo/internal/nvm"
+)
+
+// CSAParams describe the transient behaviour of the three-phase current
+// sense amplifier (Chang, JSSC'13; the paper's Fig. 1): current sampling
+// onto the gate capacitors, current-ratio amplification on the
+// cross-coupled pair, and second-stage amplification into the latch.
+type CSAParams struct {
+	CSample   float64 // sampling capacitor Cs, farads
+	CHold     float64 // XOR hold capacitor Ch, farads
+	VLatch    float64 // differential voltage at which the latch flips, volts
+	TSample   float64 // phase-1 duration, seconds
+	TSecond   float64 // phase-3 duration, seconds
+	MaxAmplfy float64 // phase-2 timeout, seconds
+}
+
+// DefaultCSAParams returns transient parameters sized so that a healthy
+// margin resolves well within the PCM tCL of 8.9 ns.
+func DefaultCSAParams() CSAParams {
+	return CSAParams{
+		CSample:   5e-15,  // 5 fF
+		CHold:     10e-15, // 10 fF
+		VLatch:    0.05,   // 50 mV differential flips the latch
+		TSample:   2e-9,
+		TSecond:   1.5e-9,
+		MaxAmplfy: 20e-9,
+	}
+}
+
+// ResolveTime returns the total sensing time for a bitline current iBL
+// against reference current iRef: sampling + amplification + second stage.
+// The amplification phase integrates the current difference onto the
+// sampling capacitors until the differential reaches VLatch; a tiny
+// difference therefore takes (reportedly) longer, which is how a margin
+// violation shows up as a timeout. The returned ok is false if the latch
+// does not flip within the phase-2 timeout.
+func (p CSAParams) ResolveTime(iBL, iRef float64) (t float64, ok bool) {
+	dI := math.Abs(iBL - iRef)
+	if dI == 0 {
+		return p.TSample + p.MaxAmplfy + p.TSecond, false
+	}
+	tAmp := p.CSample * p.VLatch / dI
+	if tAmp > p.MaxAmplfy {
+		return p.TSample + p.MaxAmplfy + p.TSecond, false
+	}
+	return p.TSample + tAmp + p.TSecond, true
+}
+
+// Phase identifies one of the CSA's three sensing phases.
+type Phase int
+
+const (
+	PhaseSample  Phase = iota // current sampling
+	PhaseAmplify              // current-ratio amplification
+	PhaseSecond               // 2nd-stage amplification / latch
+)
+
+// String names the phase as in Fig. 1.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSample:
+		return "current-sampling"
+	case PhaseAmplify:
+		return "current-ratio amplification"
+	case PhaseSecond:
+		return "2nd-stage amplification"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// TracePoint is one sample of the transient sensing waveform.
+type TracePoint struct {
+	T     float64 // seconds since sensing started
+	Phase Phase
+	VC    float64 // cell-side node voltage
+	VR    float64 // reference-side node voltage
+	Out   float64 // latched output (0 / VDD), valid after PhaseSecond
+}
+
+// Transient simulates the three sensing phases for a bitline current
+// against a reference current and returns the waveform sampled at `points`
+// instants plus the latched output bit. This reproduces the qualitative
+// HSPICE waveforms of Fig. 6 (right).
+func (p CSAParams) Transient(iBL, iRef float64, points int) ([]TracePoint, bool) {
+	if points < 2 {
+		points = 2
+	}
+	const vdd = 0.8 // matches the 0.8 V rails in the paper's Fig. 6 plot
+	tRes, _ := p.ResolveTime(iBL, iRef)
+	total := tRes
+	out := iBL > iRef
+	trace := make([]TracePoint, 0, points)
+	for i := 0; i < points; i++ {
+		t := total * float64(i) / float64(points-1)
+		pt := TracePoint{T: t}
+		switch {
+		case t <= p.TSample:
+			pt.Phase = PhaseSample
+			// Both nodes charge toward the common-mode sampling level.
+			cm := vdd / 2 * (t / p.TSample)
+			pt.VC, pt.VR = cm, cm
+		case t <= total-p.TSecond:
+			pt.Phase = PhaseAmplify
+			// Differential grows linearly with the integrated ΔI.
+			dt := t - p.TSample
+			dv := (iBL - iRef) * dt / p.CSample
+			dv = clamp(dv, -vdd/2, vdd/2)
+			pt.VC = vdd/2 + dv/2
+			pt.VR = vdd/2 - dv/2
+		default:
+			pt.Phase = PhaseSecond
+			if out {
+				pt.VC, pt.VR, pt.Out = vdd, 0, vdd
+			} else {
+				pt.VC, pt.VR, pt.Out = 0, vdd, 0
+			}
+		}
+		trace = append(trace, pt)
+	}
+	return trace, out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SenseXOR performs the two-micro-step XOR of the modified CSA: the first
+// operand is read onto the hold capacitor Ch, the second into the latch;
+// the two add-on transistors output the exclusive-or (Fig. 6 left). Each
+// micro-step is a full single-row read, so XOR costs two sensing steps —
+// the timing model charges it accordingly.
+func SenseXOR(cfg SenseConfig, c nvm.CellParams, a, b bool) bool {
+	first := SenseRead(cfg, c, a)  // micro-step 1: onto Ch
+	second := SenseRead(cfg, c, b) // micro-step 2: into the latch
+	return first != second
+}
+
+// SenseINV reads one row and outputs the latch's differential (inverted)
+// value — a single sensing step.
+func SenseINV(cfg SenseConfig, c nvm.CellParams, a bool) bool {
+	return !SenseRead(cfg, c, a)
+}
+
+// XORSteps and INVSteps document the micro-step counts the timing model
+// charges for the SA-internal composite operations.
+const (
+	XORSteps = 2
+	INVSteps = 1
+)

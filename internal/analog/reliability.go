@@ -1,0 +1,112 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"pinatubo/internal/nvm"
+)
+
+// This file extends the sensing model with the two PCM reliability effects
+// that interact with Pinatubo's multi-row margins and that the paper's
+// "we assume the variation is well controlled" sentence sweeps under the
+// rug: resistance drift of the amorphous (RESET) state over time, and the
+// temperature dependence of both states. Neither breaks the design — drift
+// *widens* OR margins (Rhigh grows), and moderate heating shrinks them only
+// gradually — but a credible release has to show that, not assert it.
+
+// DriftedCell returns the cell parameters after the RESET state has
+// drifted for `seconds` since programming. Amorphous PCM follows the
+// canonical power law R(t) = R0 · (t/t0)^ν with ν ≈ 0.05–0.11 and
+// t0 = 1 s; the crystalline SET state drifts negligibly (ν ≈ 0.005).
+func DriftedCell(c nvm.CellParams, seconds float64) (nvm.CellParams, error) {
+	if seconds <= 0 {
+		return nvm.CellParams{}, fmt.Errorf("analog: drift time %g s must be positive", seconds)
+	}
+	const (
+		nuReset = 0.08
+		nuSet   = 0.005
+	)
+	out := c
+	out.RHigh = c.RHigh * math.Pow(seconds, nuReset)
+	out.RLow = c.RLow * math.Pow(seconds, nuSet)
+	return out, nil
+}
+
+// TemperatureDeratedCell returns the cell parameters at an operating
+// temperature offset from the 25 °C characterisation point. Both PCM
+// states conduct better when hot (thermally activated transport, Ea ≈
+// 0.3 eV for the amorphous state → ~3.9 %/°C raw). Sense references are
+// generated from on-die replica cells that see the same temperature, so
+// the common-mode dependence cancels; the coefficients here are the
+// *residual* mismatch after that tracking (~40% of raw for RESET).
+func TemperatureDeratedCell(c nvm.CellParams, deltaC float64) (nvm.CellParams, error) {
+	if deltaC < -50 || deltaC > 120 {
+		return nvm.CellParams{}, fmt.Errorf("analog: temperature offset %g °C outside -50..120", deltaC)
+	}
+	const (
+		kReset = 0.015 // per °C, residual after replica tracking
+		kSet   = 0.003
+	)
+	out := c
+	out.RHigh = c.RHigh * math.Exp(-kReset*deltaC)
+	out.RLow = c.RLow * math.Exp(-kSet*deltaC)
+	return out, nil
+}
+
+// ReliabilityPoint is one entry of a margin-over-condition sweep.
+type ReliabilityPoint struct {
+	Condition float64 // seconds of drift, or °C offset
+	Ratio     float64 // resulting ON/OFF ratio
+	Margin128 float64 // worst-case 128-row OR margin
+	Depth     int     // margin-limited OR depth at this condition
+}
+
+// DriftSweep evaluates the 128-row OR margin across retention times.
+func DriftSweep(cfg SenseConfig, p nvm.Params, times []float64) ([]ReliabilityPoint, error) {
+	out := make([]ReliabilityPoint, 0, len(times))
+	for _, t := range times {
+		cell, err := DriftedCell(p.Cell, t)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := reliabilityPoint(cfg, p, cell, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// TemperatureSweep evaluates the 128-row OR margin across temperatures.
+func TemperatureSweep(cfg SenseConfig, p nvm.Params, offsetsC []float64) ([]ReliabilityPoint, error) {
+	out := make([]ReliabilityPoint, 0, len(offsetsC))
+	for _, dT := range offsetsC {
+		cell, err := TemperatureDeratedCell(p.Cell, dT)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := reliabilityPoint(cfg, p, cell, dT)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func reliabilityPoint(cfg SenseConfig, p nvm.Params, cell nvm.CellParams, cond float64) (ReliabilityPoint, error) {
+	derated := p
+	derated.Cell = cell
+	depth, err := MaxORRows(cfg, derated, p.MaxOpenRows)
+	if err != nil {
+		return ReliabilityPoint{}, err
+	}
+	return ReliabilityPoint{
+		Condition: cond,
+		Ratio:     cell.OnOffRatio(),
+		Margin128: ORMargin(cfg, cell, 128),
+		Depth:     depth,
+	}, nil
+}

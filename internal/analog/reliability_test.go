@@ -1,0 +1,133 @@
+package analog
+
+import (
+	"testing"
+
+	"pinatubo/internal/nvm"
+)
+
+func TestDriftWidensORMargins(t *testing.T) {
+	// Amorphous-state drift raises Rhigh, so the all-zero pattern gets
+	// easier to tell apart from one-hot: multi-row OR margins must not
+	// degrade with retention time.
+	p := nvm.Get(nvm.PCM)
+	prev := ORMargin(cfg, p.Cell, 128)
+	for _, secs := range []float64{10, 1e3, 1e6} { // 10 s .. ~12 days
+		cell, err := DriftedCell(p.Cell, secs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := ORMargin(cfg, cell, 128)
+		if m < prev {
+			t.Errorf("drift to %g s shrank the 128-row margin: %g -> %g", secs, prev, m)
+		}
+		prev = m
+		if cell.RHigh <= p.Cell.RHigh {
+			t.Errorf("RESET state did not drift up at %g s", secs)
+		}
+		// SET state drifts far less.
+		if cell.RLow > p.Cell.RLow*1.2 {
+			t.Errorf("SET state drifted implausibly at %g s: %g", secs, cell.RLow)
+		}
+	}
+}
+
+func TestDriftErrors(t *testing.T) {
+	if _, err := DriftedCell(nvm.Get(nvm.PCM).Cell, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := DriftedCell(nvm.Get(nvm.PCM).Cell, -5); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestHeatShrinksMargins(t *testing.T) {
+	// Heating conducts the amorphous state harder, compressing the ON/OFF
+	// ratio and hence the deep-OR margin.
+	p := nvm.Get(nvm.PCM)
+	cold := ORMargin(cfg, p.Cell, 128)
+	hot, err := TemperatureDeratedCell(p.Cell, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotMargin := ORMargin(cfg, hot, 128)
+	if hotMargin >= cold {
+		t.Errorf("+60°C margin %g should be below the 25°C margin %g", hotMargin, cold)
+	}
+	if hot.OnOffRatio() >= p.Cell.OnOffRatio() {
+		t.Error("heating should compress the ON/OFF ratio")
+	}
+	// But moderate operating temperatures must keep 128-row OR viable
+	// (otherwise the architectural cap would need thermal throttling).
+	warm, err := TemperatureDeratedCell(p.Cell, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derated := p
+	derated.Cell = warm
+	depth, err := MaxORRows(cfg, derated, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth < 64 {
+		t.Errorf("+30°C OR depth %d — thermal derating too aggressive", depth)
+	}
+}
+
+func TestTemperatureErrors(t *testing.T) {
+	c := nvm.Get(nvm.PCM).Cell
+	if _, err := TemperatureDeratedCell(c, -100); err == nil {
+		t.Error("-100°C accepted")
+	}
+	if _, err := TemperatureDeratedCell(c, 200); err == nil {
+		t.Error("+200°C accepted")
+	}
+}
+
+func TestDriftSweepShape(t *testing.T) {
+	p := nvm.Get(nvm.PCM)
+	pts, err := DriftSweep(cfg, p, []float64{1, 1e3, 1e6, 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ratio <= pts[i-1].Ratio {
+			t.Errorf("ON/OFF ratio not growing with drift at %g s", pts[i].Condition)
+		}
+		if pts[i].Depth < pts[i-1].Depth {
+			t.Errorf("OR depth shrank with drift at %g s", pts[i].Condition)
+		}
+	}
+	if pts[0].Depth < 128 {
+		t.Errorf("fresh cells support depth %d, want >= 128", pts[0].Depth)
+	}
+}
+
+func TestTemperatureSweepShape(t *testing.T) {
+	p := nvm.Get(nvm.PCM)
+	pts, err := TemperatureSweep(cfg, p, []float64{0, 25, 50, 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Margin128 >= pts[i-1].Margin128 {
+			t.Errorf("margin not shrinking with temperature at +%g°C", pts[i].Condition)
+		}
+	}
+	// At the hottest automotive-ish corner the depth degrades but the
+	// basic 2-row operation must survive.
+	hottest := pts[len(pts)-1]
+	if hottest.Depth < 2 {
+		t.Errorf("+85°C depth %d — even 2-row OR lost", hottest.Depth)
+	}
+	// Sweep errors propagate.
+	if _, err := TemperatureSweep(cfg, p, []float64{500}); err == nil {
+		t.Error("out-of-range sweep accepted")
+	}
+	if _, err := DriftSweep(cfg, p, []float64{-1}); err == nil {
+		t.Error("negative drift sweep accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package area
+
+import (
+	"testing"
+
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+)
+
+func defaultOverhead(t *testing.T) Overhead {
+	t.Helper()
+	o, err := Pinatubo(memarch.Default(), nvm.Get(nvm.PCM), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestPinatuboTotalNearPaper(t *testing.T) {
+	// Paper Fig. 13: Pinatubo's total overhead is 0.9% of the PCM chip.
+	o := defaultOverhead(t)
+	got := o.TotalFraction()
+	if got < 0.007 || got > 0.011 {
+		t.Errorf("Pinatubo overhead %.4f want ~0.009 (0.7..1.1%% band)", got)
+	}
+}
+
+func TestACPIMNearPaper(t *testing.T) {
+	// Paper Fig. 13: AC-PIM costs 6.4%.
+	f, err := ACPIM(memarch.Default(), nvm.Get(nvm.PCM), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.05 || f > 0.08 {
+		t.Errorf("AC-PIM overhead %.4f want ~0.064 (5..8%% band)", f)
+	}
+}
+
+func TestACPIMDominatesPinatubo(t *testing.T) {
+	o := defaultOverhead(t)
+	f, err := ACPIM(memarch.Default(), nvm.Get(nvm.PCM), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 5*o.TotalFraction() {
+		t.Errorf("AC-PIM (%.4f) should cost several times Pinatubo (%.4f)", f, o.TotalFraction())
+	}
+}
+
+func TestBreakdownOrdering(t *testing.T) {
+	// Paper breakdown: inter-sub 0.72% > inter-bank 0.09% > xor 0.06% >
+	// wl act 0.05% > and/or 0.02%. Assert the ordering and the dominance
+	// of the inter-subarray logic.
+	o := defaultOverhead(t)
+	bd := o.Breakdown()
+	if len(bd) != 5 {
+		t.Fatalf("breakdown has %d entries", len(bd))
+	}
+	names := []string{"inter-sub", "inter-bank", "xor", "wl act", "and/or"}
+	for i, e := range bd {
+		if e.Name != names[i] {
+			t.Errorf("entry %d = %q want %q", i, e.Name, names[i])
+		}
+	}
+	for i := 1; i < len(bd); i++ {
+		if bd[i].Fraction >= bd[i-1].Fraction {
+			t.Errorf("breakdown not descending at %q: %.5f >= %.5f",
+				bd[i].Name, bd[i].Fraction, bd[i-1].Fraction)
+		}
+	}
+	if bd[0].Fraction < 0.5*o.TotalFraction() {
+		t.Error("inter-sub logic should dominate the overhead")
+	}
+}
+
+func TestBreakdownComponentBands(t *testing.T) {
+	o := defaultOverhead(t)
+	bands := map[string][2]float64{
+		"inter-sub":  {0.005, 0.010},
+		"inter-bank": {0.0005, 0.0015},
+		"xor":        {0.0003, 0.0010},
+		"wl act":     {0.0003, 0.0008},
+		"and/or":     {0.0001, 0.0004},
+	}
+	for _, e := range o.Breakdown() {
+		b := bands[e.Name]
+		if e.Fraction < b[0] || e.Fraction > b[1] {
+			t.Errorf("%s = %.5f outside paper band [%.5f,%.5f]",
+				e.Name, e.Fraction, b[0], b[1])
+		}
+	}
+}
+
+func TestIntraAndTotalConsistent(t *testing.T) {
+	o := defaultOverhead(t)
+	if got, want := o.IntraF2(), o.ANDORF2+o.XORF2+o.LWLF2; got != want {
+		t.Errorf("IntraF2=%g want %g", got, want)
+	}
+	if got, want := o.TotalF2(), o.IntraF2()+o.InterSubF2+o.InterBankF2; got != want {
+		t.Errorf("TotalF2=%g want %g", got, want)
+	}
+	if o.BaseChipF2 <= 0 {
+		t.Error("baseline area must be positive")
+	}
+}
+
+func TestScalesWithGeometry(t *testing.T) {
+	// Twice the banks → twice the inter-sub logic, same fraction of a
+	// twice-as-large chip.
+	small := memarch.Default()
+	big := small
+	big.BanksPerChip *= 2
+	oS, err := Pinatubo(small, nvm.Get(nvm.PCM), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oB, err := Pinatubo(big, nvm.Get(nvm.PCM), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oB.InterSubF2 != 2*oS.InterSubF2 {
+		t.Errorf("inter-sub area did not double: %g vs %g", oB.InterSubF2, oS.InterSubF2)
+	}
+	if oB.BaseChipF2 != 2*oS.BaseChipF2 {
+		t.Errorf("chip area did not double")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := memarch.Default()
+	bad.Channels = 0
+	if _, err := Pinatubo(bad, nvm.Get(nvm.PCM), DefaultParams()); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := ACPIM(bad, nvm.Get(nvm.PCM), DefaultParams()); err == nil {
+		t.Error("bad geometry accepted by ACPIM")
+	}
+	p := DefaultParams()
+	p.ArrayEfficiency = 0
+	if _, err := Pinatubo(memarch.Default(), nvm.Get(nvm.PCM), p); err == nil {
+		t.Error("zero efficiency accepted")
+	}
+}
+
+func TestSDRAMCapacityLoss(t *testing.T) {
+	if l := SDRAMCapacityLoss(); l <= 0 || l > 0.01 {
+		t.Errorf("S-DRAM capacity loss %g outside (0, 1%%]", l)
+	}
+}

@@ -1,0 +1,113 @@
+// Package acpim models the accelerator-in-memory comparison point: bulk
+// bitwise operations computed by digital logic gates attached to the memory
+// buffers (the paper's Fig. 8b), with *no* analog multi-row sensing. Even
+// operands that share a subarray must be read out row by row through the
+// normal sensing path and streamed through the adder-style logic, so every
+// operation costs n serial row reads regardless of operand count — the
+// one-step advantage of Pinatubo never applies — and every bit toggles
+// full-swing digital logic rather than an analog comparison.
+package acpim
+
+import (
+	"fmt"
+
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/workload"
+)
+
+// Config describes the accelerator.
+type Config struct {
+	Tech nvm.Params
+	Geo  memarch.Geometry
+	Bus  ddr.BusParams
+	// Channels is request-level parallelism.
+	Channels int
+}
+
+// DefaultConfig returns the paper's setup: AC-PIM on the same 1T1R PCM main
+// memory as Pinatubo.
+func DefaultConfig() Config {
+	return Config{
+		Tech:     nvm.Get(nvm.PCM),
+		Geo:      memarch.Default(),
+		Bus:      ddr.DefaultBus(),
+		Channels: 4,
+	}
+}
+
+// Engine prices requests on the AC-PIM model.
+type Engine struct {
+	cfg Config
+}
+
+// New builds the engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("acpim: non-positive channel count %d", cfg.Channels)
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Name implements workload.Engine.
+func (e *Engine) Name() string { return "AC-PIM" }
+
+// Parallelism implements workload.Engine.
+func (e *Engine) Parallelism() float64 { return float64(e.cfg.Channels) }
+
+// OpCost implements workload.Engine.
+func (e *Engine) OpCost(spec workload.OpSpec) (workload.Cost, error) {
+	if err := spec.Validate(); err != nil {
+		return workload.Cost{}, err
+	}
+	t := e.cfg.Tech.Timing
+	en := e.cfg.Tech.Energy
+	geo := e.cfg.Geo
+	rowBits := geo.RowBits()
+	sw := geo.SenseWidthBits()
+
+	// Operands beyond the accumulating buffer's bank stream over the
+	// chip-level I/O datapath instead of the bank's GDLs. Either way the
+	// stream is throttled by the synthesized combine logic, which closes
+	// timing at half the datapath clock.
+	moveBitsPerSec := e.cfg.Bus.GDLBitsPerSec
+	movePerBit := en.GDLPerBit
+	if spec.Placement == workload.PlaceInterBank {
+		moveBitsPerSec = e.cfg.Bus.IOBitsPerSec
+		movePerBit = en.IOBusPerBit
+	}
+	moveBitsPerSec /= 2
+
+	var total workload.Cost
+	remaining := spec.Bits
+	for remaining > 0 {
+		bits := remaining
+		if bits > rowBits {
+			bits = rowBits
+		}
+		remaining -= bits
+		fb := float64(bits)
+		groups := (bits + sw - 1) / sw
+
+		var batch workload.Cost
+		// Serial row reads: activate + per-group sensing + stream through
+		// the local digital logic.
+		for k := 0; k < spec.Operands; k++ {
+			batch.Seconds += t.TRCD + float64(groups)*t.TCL + fb/moveBitsPerSec
+			batch.Joules += fb * (en.ActPerBit + en.SensePerBit + movePerBit +
+				en.LogicPerBit + en.BufferPerBit)
+			batch.Joules += en.LWLPerAct
+		}
+		// Result write-back through the write drivers.
+		batch.Seconds += fb/moveBitsPerSec + t.TWR
+		batch.Joules += fb * (en.WritePerBit + movePerBit)
+		total.Add(batch)
+	}
+	return total, nil
+}
+
+var _ workload.Engine = (*Engine)(nil)

@@ -1,0 +1,95 @@
+package acpim
+
+import (
+	"testing"
+
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero channels accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Geo.MuxRatio = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e := newEngine(t)
+	if e.Name() != "AC-PIM" || e.Parallelism() != 4 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestSerialRowReads(t *testing.T) {
+	// AC-PIM has no one-step multi-row operation: cost grows linearly with
+	// the operand count.
+	e := newEngine(t)
+	c2, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c128, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 128, Bits: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := c128.Seconds / c2.Seconds; ratio < 40 || ratio > 70 {
+		t.Errorf("128/2-operand ratio %.1f, want ~64 (serial reads)", ratio)
+	}
+}
+
+func TestAllOpsSupported(t *testing.T) {
+	e := newEngine(t)
+	specs := []workload.OpSpec{
+		{Op: sense.OpAND, Operands: 2, Bits: 4096},
+		{Op: sense.OpOR, Operands: 16, Bits: 4096},
+		{Op: sense.OpXOR, Operands: 2, Bits: 4096},
+		{Op: sense.OpINV, Operands: 1, Bits: 4096},
+	}
+	for _, s := range specs {
+		c, err := e.OpCost(s)
+		if err != nil {
+			t.Errorf("%v: %v", s.Op, err)
+		}
+		if c.Seconds <= 0 || c.Joules <= 0 {
+			t.Errorf("%v: non-positive cost %+v", s.Op, c)
+		}
+	}
+}
+
+func TestLongVectorsBatch(t *testing.T) {
+	e := newEngine(t)
+	one, err := e.OpCost(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := e.OpCost(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := four.Seconds / one.Seconds; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("2^21/2^19 ratio %.2f want 4", ratio)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.OpCost(workload.OpSpec{Op: sense.OpAND, Operands: 1, Bits: 64}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

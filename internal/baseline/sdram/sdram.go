@@ -1,0 +1,126 @@
+// Package sdram models the in-DRAM bulk bitwise computing baseline
+// (Seshadri et al., CAL 2015): triple-row activation in a DRAM subarray
+// computes a 2-row AND or OR by charge sharing. Because DRAM sensing is
+// destructive and the mechanism needs designated compute rows, both
+// operands must first be row-copied into the compute rows, and the result
+// copied out — overhead Pinatubo's non-destructive resistive sensing
+// avoids. Only 2-row AND/OR is supported; anything else falls back to the
+// CPU baseline.
+package sdram
+
+import (
+	"fmt"
+
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// Config describes the DRAM and the computation mechanism.
+type Config struct {
+	Tech nvm.Params
+	// RowBits is the rank-logical DRAM row (8 chips × 8 Kb = 2^16 bits).
+	// DRAM has no column mux in front of its SAs, so a whole row computes
+	// in one triple activation — the "larger row buffer" advantage the
+	// paper concedes to S-DRAM.
+	RowBits int
+	// Channels is the request-level parallelism.
+	Channels int
+	// Fallback prices ops the mechanism cannot run (XOR, INV).
+	Fallback workload.Engine
+}
+
+// DefaultConfig returns the paper's 65 nm 4-channel DDR3-1600 setup with a
+// SIMD-on-DRAM fallback.
+func DefaultConfig(fallback workload.Engine) Config {
+	return Config{
+		Tech:     nvm.Get(nvm.DRAM),
+		RowBits:  1 << 16,
+		Channels: 4,
+		Fallback: fallback,
+	}
+}
+
+// Engine prices requests on the S-DRAM model.
+type Engine struct {
+	cfg Config
+}
+
+// New builds the engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.RowBits <= 0 || cfg.Channels <= 0 {
+		return nil, fmt.Errorf("sdram: non-positive geometry in %+v", cfg)
+	}
+	if cfg.Fallback == nil {
+		return nil, fmt.Errorf("sdram: fallback engine required (XOR/INV are not computable in DRAM)")
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Name implements workload.Engine.
+func (e *Engine) Name() string { return "S-DRAM" }
+
+// Parallelism implements workload.Engine.
+func (e *Engine) Parallelism() float64 { return float64(e.cfg.Channels) }
+
+// rowCopy prices one in-DRAM row copy (RowClone-style back-to-back
+// activation): activate source, restore into destination.
+func (e *Engine) rowCopy(bits float64) workload.Cost {
+	t := e.cfg.Tech.Timing
+	en := e.cfg.Tech.Energy
+	return workload.Cost{
+		Seconds: t.TRCD + t.TWR,
+		Joules:  bits * (en.ActPerBit + en.WritePerBit),
+	}
+}
+
+// tripleActivate prices the simultaneous three-row activation that computes
+// AND/OR by charge sharing, including the full-row sensing and restore.
+func (e *Engine) tripleActivate(bits float64) workload.Cost {
+	t := e.cfg.Tech.Timing
+	en := e.cfg.Tech.Energy
+	return workload.Cost{
+		Seconds: t.TRCD + t.TCL + t.TWR, // activate, sense, restore result
+		Joules:  bits * (3*en.ActPerBit + en.SensePerBit + en.WritePerBit),
+	}
+}
+
+// OpCost implements workload.Engine.
+func (e *Engine) OpCost(spec workload.OpSpec) (workload.Cost, error) {
+	if err := spec.Validate(); err != nil {
+		return workload.Cost{}, err
+	}
+	if spec.Op != sense.OpAND && spec.Op != sense.OpOR {
+		// The mechanism cannot produce XOR/INV; the driver routes those to
+		// the CPU.
+		return e.cfg.Fallback.OpCost(spec)
+	}
+
+	var total workload.Cost
+	remaining := spec.Bits
+	for remaining > 0 {
+		bits := remaining
+		if bits > e.cfg.RowBits {
+			bits = e.cfg.RowBits
+		}
+		remaining -= bits
+		fb := float64(bits)
+
+		// First pair: copy both operands in, compute.
+		batch := e.rowCopy(fb)
+		batch.Add(e.rowCopy(fb))
+		batch.Add(e.tripleActivate(fb))
+		// Each further operand: copy it in, recompute against the running
+		// result already sitting in the compute rows.
+		for k := 2; k < spec.Operands; k++ {
+			batch.Add(e.rowCopy(fb))
+			batch.Add(e.tripleActivate(fb))
+		}
+		// Copy the result out to its destination row.
+		batch.Add(e.rowCopy(fb))
+		total.Add(batch)
+	}
+	return total, nil
+}
+
+var _ workload.Engine = (*Engine)(nil)

@@ -1,0 +1,144 @@
+package sdram
+
+import (
+	"testing"
+
+	"pinatubo/internal/baseline/simd"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	fb, err := simd.New(simd.HaswellConfig(nvm.DRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(DefaultConfig(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{RowBits: 0, Channels: 4, Fallback: workload.Ideal{}}); err == nil {
+		t.Error("zero row bits accepted")
+	}
+	if _, err := New(Config{RowBits: 1 << 16, Channels: 4}); err == nil {
+		t.Error("missing fallback accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e := newEngine(t)
+	if e.Name() != "S-DRAM" || e.Parallelism() != 4 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestTwoRowOpUsesCopies(t *testing.T) {
+	// A 2-row OR over one DRAM row must cost 3 copies + 1 triple
+	// activation + result copy — the paper's operand-copy overhead.
+	e := newEngine(t)
+	c, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := nvm.Get(nvm.DRAM).Timing
+	want := 3*(tm.TRCD+tm.TWR) + (tm.TRCD + tm.TCL + tm.TWR)
+	if diff := c.Seconds - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("2-row op time %.4g want %.4g", c.Seconds, want)
+	}
+}
+
+func TestMultiRowIsChained(t *testing.T) {
+	// S-DRAM has no multi-row operations: n operands need n-1 triple
+	// activations and n operand copies.
+	e := newEngine(t)
+	c2, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 8, Bits: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := c8.Seconds / c2.Seconds; ratio < 2.5 {
+		t.Errorf("8-operand op only %.2fx a 2-operand op; chaining missing", ratio)
+	}
+}
+
+func TestLongVectorsBatchOverRows(t *testing.T) {
+	e := newEngine(t)
+	one, err := e.OpCost(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := e.OpCost(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := eight.Seconds / one.Seconds; ratio < 7.9 || ratio > 8.1 {
+		t.Errorf("2^19-bit op is %.2fx a 2^16-bit op, want 8x (row batches)", ratio)
+	}
+}
+
+func TestXORFallsBackToCPU(t *testing.T) {
+	fb, err := simd.New(simd.HaswellConfig(nvm.DRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(DefaultConfig(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.OpSpec{Op: sense.OpXOR, Operands: 2, Bits: 1 << 16}
+	got, err := e.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fb.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("XOR cost %+v want CPU fallback %+v", got, want)
+	}
+	// Same for INV.
+	inv := workload.OpSpec{Op: sense.OpINV, Operands: 1, Bits: 1 << 16}
+	gi, err := e.OpCost(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi, err := fb.OpCost(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi != wi {
+		t.Error("INV should fall back to CPU")
+	}
+}
+
+func TestEnergyPositiveAndScales(t *testing.T) {
+	e := newEngine(t)
+	c2, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 4, Bits: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Joules <= 0 || c4.Joules <= c2.Joules {
+		t.Errorf("energy wrong: %g then %g", c2.Joules, c4.Joules)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 0}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package simd
+
+import "fmt"
+
+// Cache is a set-associative cache with LRU replacement, used to determine
+// residency behaviour of the SIMD baseline on small working sets and in the
+// application models' non-bitwise phases.
+type Cache struct {
+	lineBytes int
+	sets      int
+	ways      int
+	// lru[set] holds line tags, most recently used last.
+	lru [][]uint64
+
+	accesses int64
+	misses   int64
+}
+
+// NewCache builds a cache of the given total size, associativity and line
+// size. Size must be divisible by ways*lineBytes.
+func NewCache(sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("simd: non-positive cache parameter (%d,%d,%d)", sizeBytes, ways, lineBytes)
+	}
+	if sizeBytes%(ways*lineBytes) != 0 {
+		return nil, fmt.Errorf("simd: size %d not divisible by ways*line %d", sizeBytes, ways*lineBytes)
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	c := &Cache{lineBytes: lineBytes, sets: sets, ways: ways}
+	c.lru = make([][]uint64, sets)
+	return c, nil
+}
+
+// Access touches the byte address and reports whether it hit. Misses fill
+// the line, evicting the least recently used line of the set.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.sets))
+	ways := c.lru[set]
+	for i, tag := range ways {
+		if tag == line {
+			// Move to MRU position.
+			copy(ways[i:], ways[i+1:])
+			ways[len(ways)-1] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(ways) < c.ways {
+		c.lru[set] = append(ways, line)
+	} else {
+		copy(ways, ways[1:])
+		ways[len(ways)-1] = line
+	}
+	return false
+}
+
+// Stats returns accesses and misses so far.
+func (c *Cache) Stats() (accesses, misses int64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses (0 when unused).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lru {
+		c.lru[i] = nil
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// Hierarchy is the baseline's three-level cache.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+}
+
+// NewHierarchy builds the paper's Haswell-class hierarchy: 32 KB 8-way L1,
+// 256 KB 8-way L2, 6 MB 12-way L3, 64 B lines.
+func NewHierarchy() *Hierarchy {
+	l1, err := NewCache(32<<10, 8, 64)
+	if err != nil {
+		panic(err)
+	}
+	l2, err := NewCache(256<<10, 8, 64)
+	if err != nil {
+		panic(err)
+	}
+	l3, err := NewCache(6<<20, 12, 64)
+	if err != nil {
+		panic(err)
+	}
+	return &Hierarchy{L1: l1, L2: l2, L3: l3}
+}
+
+// Access walks the hierarchy and returns the level that hit: 1, 2, 3, or 4
+// for main memory.
+func (h *Hierarchy) Access(addr uint64) int {
+	if h.L1.Access(addr) {
+		return 1
+	}
+	if h.L2.Access(addr) {
+		return 2
+	}
+	if h.L3.Access(addr) {
+		return 3
+	}
+	return 4
+}

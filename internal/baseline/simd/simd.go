@@ -1,0 +1,138 @@
+// Package simd models the paper's conventional-processor baseline: a
+// 4-core, 4-issue out-of-order x86 at 3.3 GHz with 128-bit SSE/AVX bitwise
+// units and a 32 KB / 256 KB / 6 MB cache hierarchy, attached to either a
+// DRAM or a PCM main memory. A bulk bitwise operation streams every operand
+// through the DDR bus and the whole hierarchy, computes in the SIMD units,
+// and writes the result back — the data movement Pinatubo eliminates.
+package simd
+
+import (
+	"fmt"
+
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/workload"
+)
+
+// Config describes the processor and its memory.
+type Config struct {
+	Cores         int
+	FreqHz        float64
+	SIMDBits      int     // bitwise datapath width per op
+	SIMDPerCycle  int     // SIMD bitwise ops issued per cycle per core
+	CorePowerW    float64 // package power while streaming
+	PerOpOverhead float64 // fixed software overhead per request (call, loop setup)
+
+	L3Bytes     int     // last-level cache size (residency threshold)
+	L3BytesPerS float64 // LLC streaming bandwidth (aggregate)
+
+	MemReadBW  float64 // effective main-memory read bandwidth (aggregate)
+	MemWriteBW float64 // effective main-memory write bandwidth (aggregate)
+
+	// Per-bit main-memory access energies (array + bus), from the memory
+	// technology.
+	MemReadPerBit  float64
+	MemWritePerBit float64
+	CachePerByte   float64 // cache hierarchy dynamic energy per byte moved
+}
+
+// HaswellConfig returns the paper's SIMD baseline attached to a main memory
+// of the given technology (DRAM when compared against S-DRAM, PCM when
+// compared against AC-PIM and Pinatubo).
+func HaswellConfig(mem nvm.Tech) Config {
+	p := nvm.Get(mem)
+	cfg := Config{
+		Cores:          4,
+		FreqHz:         3.3e9,
+		SIMDBits:       128,
+		SIMDPerCycle:   2,
+		CorePowerW:     65,
+		PerOpOverhead:  150e-9,
+		L3Bytes:        6 << 20,
+		L3BytesPerS:    200e9,
+		MemReadPerBit:  p.Energy.ActPerBit + p.Energy.SensePerBit + p.Energy.IOBusPerBit,
+		MemWritePerBit: p.Energy.WritePerBit + p.Energy.IOBusPerBit,
+		CachePerByte:   4e-12,
+	}
+	switch mem {
+	case nvm.DRAM:
+		// 4-channel DDR3-1600: 51.2 GB/s peak, ~80% streaming efficiency.
+		cfg.MemReadBW = 41e9
+		cfg.MemWriteBW = 41e9
+	default:
+		// PCM DIMMs read near bus speed but write far below it (long tWR,
+		// limited write drivers / power budget).
+		cfg.MemReadBW = 41e9
+		cfg.MemWriteBW = 8e9
+	}
+	return cfg
+}
+
+// Engine prices requests on the processor model.
+type Engine struct {
+	cfg Config
+}
+
+// New builds the engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Cores <= 0 || cfg.FreqHz <= 0 || cfg.SIMDBits <= 0 || cfg.SIMDPerCycle <= 0 {
+		return nil, fmt.Errorf("simd: non-positive core parameter in %+v", cfg)
+	}
+	if cfg.MemReadBW <= 0 || cfg.MemWriteBW <= 0 || cfg.L3BytesPerS <= 0 {
+		return nil, fmt.Errorf("simd: non-positive bandwidth in %+v", cfg)
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Name implements workload.Engine.
+func (e *Engine) Name() string { return "SIMD" }
+
+// Parallelism implements workload.Engine: the cost model is already
+// aggregate over all cores and channels.
+func (e *Engine) Parallelism() float64 { return 1 }
+
+// OpCost implements workload.Engine.
+//
+// The request reads all n operand vectors, combines them pairwise in the
+// SIMD units ((n-1) bitwise ops per lane), and writes one result vector.
+// Time is the maximum of the compute stream and the memory stream (they
+// overlap in an OoO core), plus fixed per-request overhead. INV is a read +
+// NOT + write of a single vector.
+func (e *Engine) OpCost(spec workload.OpSpec) (workload.Cost, error) {
+	if err := spec.Validate(); err != nil {
+		return workload.Cost{}, err
+	}
+	n := float64(spec.Operands)
+	bits := float64(spec.Bits)
+
+	readBytes := n * bits / 8
+	writeBytes := bits / 8
+
+	// Compute stream: load each operand lane, combine, store result lane.
+	lanes := bits / float64(e.cfg.SIMDBits)
+	simdOps := lanes * (2*n + 1) // n loads, n-1 logic ops (≥1), 1 store, rounded up
+	tCompute := simdOps / (float64(e.cfg.Cores*e.cfg.SIMDPerCycle) * e.cfg.FreqHz)
+
+	// Memory stream.
+	var tMem float64
+	cacheFits := spec.CacheResident && int(readBytes+writeBytes) <= e.cfg.L3Bytes
+	if cacheFits {
+		tMem = (readBytes + writeBytes) / e.cfg.L3BytesPerS
+	} else {
+		tMem = readBytes/e.cfg.MemReadBW + writeBytes/e.cfg.MemWriteBW
+	}
+
+	t := tCompute
+	if tMem > t {
+		t = tMem
+	}
+	t += e.cfg.PerOpOverhead
+
+	j := t * e.cfg.CorePowerW
+	j += (readBytes + writeBytes) * e.cfg.CachePerByte
+	if !cacheFits {
+		j += readBytes*8*e.cfg.MemReadPerBit + writeBytes*8*e.cfg.MemWritePerBit
+	}
+	return workload.Cost{Seconds: t, Joules: j}, nil
+}
+
+var _ workload.Engine = (*Engine)(nil)

@@ -1,0 +1,217 @@
+package simd
+
+import (
+	"testing"
+
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c, err := NewCache(1024, 2, 64) // 8 sets, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) || !c.Access(63) {
+		t.Error("warm line missed")
+	}
+	if c.Access(64) {
+		t.Error("different line hit")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Errorf("stats %d/%d want 4/2", acc, miss)
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate %g", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2*64, 2, 64) // 1 set, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0 * 64)
+	c.Access(1 * 64)
+	c.Access(0 * 64) // 0 becomes MRU
+	c.Access(2 * 64) // evicts 1 (LRU)
+	if !c.Access(0 * 64) {
+		t.Error("line 0 should have survived")
+	}
+	if c.Access(1 * 64) {
+		t.Error("line 1 should have been evicted")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c, _ := NewCache(1024, 2, 64)
+	c.Access(0)
+	c.Reset()
+	if acc, _ := c.Stats(); acc != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if c.Access(0) {
+		t.Error("reset did not clear contents")
+	}
+	if c.MissRate() == 0 {
+		t.Error("miss after reset should count")
+	}
+}
+
+func TestCacheErrors(t *testing.T) {
+	if _, err := NewCache(0, 2, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewCache(100, 3, 64); err == nil {
+		t.Error("non-divisible size accepted")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy()
+	if lvl := h.Access(4096); lvl != 4 {
+		t.Errorf("cold access hit level %d", lvl)
+	}
+	if lvl := h.Access(4096); lvl != 1 {
+		t.Errorf("hot access hit level %d want 1 (L1)", lvl)
+	}
+	// Stream 64 KB: too big for L1 (32 KB), fits L2.
+	for addr := uint64(0); addr < 64<<10; addr += 64 {
+		h.Access(addr)
+	}
+	if lvl := h.Access(0); lvl != 2 {
+		t.Errorf("64KB working set re-access hit level %d want 2 (L2)", lvl)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := HaswellConfig(nvm.PCM)
+	cfg.MemReadBW = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestEngineMetadata(t *testing.T) {
+	e, err := New(HaswellConfig(nvm.PCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "SIMD" || e.Parallelism() != 1 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestOpCostScalesWithTraffic(t *testing.T) {
+	e, err := New(HaswellConfig(nvm.PCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Seconds <= small.Seconds || large.Joules <= small.Joules {
+		t.Error("longer vectors must cost more")
+	}
+	wide, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 128, Bits: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 operands carry 64x the read traffic of 2 operands, but the fixed
+	// result-write time (slow PCM writes) damps the ratio.
+	if ratio := wide.Seconds / large.Seconds; ratio < 10 || ratio > 64 {
+		t.Errorf("128-operand / 2-operand time ratio %g, want within (10,64)", ratio)
+	}
+}
+
+func TestCacheResidencySpeedsUp(t *testing.T) {
+	e, err := New(HaswellConfig(nvm.PCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: 1 << 14}
+	mem, err := e.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.CacheResident = true
+	hot, err := e.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Seconds >= mem.Seconds || hot.Joules >= mem.Joules {
+		t.Error("cache-resident op should be cheaper")
+	}
+}
+
+func TestCacheResidencyIgnoredWhenTooBig(t *testing.T) {
+	e, err := New(HaswellConfig(nvm.PCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 × 2^19 bits = 8 MB > 6 MB LLC: residency flag cannot apply.
+	spec := workload.OpSpec{Op: sense.OpOR, Operands: 128, Bits: 1 << 19}
+	cold, err := e.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.CacheResident = true
+	hot, err := e.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot != cold {
+		t.Error("oversized working set should ignore the residency flag")
+	}
+}
+
+func TestPCMWritesSlowerThanDRAM(t *testing.T) {
+	pcm, err := New(HaswellConfig(nvm.PCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := New(HaswellConfig(nvm.DRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: 1 << 19}
+	cp, err := pcm.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := dram.OpCost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seconds <= cd.Seconds {
+		t.Error("SIMD on PCM should be slower than on DRAM (write bandwidth)")
+	}
+}
+
+func TestOpCostRejectsInvalid(t *testing.T) {
+	e, _ := New(HaswellConfig(nvm.PCM))
+	if _, err := e.OpCost(workload.OpSpec{Op: sense.OpOR, Operands: 1, Bits: 64}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func BenchmarkHierarchyStream(b *testing.B) {
+	h := NewHierarchy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i) * 64)
+	}
+}

@@ -1,0 +1,243 @@
+// Package bioseq implements the bio-informatics workload family the paper
+// motivates (its citation [21]: bitwise operations for genetic algorithms /
+// sequence analysis): k-mer presence bitmaps over DNA sequences.
+//
+// A sequence's k-mer spectrum is a 4^k-bit vector with bit i set when the
+// k-mer with 2-bit encoding i occurs. Spectra make classic sequence
+// questions bulk bitwise operations:
+//
+//   - family union  = multi-row OR of the members' spectra (one Pinatubo
+//     step for up to 128 genomes),
+//   - shared core   = AND chain,
+//   - Jaccard similarity = popcount(AND) / popcount(OR),
+//   - containment screening = AND with a reference panel's union.
+//
+// With k = 9 a spectrum is 2^18 bits — half a Pinatubo rank row.
+package bioseq
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/pimrt"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// Alphabet is the DNA alphabet in encoding order.
+const Alphabet = "ACGT"
+
+// encodeBase maps a base to its 2-bit code, or -1.
+func encodeBase(b byte) int {
+	switch b {
+	case 'A', 'a':
+		return 0
+	case 'C', 'c':
+		return 1
+	case 'G', 'g':
+		return 2
+	case 'T', 't':
+		return 3
+	default:
+		return -1
+	}
+}
+
+// SpectrumBits returns the bitmap length for k-mers of length k (4^k).
+func SpectrumBits(k int) int { return 1 << (2 * k) }
+
+// KmerSpectrum builds the presence bitmap of a sequence's k-mers. Windows
+// containing non-ACGT characters are skipped, as sequence toolchains do.
+func KmerSpectrum(seq string, k int) (*bitvec.Vector, error) {
+	if k < 1 || k > 12 {
+		return nil, fmt.Errorf("bioseq: k=%d outside 1..12", k)
+	}
+	v := bitvec.New(SpectrumBits(k))
+	if len(seq) < k {
+		return v, nil
+	}
+	mask := SpectrumBits(k) - 1
+	code, valid := 0, 0
+	for i := 0; i < len(seq); i++ {
+		b := encodeBase(seq[i])
+		if b < 0 {
+			code, valid = 0, 0
+			continue
+		}
+		code = (code<<2 | b) & mask
+		valid++
+		if valid >= k {
+			v.Set(code)
+		}
+	}
+	return v, nil
+}
+
+// RandomGenome generates a synthetic sequence of the given length with a
+// repeat structure (tandem copies of a few motifs) so spectra of related
+// genomes overlap realistically.
+func RandomGenome(rng *rand.Rand, length, motifs int) string {
+	var sb strings.Builder
+	sb.Grow(length)
+	bank := make([]string, motifs)
+	for i := range bank {
+		m := make([]byte, 20+rng.Intn(30))
+		for j := range m {
+			m[j] = Alphabet[rng.Intn(4)]
+		}
+		bank[i] = string(m)
+	}
+	for sb.Len() < length {
+		if rng.Float64() < 0.5 && motifs > 0 {
+			sb.WriteString(bank[rng.Intn(motifs)])
+		} else {
+			sb.WriteByte(Alphabet[rng.Intn(4)])
+		}
+	}
+	return sb.String()[:length]
+}
+
+// Mutate returns a copy of seq with the given per-base substitution rate —
+// used to derive related family members.
+func Mutate(rng *rand.Rand, seq string, rate float64) string {
+	out := []byte(seq)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = Alphabet[rng.Intn(4)]
+		}
+	}
+	return string(out)
+}
+
+// Family is a set of related sequences with their spectra.
+type Family struct {
+	K       int
+	Spectra []*bitvec.Vector
+}
+
+// NewFamily builds n related genomes (mutated copies of one ancestor) and
+// their k-mer spectra.
+func NewFamily(n, genomeLen, k int, seed int64) (*Family, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bioseq: family of %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ancestor := RandomGenome(rng, genomeLen, 8)
+	f := &Family{K: k}
+	for i := 0; i < n; i++ {
+		seq := Mutate(rng, ancestor, 0.02)
+		sp, err := KmerSpectrum(seq, k)
+		if err != nil {
+			return nil, err
+		}
+		f.Spectra = append(f.Spectra, sp)
+	}
+	return f, nil
+}
+
+// CPUWork prices the non-bitwise part (sequence scanning, spectrum
+// construction bookkeeping, popcount extraction).
+type CPUWork struct {
+	SecPerBase float64 // scan one base while building a spectrum
+	SecPerWord float64 // popcount/extract one word of a result bitmap
+	PowerW     float64
+}
+
+// DefaultCPUWork returns the evaluation constants.
+func DefaultCPUWork() CPUWork {
+	return CPUWork{SecPerBase: 2e-9, SecPerWord: 1e-9, PowerW: 65}
+}
+
+func (c CPUWork) charge(tr *workload.Trace, seconds float64) {
+	if tr == nil {
+		return
+	}
+	tr.Other.Seconds += seconds
+	tr.Other.Joules += seconds * c.PowerW
+}
+
+// Union computes the family's pan-spectrum (the OR of every member),
+// emitting the multi-row OR to the trace with real mapper placement. IDs
+// 0..n-1 are the members' spectra rows.
+func (f *Family) Union(mapper pimrt.Mapper, cpu CPUWork, tr *workload.Trace) (*bitvec.Vector, error) {
+	if len(f.Spectra) == 1 {
+		return f.Spectra[0].Clone(), nil
+	}
+	ids := make([]int, len(f.Spectra))
+	for i := range ids {
+		ids[i] = i
+	}
+	bits := SpectrumBits(f.K)
+	spec, err := mapper.SpecForIDs(ids, bits)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		tr.Append(spec)
+	}
+	out := bitvec.New(bits)
+	out.OrAll(f.Spectra...)
+	cpu.charge(tr, float64(bitvec.WordsFor(bits))*cpu.SecPerWord)
+	return out, nil
+}
+
+// Core computes the k-mers shared by every member (AND chain), emitting
+// the 2-row ANDs.
+func (f *Family) Core(cpu CPUWork, tr *workload.Trace) *bitvec.Vector {
+	bits := SpectrumBits(f.K)
+	out := f.Spectra[0].Clone()
+	for _, sp := range f.Spectra[1:] {
+		if tr != nil {
+			tr.Append(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: bits})
+		}
+		out.And(out, sp)
+	}
+	cpu.charge(tr, float64(bitvec.WordsFor(bits))*cpu.SecPerWord)
+	return out
+}
+
+// Jaccard computes |A∩B| / |A∪B| between two members, emitting the AND and
+// OR plus the popcount passes.
+func (f *Family) Jaccard(i, j int, cpu CPUWork, tr *workload.Trace) (float64, error) {
+	if i < 0 || j < 0 || i >= len(f.Spectra) || j >= len(f.Spectra) {
+		return 0, fmt.Errorf("bioseq: member index out of range (%d,%d)", i, j)
+	}
+	bits := SpectrumBits(f.K)
+	and, or := bitvec.New(bits), bitvec.New(bits)
+	and.And(f.Spectra[i], f.Spectra[j])
+	or.Or(f.Spectra[i], f.Spectra[j])
+	if tr != nil {
+		tr.Append(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: bits})
+		tr.Append(workload.OpSpec{Op: sense.OpOR, Operands: 2, Bits: bits})
+	}
+	cpu.charge(tr, 2*float64(bitvec.WordsFor(bits))*cpu.SecPerWord)
+	union := or.Popcount()
+	if union == 0 {
+		return 0, nil
+	}
+	return float64(and.Popcount()) / float64(union), nil
+}
+
+// Screen reports, for each query spectrum, the fraction of its k-mers
+// present in the panel union — the containment screen used in
+// contamination checks. Each query costs one AND plus popcounts.
+func Screen(panel *bitvec.Vector, queries []*bitvec.Vector, cpu CPUWork, tr *workload.Trace) ([]float64, error) {
+	out := make([]float64, len(queries))
+	tmp := bitvec.New(panel.Len())
+	for qi, q := range queries {
+		if q.Len() != panel.Len() {
+			return nil, fmt.Errorf("bioseq: query %d length %d vs panel %d", qi, q.Len(), panel.Len())
+		}
+		if tr != nil {
+			tr.Append(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: panel.Len()})
+		}
+		tmp.And(q, panel)
+		cpu.charge(tr, float64(bitvec.WordsFor(panel.Len()))*cpu.SecPerWord)
+		if n := q.Popcount(); n > 0 {
+			out[qi] = float64(tmp.Popcount()) / float64(n)
+		}
+	}
+	return out, nil
+}

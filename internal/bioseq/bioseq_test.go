@@ -1,0 +1,240 @@
+package bioseq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/pimrt"
+	"pinatubo/internal/workload"
+)
+
+func mustMapper(t *testing.T) pimrt.Mapper {
+	t.Helper()
+	m, err := pimrt.NewMapper(memarch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSpectrumBits(t *testing.T) {
+	if SpectrumBits(1) != 4 || SpectrumBits(8) != 65536 || SpectrumBits(9) != 1<<18 {
+		t.Error("SpectrumBits wrong")
+	}
+}
+
+func TestKmerSpectrumSmall(t *testing.T) {
+	// "ACGT" with k=2 has 2-mers AC, CG, GT → codes 0b0001, 0b0110, 0b1011.
+	v, err := KmerSpectrum("ACGT", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0b0001, 0b0110, 0b1011}
+	if v.Popcount() != len(want) {
+		t.Fatalf("popcount=%d want %d", v.Popcount(), len(want))
+	}
+	for _, code := range want {
+		if !v.Get(code) {
+			t.Errorf("k-mer code %b missing", code)
+		}
+	}
+}
+
+func TestKmerSpectrumSkipsInvalid(t *testing.T) {
+	v, err := KmerSpectrum("ACNGT", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows spanning N are dropped: only AC and GT remain.
+	if v.Popcount() != 2 || !v.Get(0b0001) || !v.Get(0b1011) {
+		t.Errorf("invalid-base handling wrong: %d k-mers", v.Popcount())
+	}
+	// Lowercase accepted.
+	lv, err := KmerSpectrum("acgt", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Popcount() != 3 {
+		t.Error("lowercase not handled")
+	}
+}
+
+func TestKmerSpectrumEdges(t *testing.T) {
+	if _, err := KmerSpectrum("ACGT", 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KmerSpectrum("ACGT", 13); err == nil {
+		t.Error("k=13 accepted")
+	}
+	v, err := KmerSpectrum("AC", 3) // shorter than k
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Any() {
+		t.Error("short sequence should have empty spectrum")
+	}
+}
+
+func TestRandomGenomeAndMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomGenome(rng, 5000, 6)
+	if len(g) != 5000 {
+		t.Fatalf("genome length %d", len(g))
+	}
+	for i := 0; i < len(g); i++ {
+		if !strings.ContainsRune(Alphabet, rune(g[i])) {
+			t.Fatalf("invalid base %q", g[i])
+		}
+	}
+	m := Mutate(rng, g, 0.05)
+	if len(m) != len(g) {
+		t.Fatal("mutation changed length")
+	}
+	diff := 0
+	for i := range g {
+		if g[i] != m[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > len(g)/5 {
+		t.Errorf("mutation count %d implausible for rate 0.05", diff)
+	}
+}
+
+func newFam(t *testing.T, n int) *Family {
+	t.Helper()
+	f, err := NewFamily(n, 4000, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFamilyUnionMatchesReference(t *testing.T) {
+	f := newFam(t, 12)
+	tr := &workload.Trace{}
+	got, err := f.Union(mustMapper(t), DefaultCPUWork(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(SpectrumBits(8))
+	want.OrAll(f.Spectra...)
+	if !got.Equal(want) {
+		t.Error("union mismatch")
+	}
+	// The union is one multi-row OR request spec.
+	if len(tr.Ops) != 1 || tr.Ops[0].Operands != 12 {
+		t.Errorf("trace ops %+v", tr.Ops)
+	}
+	if err := tr.Ops[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Other.Seconds <= 0 {
+		t.Error("no CPU work charged")
+	}
+}
+
+func TestFamilyCore(t *testing.T) {
+	f := newFam(t, 5)
+	tr := &workload.Trace{}
+	core := f.Core(DefaultCPUWork(), tr)
+	want := bitvec.New(SpectrumBits(8))
+	want.AndAll(f.Spectra...)
+	if !core.Equal(want) {
+		t.Error("core mismatch")
+	}
+	if len(tr.Ops) != 4 {
+		t.Errorf("%d AND ops want 4", len(tr.Ops))
+	}
+	// Related genomes share a core.
+	if core.Popcount() == 0 {
+		t.Error("family core empty — genomes unrelated?")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	f := newFam(t, 3)
+	cpu := DefaultCPUWork()
+	self, err := f.Jaccard(1, 1, cpu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 1 {
+		t.Errorf("self similarity %g want 1", self)
+	}
+	sim, err := f.Jaccard(0, 1, cpu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2% mutation keeps relatives similar but not identical.
+	if sim <= 0.3 || sim >= 1 {
+		t.Errorf("relative similarity %g outside (0.3,1)", sim)
+	}
+	if _, err := f.Jaccard(0, 99, cpu, nil); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestJaccardEmptySpectra(t *testing.T) {
+	f := &Family{K: 4, Spectra: []*bitvec.Vector{
+		bitvec.New(SpectrumBits(4)), bitvec.New(SpectrumBits(4)),
+	}}
+	sim, err := f.Jaccard(0, 1, DefaultCPUWork(), nil)
+	if err != nil || sim != 0 {
+		t.Errorf("empty spectra similarity %g err %v", sim, err)
+	}
+}
+
+func TestScreen(t *testing.T) {
+	f := newFam(t, 8)
+	tr := &workload.Trace{}
+	cpu := DefaultCPUWork()
+	panel, err := f.Union(mustMapper(t), cpu, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A member screens at 100%; an unrelated genome screens low.
+	rng := rand.New(rand.NewSource(99))
+	stranger, err := KmerSpectrum(RandomGenome(rng, 4000, 8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Screen(panel, []*bitvec.Vector{f.Spectra[3], stranger}, cpu, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr[0] != 1 {
+		t.Errorf("member containment %g want 1", fr[0])
+	}
+	if fr[1] >= 0.9 {
+		t.Errorf("stranger containment %g suspiciously high", fr[1])
+	}
+	// Length mismatch rejected.
+	if _, err := Screen(panel, []*bitvec.Vector{bitvec.New(4)}, cpu, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestNewFamilyErrors(t *testing.T) {
+	if _, err := NewFamily(0, 100, 8, 1); err == nil {
+		t.Error("empty family accepted")
+	}
+	if _, err := NewFamily(2, 100, 99, 1); err == nil {
+		t.Error("bad k accepted")
+	}
+}
+
+func BenchmarkKmerSpectrum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomGenome(rng, 100000, 8)
+	b.SetBytes(int64(len(g)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KmerSpectrum(g, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package bitvec
+
+import "testing"
+
+// FuzzRangeOps: SetRange/ClearRange/CountRange stay mutually consistent
+// and respect the tail invariant for arbitrary ranges.
+func FuzzRangeOps(f *testing.F) {
+	f.Add(uint16(100), uint16(5), uint16(50))
+	f.Add(uint16(64), uint16(0), uint16(64))
+	f.Add(uint16(1), uint16(0), uint16(1))
+	f.Fuzz(func(t *testing.T, nSeed, loSeed, hiSeed uint16) {
+		n := int(nSeed)%2000 + 1
+		lo := int(loSeed) % (n + 1)
+		hi := lo + int(hiSeed)%(n-lo+1)
+		v := New(n)
+		v.SetRange(lo, hi)
+		if got := v.Popcount(); got != hi-lo {
+			t.Fatalf("SetRange(%d,%d) popcount %d", lo, hi, got)
+		}
+		if got := v.CountRange(lo, hi); got != hi-lo {
+			t.Fatalf("CountRange inside %d", got)
+		}
+		if lo > 0 && v.CountRange(0, lo) != 0 {
+			t.Fatal("bits set below lo")
+		}
+		if hi < n && v.CountRange(hi, n) != 0 {
+			t.Fatal("bits set above hi")
+		}
+		v.ClearRange(lo, hi)
+		if v.Any() {
+			t.Fatal("ClearRange left bits")
+		}
+		// Tail invariant must survive all of it.
+		v.SetAll()
+		if v.Popcount() != n {
+			t.Fatal("tail invariant broken")
+		}
+	})
+}
+
+// FuzzNextSetClear: the scan primitives agree with bit-by-bit inspection.
+func FuzzNextSetClear(f *testing.F) {
+	f.Add([]byte{0xA5}, uint16(70))
+	f.Add([]byte{0x00, 0xFF}, uint16(130))
+	f.Fuzz(func(t *testing.T, data []byte, nSeed uint16) {
+		n := int(nSeed)%1000 + 1
+		v := New(n)
+		for i := 0; i < n && len(data) > 0; i++ {
+			if (data[i%len(data)]>>(uint(i)%8))&1 == 1 {
+				v.Set(i)
+			}
+		}
+		// NextSet from every position agrees with a linear scan.
+		for start := 0; start < n; start += 1 + n/17 {
+			want := -1
+			for i := start; i < n; i++ {
+				if v.Get(i) {
+					want = i
+					break
+				}
+			}
+			if got := v.NextSet(start); got != want {
+				t.Fatalf("NextSet(%d)=%d want %d", start, got, want)
+			}
+			wantC := -1
+			for i := start; i < n; i++ {
+				if !v.Get(i) {
+					wantC = i
+					break
+				}
+			}
+			if got := v.NextClear(start); got != wantC {
+				t.Fatalf("NextClear(%d)=%d want %d", start, got, wantC)
+			}
+		}
+	})
+}

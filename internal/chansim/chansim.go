@@ -1,0 +1,219 @@
+// Package chansim is a discrete-event scheduler for concurrent Pinatubo
+// requests on one memory channel. The trace-level evaluation treats
+// requests as overlappable only across channels (a deliberately
+// conservative assumption: multi-row activation is power hungry); this
+// simulator models the finer truth — the command bus serialises command
+// *issue* slots while banks execute independently — so the assumption can
+// be checked rather than asserted, and the concurrency ablation can show
+// where bank-level overlap would saturate.
+//
+// The model: each request is an ordered command sequence. A command c may
+// start when (a) the channel command bus is free for its issue slot, (b)
+// its target resource (bank) has finished every earlier command bound to
+// it, and (c) the previous command of the same request has completed
+// (intra-request dependency). The bus is held only for the issue slot;
+// the resource is held for the command's full execution time.
+package chansim
+
+import (
+	"fmt"
+	"sort"
+
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/nvm"
+)
+
+// Cmd is one command of a request, reduced to its scheduling footprint.
+type Cmd struct {
+	// Issue is the command-bus occupancy (one slot, e.g. 1.25 ns).
+	Issue float64
+	// Exec is how long the target resource stays busy executing it
+	// (tRCD for an activate, tCL for a sense step, ...). Exec >= 0;
+	// commands with Exec < Issue still hold the bus for Issue.
+	Exec float64
+	// Resource identifies the bank (or buffer) the command occupies.
+	// Resource < 0 means bus-only (e.g. MRS).
+	Resource int
+}
+
+// Request is an ordered command sequence.
+type Request struct {
+	Name string
+	Cmds []Cmd
+}
+
+// Duration returns the request's standalone latency (no contention).
+func (r Request) Duration() float64 {
+	t := 0.0
+	for _, c := range r.Cmds {
+		d := c.Exec
+		if c.Issue > d {
+			d = c.Issue
+		}
+		t += d
+	}
+	return t
+}
+
+// Result is the outcome of a schedule.
+type Result struct {
+	// Makespan is the completion time of the last request.
+	Makespan float64
+	// Completion[i] is request i's finish time.
+	Completion []float64
+	// BusBusy is the total command-bus occupancy (for utilisation).
+	BusBusy float64
+}
+
+// BusUtilisation returns BusBusy / Makespan.
+func (r Result) BusUtilisation() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return r.BusBusy / r.Makespan
+}
+
+// Schedule runs the requests concurrently on one channel and returns the
+// makespan. Scheduling is greedy earliest-start-first with FIFO
+// tie-breaking, which is how a simple in-order per-request controller with
+// a shared bus behaves.
+func Schedule(reqs []Request) (Result, error) {
+	type state struct {
+		next     int     // next command index
+		prevDone float64 // completion of the previous command
+	}
+	states := make([]state, len(reqs))
+	for i, r := range reqs {
+		for j, c := range r.Cmds {
+			if c.Issue < 0 || c.Exec < 0 {
+				return Result{}, fmt.Errorf("chansim: request %d command %d has negative time", i, j)
+			}
+		}
+		_ = i
+	}
+
+	busFree := 0.0
+	resourceFree := map[int]float64{}
+	res := Result{Completion: make([]float64, len(reqs))}
+
+	for {
+		// Find the request whose next command can start earliest.
+		best := -1
+		bestStart := 0.0
+		for i := range reqs {
+			st := &states[i]
+			if st.next >= len(reqs[i].Cmds) {
+				continue
+			}
+			c := reqs[i].Cmds[st.next]
+			start := st.prevDone
+			if busFree > start {
+				start = busFree
+			}
+			if c.Resource >= 0 && resourceFree[c.Resource] > start {
+				start = resourceFree[c.Resource]
+			}
+			if best == -1 || start < bestStart {
+				best, bestStart = i, start
+			}
+		}
+		if best == -1 {
+			break // all done
+		}
+		c := reqs[best].Cmds[states[best].next]
+		issueEnd := bestStart + c.Issue
+		execEnd := bestStart + c.Exec
+		if issueEnd > execEnd {
+			execEnd = issueEnd
+		}
+		busFree = issueEnd
+		res.BusBusy += c.Issue
+		if c.Resource >= 0 {
+			resourceFree[c.Resource] = execEnd
+		}
+		states[best].prevDone = execEnd
+		states[best].next++
+		if states[best].next == len(reqs[best].Cmds) {
+			res.Completion[best] = execEnd
+			if execEnd > res.Makespan {
+				res.Makespan = execEnd
+			}
+		}
+	}
+	return res, nil
+}
+
+// ThroughputCurve schedules k copies of a template request, each targeting
+// a distinct resource (bank), for every k in ks, and returns requests
+// completed per second — the channel's concurrency scaling curve.
+func ThroughputCurve(template Request, ks []int) ([]float64, error) {
+	out := make([]float64, len(ks))
+	for ki, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("chansim: k=%d", k)
+		}
+		reqs := make([]Request, k)
+		for i := 0; i < k; i++ {
+			r := Request{Name: fmt.Sprintf("%s#%d", template.Name, i)}
+			for _, c := range template.Cmds {
+				cc := c
+				if cc.Resource >= 0 {
+					cc.Resource = i // distinct bank per copy
+				}
+				r.Cmds = append(r.Cmds, cc)
+			}
+			reqs[i] = r
+		}
+		res, err := Schedule(reqs)
+		if err != nil {
+			return nil, err
+		}
+		out[ki] = float64(k) / res.Makespan
+	}
+	return out, nil
+}
+
+// SaturationPoint returns the smallest k in ks beyond which adding another
+// in-flight request improves channel throughput by less than frac.
+func SaturationPoint(template Request, ks []int, frac float64) (int, error) {
+	sorted := append([]int(nil), ks...)
+	sort.Ints(sorted)
+	curve, err := ThroughputCurve(template, sorted)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(curve); i++ {
+		gain := curve[i]/curve[i-1] - 1
+		perStep := gain / float64(sorted[i]-sorted[i-1])
+		if perStep < frac {
+			return sorted[i-1], nil
+		}
+	}
+	return sorted[len(sorted)-1], nil
+}
+
+// FromDDR converts a controller-emitted DDR command sequence into a
+// schedulable request. Every command occupies one command-bus slot except
+// the data bursts (CmdRd/CmdWr), which hold the bus for their transfer
+// time; execution occupies the command's target bank for its full
+// duration. geoBanks is the bank count used to flatten bank addresses into
+// resource IDs.
+func FromDDR(name string, cmds []ddr.Cmd, t nvm.Timing, bus ddr.BusParams, geoBanks int) Request {
+	r := Request{Name: name}
+	for _, c := range cmds {
+		exec := ddr.CmdTime(c, t, bus)
+		issue := t.TCMD
+		if c.Kind == ddr.CmdRd || c.Kind == ddr.CmdWr {
+			// Bursts occupy the data bus; model as bus occupancy too.
+			issue = exec
+		}
+		resource := c.Addr.Channel
+		resource = resource*64 + c.Addr.Rank
+		resource = resource*geoBanks + c.Addr.Bank
+		if c.Kind == ddr.CmdMRS {
+			resource = -1 // register write: bus only
+		}
+		r.Cmds = append(r.Cmds, Cmd{Issue: issue, Exec: exec, Resource: resource})
+	}
+	return r
+}

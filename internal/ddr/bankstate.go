@@ -1,0 +1,130 @@
+package ddr
+
+import (
+	"fmt"
+
+	"pinatubo/internal/memarch"
+)
+
+// BankState is a protocol checker for command sequences: it tracks which
+// rows each subarray has open (the LWL latches can hold many), whether a
+// RESET armed the latches, and whether data-moving commands are issued
+// against open rows. The Pinatubo controller validates every sequence it
+// emits against this model, so a lowering bug (sensing a closed row,
+// activating without RESET between batches, forgetting the precharge)
+// fails loudly rather than silently producing an optimistic latency.
+type BankState struct {
+	// open[subarray key] = set of open row indices.
+	open map[[4]int]map[int]bool
+	// armed marks subarrays whose LWL latches were RESET since the last
+	// batch and may accumulate activations.
+	armed map[[4]int]bool
+}
+
+// NewBankState returns an all-precharged state.
+func NewBankState() *BankState {
+	return &BankState{
+		open:  make(map[[4]int]map[int]bool),
+		armed: make(map[[4]int]bool),
+	}
+}
+
+func subKey(a memarch.RowAddr) [4]int {
+	return [4]int{a.Channel, a.Rank, a.Bank, a.Subarray}
+}
+
+// OpenRows returns how many rows the subarray containing a has open.
+func (s *BankState) OpenRows(a memarch.RowAddr) int { return len(s.open[subKey(a)]) }
+
+// AnyOpen reports whether any subarray has open rows.
+func (s *BankState) AnyOpen() bool {
+	for _, rows := range s.open {
+		if len(rows) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply advances the state by one command, returning an error on protocol
+// violations.
+func (s *BankState) Apply(c Cmd) error {
+	k := subKey(c.Addr)
+	switch c.Kind {
+	case CmdLWLReset:
+		// RESET closes everything in the subarray and arms the latches.
+		delete(s.open, k)
+		s.armed[k] = true
+
+	case CmdAct:
+		if len(s.open[k]) > 0 {
+			return fmt.Errorf("ddr: ACT %v with %d row(s) already open and no RESET",
+				c.Addr, len(s.open[k]))
+		}
+		s.addOpen(k, c.Addr.Row)
+
+	case CmdActLatch:
+		if !s.armed[k] {
+			return fmt.Errorf("ddr: ACT-LATCH %v without a preceding LWL-RESET", c.Addr)
+		}
+		if len(s.open[k]) == 0 {
+			return fmt.Errorf("ddr: ACT-LATCH %v before the first ACT", c.Addr)
+		}
+		if s.open[k][c.Addr.Row] {
+			return fmt.Errorf("ddr: ACT-LATCH %v latched the same row twice", c.Addr)
+		}
+		s.addOpen(k, c.Addr.Row)
+
+	case CmdSense, CmdWBack, CmdGDLMove:
+		// These operate on the currently open rows of the addressed
+		// subarray — except moves into a *different* subarray's write
+		// drivers, which target buffers rather than open rows; those are
+		// permitted against closed subarrays.
+		if c.Kind == CmdSense && len(s.open[k]) == 0 {
+			return fmt.Errorf("ddr: SENSE %v with no open rows", c.Addr)
+		}
+
+	case CmdRd:
+		// Bursting to the host requires sensed data in the SAs; the
+		// addressed subarray may legitimately be the buffer locus, so no
+		// open-row requirement is enforced here.
+
+	case CmdWr, CmdIOMove, CmdMRS:
+		// Buffer/host-side commands: no row-state requirement.
+
+	case CmdPre:
+		// Precharge closes every open row (the controller's sequences end
+		// with a global precharge) and disarms the latches.
+		s.open = make(map[[4]int]map[int]bool)
+		s.armed = make(map[[4]int]bool)
+
+	default:
+		return fmt.Errorf("ddr: unknown command kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+func (s *BankState) addOpen(k [4]int, row int) {
+	m := s.open[k]
+	if m == nil {
+		m = make(map[int]bool)
+		s.open[k] = m
+	}
+	m[row] = true
+}
+
+// ValidateSequence replays a full command sequence against a fresh state
+// and additionally requires that the sequence leaves the memory precharged
+// (no dangling open rows).
+func ValidateSequence(cmds []Cmd) error {
+	s := NewBankState()
+	for i, c := range cmds {
+		if err := s.Apply(c); err != nil {
+			return fmt.Errorf("command %d (%v): %w", i, c.Kind, err)
+		}
+	}
+	if s.AnyOpen() {
+		return fmt.Errorf("ddr: sequence ends with open rows (missing PRE)")
+	}
+	return nil
+}

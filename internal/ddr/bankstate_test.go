@@ -1,0 +1,158 @@
+package ddr
+
+import (
+	"strings"
+	"testing"
+
+	"pinatubo/internal/memarch"
+)
+
+func addr(sub, row int) memarch.RowAddr {
+	return memarch.RowAddr{Subarray: sub, Row: row}
+}
+
+func TestValidMultiRowSequence(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdMRS},
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdActLatch, Addr: addr(0, 1)},
+		{Kind: CmdActLatch, Addr: addr(0, 2)},
+		{Kind: CmdSense, Addr: addr(0, 0)},
+		{Kind: CmdWBack, Addr: addr(0, 5)},
+		{Kind: CmdPre},
+	}
+	if err := ValidateSequence(cmds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActWithoutPreRejected(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 1)}, // second full ACT, no PRE
+		{Kind: CmdPre},
+	}
+	err := ValidateSequence(cmds)
+	if err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestLatchWithoutResetRejected(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdActLatch, Addr: addr(0, 1)},
+		{Kind: CmdPre},
+	}
+	if err := ValidateSequence(cmds); err == nil {
+		t.Fatal("latch without RESET accepted")
+	}
+}
+
+func TestLatchBeforeActRejected(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdActLatch, Addr: addr(0, 1)},
+	}
+	if err := ValidateSequence(cmds); err == nil {
+		t.Fatal("latch before the biasing ACT accepted")
+	}
+}
+
+func TestDoubleLatchRejected(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdActLatch, Addr: addr(0, 0)},
+	}
+	if err := ValidateSequence(cmds); err == nil {
+		t.Fatal("double latch accepted")
+	}
+}
+
+func TestSenseWithoutOpenRowsRejected(t *testing.T) {
+	cmds := []Cmd{{Kind: CmdSense, Addr: addr(0, 0)}}
+	if err := ValidateSequence(cmds); err == nil {
+		t.Fatal("sense on closed subarray accepted")
+	}
+}
+
+func TestDanglingOpenRowsRejected(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdSense, Addr: addr(0, 0)},
+		// no PRE
+	}
+	err := ValidateSequence(cmds)
+	if err == nil || !strings.Contains(err.Error(), "open rows") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestIndependentSubarrays(t *testing.T) {
+	// Serial reads from different subarrays are legal without intervening
+	// PRE (each subarray has its own row state).
+	cmds := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdSense, Addr: addr(0, 0)},
+		{Kind: CmdLWLReset, Addr: addr(1, 0)},
+		{Kind: CmdAct, Addr: addr(1, 0)},
+		{Kind: CmdSense, Addr: addr(1, 0)},
+		{Kind: CmdPre},
+	}
+	if err := ValidateSequence(cmds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetReopensSubarray(t *testing.T) {
+	// RESET closes the subarray's rows, so a fresh ACT is legal.
+	cmds := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdSense, Addr: addr(0, 0)},
+		{Kind: CmdLWLReset, Addr: addr(0, 0)},
+		{Kind: CmdAct, Addr: addr(0, 7)},
+		{Kind: CmdSense, Addr: addr(0, 7)},
+		{Kind: CmdPre},
+	}
+	if err := ValidateSequence(cmds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCommandRejected(t *testing.T) {
+	if err := ValidateSequence([]Cmd{{Kind: CmdKind(42)}}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestOpenRowsAccounting(t *testing.T) {
+	s := NewBankState()
+	steps := []Cmd{
+		{Kind: CmdLWLReset, Addr: addr(3, 0)},
+		{Kind: CmdAct, Addr: addr(3, 0)},
+		{Kind: CmdActLatch, Addr: addr(3, 1)},
+	}
+	for _, c := range steps {
+		if err := s.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.OpenRows(addr(3, 0)); got != 2 {
+		t.Errorf("OpenRows=%d want 2", got)
+	}
+	if !s.AnyOpen() {
+		t.Error("AnyOpen=false")
+	}
+	if err := s.Apply(Cmd{Kind: CmdPre}); err != nil {
+		t.Fatal(err)
+	}
+	if s.AnyOpen() {
+		t.Error("PRE did not close rows")
+	}
+}

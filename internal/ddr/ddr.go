@@ -1,0 +1,183 @@
+// Package ddr models the command interface between the memory controller
+// and the NVM DIMM: the standard DDR command set, the Pinatubo extensions
+// (multi-row activation into the LWL latches, SA-to-WD writeback), and the
+// mode-register encoding the paper uses to configure PIM operations (MR4).
+//
+// The controller lowers every Pinatubo operation to a command sequence; the
+// pricer turns a sequence into bus-accurate latency. Keeping this layer
+// explicit preserves the paper's key property: only commands and addresses
+// travel on the DDR bus during a PIM op — data never does.
+package ddr
+
+import (
+	"fmt"
+
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+)
+
+// CmdKind enumerates the commands the controller can issue.
+type CmdKind int
+
+const (
+	// CmdMRS writes a mode register (one command slot).
+	CmdMRS CmdKind = iota
+	// CmdLWLReset pulses the LWL-latch RESET line of a subarray before a
+	// multi-row activation (Fig. 7).
+	CmdLWLReset
+	// CmdAct opens a row: full activate, tRCD.
+	CmdAct
+	// CmdActLatch issues one additional row address during a multi-row
+	// activation; the selected wordline latches high. Costs one command
+	// slot (the array is already biased by the first CmdAct).
+	CmdActLatch
+	// CmdSense resolves one column group in the (possibly re-referenced)
+	// sense amplifiers: tCL.
+	CmdSense
+	// CmdRd bursts data from the row buffer / SAs onto the DDR bus.
+	CmdRd
+	// CmdWr bursts data from the DDR bus into the write drivers and
+	// programs the cells: bus time plus tWR.
+	CmdWr
+	// CmdWBack feeds the SA result straight into the write drivers
+	// (Pinatubo's in-place update): tWR, no bus time.
+	CmdWBack
+	// CmdPre precharges / closes the open rows (one command slot).
+	CmdPre
+	// CmdGDLMove streams one row between a subarray and the bank's global
+	// row buffer over the GDLs (inter-subarray datapath).
+	CmdGDLMove
+	// CmdIOMove streams one row between a bank and the rank's I/O buffer
+	// (inter-bank datapath).
+	CmdIOMove
+)
+
+// String names the command.
+func (k CmdKind) String() string {
+	names := [...]string{
+		"MRS", "LWL-RESET", "ACT", "ACT-LATCH", "SENSE", "RD", "WR",
+		"WBACK", "PRE", "GDL-MOVE", "IO-MOVE",
+	}
+	if k < 0 || int(k) >= len(names) {
+		return fmt.Sprintf("CmdKind(%d)", int(k))
+	}
+	return names[k]
+}
+
+// Cmd is one command on the channel.
+type Cmd struct {
+	Kind CmdKind
+	Addr memarch.RowAddr
+	// Bits is the payload size for data-moving commands (CmdRd, CmdWr,
+	// CmdGDLMove, CmdIOMove); ignored otherwise.
+	Bits int
+}
+
+// BusParams describes the channel's data path.
+type BusParams struct {
+	// BytesPerSec is the peak data bandwidth of one channel.
+	BytesPerSec float64
+	// GDLBitsPerSec is the internal global-data-line bandwidth of one bank.
+	GDLBitsPerSec float64
+	// IOBitsPerSec is the internal bank-to-I/O-buffer bandwidth.
+	IOBitsPerSec float64
+}
+
+// DefaultBus returns DDR3-1600 x64 channel parameters (12.8 GB/s) with
+// internal datapaths an order of magnitude wider, as in the paper's
+// internal-bandwidth discussion.
+func DefaultBus() BusParams {
+	return BusParams{
+		BytesPerSec:   12.8e9,
+		GDLBitsPerSec: 1.024e12, // 128 B wide at 1 GHz
+		IOBitsPerSec:  5.12e11,  // 64 B wide at 1 GHz
+	}
+}
+
+// Duration prices a command sequence in seconds, issued back-to-back on one
+// channel (the controller model is in-order; overlap across independent
+// ops is handled at the workload layer).
+func Duration(cmds []Cmd, t nvm.Timing, bus BusParams) float64 {
+	total := 0.0
+	for _, c := range cmds {
+		total += CmdTime(c, t, bus)
+	}
+	return total
+}
+
+// CmdTime prices a single command (the execution time its target resource
+// is busy for).
+func CmdTime(c Cmd, t nvm.Timing, bus BusParams) float64 {
+	switch c.Kind {
+	case CmdMRS, CmdActLatch, CmdPre:
+		return t.TCMD
+	case CmdLWLReset:
+		return t.TRST
+	case CmdAct:
+		return t.TRCD
+	case CmdSense:
+		return t.TCL
+	case CmdRd:
+		return float64(c.Bits) / 8 / bus.BytesPerSec
+	case CmdWr:
+		return float64(c.Bits)/8/bus.BytesPerSec + t.TWR
+	case CmdWBack:
+		return t.TWR
+	case CmdGDLMove:
+		return float64(c.Bits) / bus.GDLBitsPerSec
+	case CmdIOMove:
+		return float64(c.Bits) / bus.IOBitsPerSec
+	default:
+		panic(fmt.Sprintf("ddr: unknown command kind %d", int(c.Kind)))
+	}
+}
+
+// --- Mode register 4: the PIM configuration register ---
+
+// MR4 encodes the pending PIM operation for the DIMM: the SA reference /
+// datapath selector (op) and the operand-row count. Layout (low to high):
+// bits 0..2 op, bits 3..10 rowCount-1.
+type MR4 uint16
+
+// EncodeMR4 packs an operation and operand count. rowCount must be 1..256.
+func EncodeMR4(op sense.Op, rowCount int) (MR4, error) {
+	if op < sense.OpRead || op > sense.OpINV {
+		return 0, fmt.Errorf("ddr: cannot encode op %d in MR4", int(op))
+	}
+	if rowCount < 1 || rowCount > 256 {
+		return 0, fmt.Errorf("ddr: MR4 row count %d out of range 1..256", rowCount)
+	}
+	return MR4(uint16(op) | uint16(rowCount-1)<<3), nil
+}
+
+// Decode unpacks the register.
+func (m MR4) Decode() (op sense.Op, rowCount int) {
+	return sense.Op(m & 0x7), int(m>>3)&0xFF + 1
+}
+
+// ModeRegisters models the DIMM's mode-register file.
+type ModeRegisters struct {
+	regs [8]uint16
+}
+
+// Write sets register idx.
+func (r *ModeRegisters) Write(idx int, v uint16) error {
+	if idx < 0 || idx >= len(r.regs) {
+		return fmt.Errorf("ddr: mode register %d out of range", idx)
+	}
+	r.regs[idx] = v
+	return nil
+}
+
+// Read returns register idx.
+func (r *ModeRegisters) Read(idx int) (uint16, error) {
+	if idx < 0 || idx >= len(r.regs) {
+		return 0, fmt.Errorf("ddr: mode register %d out of range", idx)
+	}
+	return r.regs[idx], nil
+}
+
+// PIMRegister is the index of the PIM configuration register (the paper
+// uses MR4).
+const PIMRegister = 4

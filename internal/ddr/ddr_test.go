@@ -1,0 +1,131 @@
+package ddr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+)
+
+var pcmTiming = nvm.Get(nvm.PCM).Timing
+
+func TestCmdKindStrings(t *testing.T) {
+	kinds := []CmdKind{CmdMRS, CmdLWLReset, CmdAct, CmdActLatch, CmdSense,
+		CmdRd, CmdWr, CmdWBack, CmdPre, CmdGDLMove, CmdIOMove}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "CmdKind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if CmdKind(99).String() != "CmdKind(99)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-15 || math.Abs(a-b) < 1e-9*math.Abs(b) }
+
+func TestDurationSingleCommands(t *testing.T) {
+	bus := DefaultBus()
+	cases := []struct {
+		cmd  Cmd
+		want float64
+	}{
+		{Cmd{Kind: CmdMRS}, pcmTiming.TCMD},
+		{Cmd{Kind: CmdLWLReset}, pcmTiming.TRST},
+		{Cmd{Kind: CmdAct}, pcmTiming.TRCD},
+		{Cmd{Kind: CmdActLatch}, pcmTiming.TCMD},
+		{Cmd{Kind: CmdSense}, pcmTiming.TCL},
+		{Cmd{Kind: CmdPre}, pcmTiming.TCMD},
+		{Cmd{Kind: CmdWBack}, pcmTiming.TWR},
+		{Cmd{Kind: CmdRd, Bits: 8 * 1024}, 1024 / bus.BytesPerSec},
+		{Cmd{Kind: CmdWr, Bits: 8 * 1024}, 1024/bus.BytesPerSec + pcmTiming.TWR},
+		{Cmd{Kind: CmdGDLMove, Bits: 1 << 19}, float64(1<<19) / bus.GDLBitsPerSec},
+		{Cmd{Kind: CmdIOMove, Bits: 1 << 19}, float64(1<<19) / bus.IOBitsPerSec},
+	}
+	for _, c := range cases {
+		if got := Duration([]Cmd{c.cmd}, pcmTiming, bus); !approx(got, c.want) {
+			t.Errorf("%v: %.4g want %.4g", c.cmd.Kind, got, c.want)
+		}
+	}
+}
+
+func TestDurationSums(t *testing.T) {
+	bus := DefaultBus()
+	seq := []Cmd{{Kind: CmdLWLReset}, {Kind: CmdAct}, {Kind: CmdActLatch}, {Kind: CmdSense}, {Kind: CmdWBack}}
+	want := pcmTiming.TRST + pcmTiming.TRCD + pcmTiming.TCMD + pcmTiming.TCL + pcmTiming.TWR
+	if got := Duration(seq, pcmTiming, bus); !approx(got, want) {
+		t.Errorf("sequence %.4g want %.4g", got, want)
+	}
+}
+
+func TestDurationUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	Duration([]Cmd{{Kind: CmdKind(42)}}, pcmTiming, DefaultBus())
+}
+
+func TestDefaultBusSane(t *testing.T) {
+	bus := DefaultBus()
+	if bus.BytesPerSec != 12.8e9 {
+		t.Errorf("channel BW %g want 12.8 GB/s (DDR3-1600 x64)", bus.BytesPerSec)
+	}
+	// The paper's premise: internal bandwidth far exceeds the bus.
+	if bus.GDLBitsPerSec/8 <= bus.BytesPerSec {
+		t.Error("GDL bandwidth should exceed the DDR bus")
+	}
+}
+
+func TestMR4RoundTrip(t *testing.T) {
+	for _, op := range []sense.Op{sense.OpRead, sense.OpAND, sense.OpOR, sense.OpXOR, sense.OpINV} {
+		for _, n := range []int{1, 2, 64, 128, 256} {
+			m, err := EncodeMR4(op, n)
+			if err != nil {
+				t.Fatalf("EncodeMR4(%v,%d): %v", op, n, err)
+			}
+			gotOp, gotN := m.Decode()
+			if gotOp != op || gotN != n {
+				t.Errorf("round trip (%v,%d) -> (%v,%d)", op, n, gotOp, gotN)
+			}
+		}
+	}
+}
+
+func TestMR4EncodeErrors(t *testing.T) {
+	if _, err := EncodeMR4(sense.Op(7), 2); err == nil {
+		t.Error("bad op accepted")
+	}
+	if _, err := EncodeMR4(sense.OpOR, 0); err == nil {
+		t.Error("row count 0 accepted")
+	}
+	if _, err := EncodeMR4(sense.OpOR, 257); err == nil {
+		t.Error("row count 257 accepted")
+	}
+}
+
+func TestModeRegisters(t *testing.T) {
+	var r ModeRegisters
+	if err := r.Write(PIMRegister, 0xBEE); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Read(PIMRegister)
+	if err != nil || v != 0xBEE {
+		t.Fatalf("Read=%x err=%v", v, err)
+	}
+	if err := r.Write(8, 0); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if _, err := r.Read(-1); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package energy provides event-based energy accounting for the simulator.
+// Every engine (Pinatubo, SIMD, S-DRAM, AC-PIM) charges joules to named
+// components; figures and tests read totals and breakdowns.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Component identifies where energy was spent.
+type Component int
+
+const (
+	CellArray   Component = iota // cell activation / read current
+	SenseAmp                     // sense amplifier resolve
+	WriteDriver                  // cell programming
+	LWLDriver                    // wordline decoding + latch switching
+	GDL                          // global data lines inside a bank
+	IOBus                        // chip pads + DDR channel
+	Logic                        // digital add-on logic (global buffers, AC-PIM)
+	Buffer                       // global row / I/O buffer latches
+	CPUCore                      // processor pipeline
+	CacheHier                    // L1/L2/L3 accesses
+	DRAMArray                    // DRAM cell array (S-DRAM baseline)
+	numComponents
+)
+
+// String names the component.
+func (c Component) String() string {
+	names := [...]string{
+		"cell-array", "sense-amp", "write-driver", "lwl-driver", "gdl",
+		"io-bus", "logic", "buffer", "cpu-core", "cache", "dram-array",
+	}
+	if c < 0 || int(c) >= len(names) {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return names[c]
+}
+
+// Components lists all components in declaration order.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Meter accumulates energy per component. The zero value is ready to use.
+type Meter struct {
+	joules [numComponents]float64
+}
+
+// Add charges j joules to component c. Negative charges panic: they always
+// indicate a sign error in a model, never a meaningful event.
+func (m *Meter) Add(c Component, j float64) {
+	if j < 0 {
+		panic(fmt.Sprintf("energy: negative charge %g J to %v", j, c))
+	}
+	if c < 0 || c >= numComponents {
+		panic(fmt.Sprintf("energy: unknown component %d", int(c)))
+	}
+	m.joules[c] += j
+}
+
+// AddMeter merges another meter's charges into m.
+func (m *Meter) AddMeter(o *Meter) {
+	for i := range m.joules {
+		m.joules[i] += o.joules[i]
+	}
+}
+
+// Component returns the energy charged to c.
+func (m *Meter) Component(c Component) float64 { return m.joules[c] }
+
+// Total returns the energy across all components.
+func (m *Meter) Total() float64 {
+	t := 0.0
+	for _, j := range m.joules {
+		t += j
+	}
+	return t
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { m.joules = [numComponents]float64{} }
+
+// Breakdown returns non-zero components sorted by descending energy.
+func (m *Meter) Breakdown() []Entry {
+	var out []Entry
+	for i, j := range m.joules {
+		if j > 0 {
+			out = append(out, Entry{Component(i), j})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Joules > out[b].Joules })
+	return out
+}
+
+// Entry is one row of a breakdown.
+type Entry struct {
+	Component Component
+	Joules    float64
+}
+
+// String renders the meter as "total (comp: x, comp: y, ...)".
+func (m *Meter) String() string {
+	var sb strings.Builder
+	sb.WriteString(FormatJoules(m.Total()))
+	bd := m.Breakdown()
+	if len(bd) == 0 {
+		return sb.String()
+	}
+	sb.WriteString(" (")
+	for i, e := range bd {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%v: %s", e.Component, FormatJoules(e.Joules))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// FormatJoules renders an energy with an SI prefix.
+func FormatJoules(j float64) string {
+	switch {
+	case j == 0:
+		return "0J"
+	case j < 1e-9:
+		return fmt.Sprintf("%.3gpJ", j*1e12)
+	case j < 1e-6:
+		return fmt.Sprintf("%.3gnJ", j*1e9)
+	case j < 1e-3:
+		return fmt.Sprintf("%.3gµJ", j*1e6)
+	case j < 1:
+		return fmt.Sprintf("%.3gmJ", j*1e3)
+	default:
+		return fmt.Sprintf("%.3gJ", j)
+	}
+}

@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeterAddTotal(t *testing.T) {
+	var m Meter
+	m.Add(CellArray, 1e-12)
+	m.Add(SenseAmp, 2e-12)
+	m.Add(CellArray, 3e-12)
+	if got := m.Component(CellArray); got != 4e-12 {
+		t.Errorf("CellArray=%g", got)
+	}
+	if got := m.Total(); got != 6e-12 {
+		t.Errorf("Total=%g", got)
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	var m Meter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	m.Add(CellArray, -1)
+}
+
+func TestMeterUnknownComponentPanics(t *testing.T) {
+	var m Meter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown component did not panic")
+		}
+	}()
+	m.Add(Component(99), 1)
+}
+
+func TestAddMeter(t *testing.T) {
+	var a, b Meter
+	a.Add(CPUCore, 1)
+	b.Add(CPUCore, 2)
+	b.Add(IOBus, 3)
+	a.AddMeter(&b)
+	if a.Component(CPUCore) != 3 || a.Component(IOBus) != 3 {
+		t.Errorf("merge wrong: %v", a.Breakdown())
+	}
+}
+
+func TestBreakdownSorted(t *testing.T) {
+	var m Meter
+	m.Add(SenseAmp, 5)
+	m.Add(CellArray, 1)
+	m.Add(IOBus, 10)
+	bd := m.Breakdown()
+	if len(bd) != 3 {
+		t.Fatalf("breakdown has %d entries", len(bd))
+	}
+	if bd[0].Component != IOBus || bd[2].Component != CellArray {
+		t.Errorf("breakdown not sorted: %v", bd)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m Meter
+	m.Add(Logic, 1)
+	m.Reset()
+	if m.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestComponentsAndStrings(t *testing.T) {
+	cs := Components()
+	if len(cs) != int(numComponents) {
+		t.Fatalf("Components has %d entries", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "component(") {
+			t.Errorf("component %d has no name", int(c))
+		}
+		if seen[s] {
+			t.Errorf("duplicate component name %q", s)
+		}
+		seen[s] = true
+	}
+	if Component(99).String() != "component(99)" {
+		t.Error("unknown component string")
+	}
+}
+
+func TestFormatJoules(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0J",
+		5e-13:   "0.5pJ",
+		2.5e-9:  "2.5nJ",
+		1e-6:    "1µJ",
+		3.2e-3:  "3.2mJ",
+		4:       "4J",
+		1.5e-10: "150pJ",
+	}
+	for j, want := range cases {
+		if got := FormatJoules(j); got != want {
+			t.Errorf("FormatJoules(%g)=%q want %q", j, got, want)
+		}
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	var m Meter
+	if m.String() != "0J" {
+		t.Errorf("empty meter string %q", m.String())
+	}
+	m.Add(SenseAmp, 1e-12)
+	s := m.String()
+	if !strings.Contains(s, "sense-amp") || !strings.Contains(s, "1pJ") {
+		t.Errorf("String=%q", s)
+	}
+}

@@ -1,0 +1,100 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for every figure, so the regenerated data can be plotted
+// with any external tool (cmd/figures -csv).
+
+// WriteFig9CSV emits columns: len_log2, rows, gbps, region.
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"len_log2", "rows", "gbps", "region"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.LenLog),
+			strconv.Itoa(r.Rows),
+			strconv.FormatFloat(r.GBps, 'f', 3, 64),
+			r.Region,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteComparisonCSV emits Fig. 10/11-style rows: group, workload, then one
+// column per engine in figure order.
+func WriteComparisonCSV(w io.Writer, rows []ComparisonRow) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"group", "workload"}, EngineOrder...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Group, r.Workload}
+		for _, e := range EngineOrder {
+			rec = append(rec, strconv.FormatFloat(r.Values[e], 'f', 3, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig12CSV emits: group, workload, metric (speedup|energy), engines.
+func WriteFig12CSV(w io.Writer, rows []Fig12Row) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"group", "workload", "metric"}, Fig12Order...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, metric := range []struct {
+			name string
+			vals map[string]float64
+		}{{"speedup", r.Speedup}, {"energy", r.EnergySaving}} {
+			rec := []string{r.Group, r.Workload, metric.name}
+			for _, e := range Fig12Order {
+				rec = append(rec, strconv.FormatFloat(metric.vals[e], 'f', 4, 64))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig13CSV emits: component, fraction.
+func WriteFig13CSV(w io.Writer, res *Fig13Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"component", "fraction"}); err != nil {
+		return err
+	}
+	rows := [][]string{
+		{"pinatubo-total", fmt.Sprintf("%.5f", res.PinatuboFraction)},
+		{"acpim-total", fmt.Sprintf("%.5f", res.ACPIMFraction)},
+	}
+	for _, e := range res.Breakdown {
+		rows = append(rows, []string{e.Name, fmt.Sprintf("%.5f", e.Fraction)})
+	}
+	for _, rec := range rows {
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,171 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"pinatubo/internal/bioseq"
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/imgproc"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/pimrt"
+	"pinatubo/internal/workload"
+)
+
+// defaultMapper builds the default-geometry logical mapper.
+func defaultMapper() (pimrt.Mapper, error) {
+	return pimrt.NewMapper(memarch.Default())
+}
+
+// Extended workloads: the two application domains the paper's introduction
+// motivates but does not evaluate (bio-informatics and image processing),
+// run through the same engine matrix as Figs. 10/12. They are extensions —
+// kept out of the 11-workload paper set so the reproduced figures stay
+// faithful.
+
+// KmerTrace builds the bio-informatics trace: pan-genome unions, core
+// intersections and containment screens over a family of related genomes.
+func KmerTrace() (*workload.Trace, error) {
+	const (
+		members   = 64
+		genomeLen = 20000
+		k         = 9
+	)
+	fam, err := bioseq.NewFamily(members, genomeLen, k, 0xB105)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := defaultMapper()
+	if err != nil {
+		return nil, err
+	}
+	cpu := bioseq.DefaultCPUWork()
+	tr := &workload.Trace{Name: "kmers"}
+	// Building the spectra is the CPU-side cost of the application.
+	cpu.PowerW = bioseq.DefaultCPUWork().PowerW
+	tr.Other.Seconds += float64(members*genomeLen) * cpu.SecPerBase
+	tr.Other.Joules += tr.Other.Seconds * cpu.PowerW
+
+	panel, err := fam.Union(mapper, cpu, tr)
+	if err != nil {
+		return nil, err
+	}
+	fam.Core(cpu, tr)
+	// Pairwise similarity over a sample of member pairs.
+	for i := 0; i < members; i += 4 {
+		if _, err := fam.Jaccard(i, (i+members/2)%members, cpu, tr); err != nil {
+			return nil, err
+		}
+	}
+	// Screen the whole family against the panel (contamination check).
+	if _, err := bioseq.Screen(panel, fam.Spectra, cpu, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// SegmentationTrace builds the image-processing trace: color-class
+// segmentation of a stream of synthetic camera frames.
+func SegmentationTrace() (*workload.Trace, error) {
+	const frames = 24
+	classes := []imgproc.ColorClass{
+		{Name: "ball", Lo: [3]uint8{180, 140, 160}, Hi: [3]uint8{255, 200, 220}},
+		{Name: "field", Lo: [3]uint8{80, 60, 60}, Hi: [3]uint8{140, 110, 110}},
+		{Name: "line", Lo: [3]uint8{200, 100, 100}, Hi: [3]uint8{255, 139, 159}},
+	}
+	cpu := imgproc.DefaultCPUWork()
+	tr := &workload.Trace{Name: "segmentation"}
+	for f := 0; f < frames; f++ {
+		im, err := imgproc.Synthetic(512, 512, []imgproc.Blob{
+			{CX: 100 + 9*f, CY: 140, R: 28, Color: [3]uint8{220, 170, 190}},
+			{CX: 360, CY: 300, R: 90, Color: [3]uint8{100, 80, 80}},
+		}, int64(f))
+		if err != nil {
+			return nil, err
+		}
+		var masks []*bitvec.Vector
+		for _, class := range classes {
+			m, err := imgproc.Segment(im, class, cpu, tr)
+			if err != nil {
+				return nil, err
+			}
+			masks = append(masks, m)
+		}
+		if _, err := imgproc.Union(masks, cpu, tr); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// ExtendedRow is one extended workload's engine-matrix result.
+type ExtendedRow struct {
+	Workload     string
+	Speedup      map[string]float64 // bitwise speedup vs SIMD
+	Overall      map[string]float64 // overall speedup vs SIMD
+	IdealOverall float64
+}
+
+// Extended runs both extension traces on the engine matrix.
+func Extended() ([]ExtendedRow, error) {
+	engines, err := Engines()
+	if err != nil {
+		return nil, err
+	}
+	builders := []func() (*workload.Trace, error){KmerTrace, SegmentationTrace}
+	var out []ExtendedRow
+	for _, build := range builders {
+		tr, err := build()
+		if err != nil {
+			return nil, err
+		}
+		base, err := tr.Run(engines.SIMD)
+		if err != nil {
+			return nil, err
+		}
+		row := ExtendedRow{
+			Workload: tr.Name,
+			Speedup:  map[string]float64{},
+			Overall:  map[string]float64{},
+		}
+		for _, e := range engines.Compared() {
+			res, err := tr.Run(e)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[e.Name()] = res.Speedup(base)
+			row.Overall[e.Name()] = res.OverallSpeedup(base)
+		}
+		ideal, err := tr.Run(workload.Ideal{})
+		if err != nil {
+			return nil, err
+		}
+		row.IdealOverall = ideal.OverallSpeedup(base)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatExtended renders the extension table.
+func FormatExtended(rows []ExtendedRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extended workloads (paper motivation domains, beyond its evaluation)\n")
+	fmt.Fprintf(&sb, "%-14s", "workload")
+	for _, e := range EngineOrder {
+		fmt.Fprintf(&sb, "%14s", e)
+	}
+	fmt.Fprintf(&sb, "%14s\n", "Ideal(ovr)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s", r.Workload+" (bit)")
+		for _, e := range EngineOrder {
+			fmt.Fprintf(&sb, "%13.1fx", r.Speedup[e])
+		}
+		sb.WriteString("\n")
+		fmt.Fprintf(&sb, "%-14s", "  (overall)")
+		for _, e := range EngineOrder {
+			fmt.Fprintf(&sb, "%13.3fx", r.Overall[e])
+		}
+		fmt.Fprintf(&sb, "%13.3fx\n", r.IdealOverall)
+	}
+	return sb.String()
+}

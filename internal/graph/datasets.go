@@ -1,0 +1,83 @@
+package graph
+
+import "fmt"
+
+// Dataset is one of the evaluation's graph workloads. The originals
+// (dblp-2010, eswiki-2013, amazon-2008 from the LAW collection) are
+// replaced by synthetic generators scaled to simulator-friendly sizes while
+// preserving the property the paper's analysis hinges on: dblp is dense and
+// tightly connected (bitmap BFS does real work every level), while eswiki
+// and amazon are "loose" (BFS spends its time scanning for unvisited
+// vertices across many small components).
+type Dataset struct {
+	Name string
+	// Loose marks the datasets the paper calls "loose".
+	Loose bool
+	// Build generates the graph deterministically.
+	Build func() (*Graph, error)
+}
+
+// Datasets returns the three graph workloads of Table 1.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "dblp",
+			Build: func() (*Graph, error) {
+				g, err := RMAT(14, 16, 0xD1B0)
+				if err != nil {
+					return nil, err
+				}
+				return connectIsolated(g, 0xD1B1)
+			},
+		},
+		{
+			Name:  "eswiki",
+			Loose: true,
+			Build: func() (*Graph, error) { return ErdosRenyi(1<<15, 0.8, 0xE5) },
+		},
+		{
+			Name:  "amazon",
+			Loose: true,
+			Build: func() (*Graph, error) { return ErdosRenyi(1<<15, 1.3, 0xA2) },
+		},
+	}
+}
+
+// DatasetByName returns the named dataset.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// connectIsolated stitches all components of an RMAT sample into a single
+// one by chaining each component's lowest-numbered vertex to the previous
+// component's (dblp's largest component covers almost the whole collaboration
+// graph; the workload models it as fully connected).
+func connectIsolated(g *Graph, seed int64) (*Graph, error) {
+	_ = seed
+	edges := make(map[[2]int32]bool)
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.adj[v] {
+			addEdge(edges, int32(v), u)
+		}
+	}
+	ref := ReferenceBFS(g)
+	// Attach every component's representative (its BFS root) to the first
+	// component's root, star-wise, so the stitching adds at most two levels.
+	hub := int32(-1)
+	for v := 0; v < g.n; v++ {
+		if ref.Level[v] != 0 {
+			continue
+		}
+		if hub < 0 {
+			hub = int32(v)
+			continue
+		}
+		addEdge(edges, hub, int32(v))
+	}
+	return newGraph(g.n, edges), nil
+}

@@ -1,0 +1,205 @@
+// Package imgproc implements the image-processing workload family the
+// paper motivates (its citation [6]: Bruce et al., fast color segmentation
+// for interactive robots): threshold-based color-class segmentation over
+// per-channel bit masks.
+//
+// The classic trick stores, per channel, one bitmap per threshold bucket;
+// a color class (e.g. "ball orange") is the AND of three channel-range
+// masks, and composite classes (e.g. "any field marking") are ORs of class
+// masks — all bulk bitwise operations over pixel bitmaps, which is exactly
+// the structure Pinatubo accelerates. A 512×512 frame's mask is 2^18 bits:
+// half a rank row.
+package imgproc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// Image is a planar 3-channel (YUV-style) image.
+type Image struct {
+	W, H int
+	// Chan[c][y*W+x] is channel c's value for the pixel.
+	Chan [3][]uint8
+}
+
+// Pixels returns the pixel count.
+func (im *Image) Pixels() int { return im.W * im.H }
+
+// NewImage allocates a zero image.
+func NewImage(w, h int) (*Image, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("imgproc: bad dimensions %dx%d", w, h)
+	}
+	im := &Image{W: w, H: h}
+	for c := range im.Chan {
+		im.Chan[c] = make([]uint8, w*h)
+	}
+	return im, nil
+}
+
+// Blob is a synthetic colored region.
+type Blob struct {
+	CX, CY, R int      // disc centre and radius in pixels
+	Color     [3]uint8 // channel values inside the disc
+}
+
+// Synthetic renders a frame with background noise and the given blobs —
+// the robot-soccer scene of the Bruce et al. setting.
+func Synthetic(w, h int, blobs []Blob, seed int64) (*Image, error) {
+	im, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range im.Chan[0] {
+		im.Chan[0][i] = uint8(40 + rng.Intn(30)) // dim noisy background
+		im.Chan[1][i] = uint8(110 + rng.Intn(20))
+		im.Chan[2][i] = uint8(110 + rng.Intn(20))
+	}
+	for _, b := range blobs {
+		for dy := -b.R; dy <= b.R; dy++ {
+			for dx := -b.R; dx <= b.R; dx++ {
+				if dx*dx+dy*dy > b.R*b.R {
+					continue
+				}
+				x, y := b.CX+dx, b.CY+dy
+				if x < 0 || y < 0 || x >= w || y >= h {
+					continue
+				}
+				for c := 0; c < 3; c++ {
+					// Small per-pixel jitter keeps thresholds honest.
+					jitter := int(b.Color[c]) + rng.Intn(7) - 3
+					if jitter < 0 {
+						jitter = 0
+					}
+					if jitter > 255 {
+						jitter = 255
+					}
+					im.Chan[c][y*w+x] = uint8(jitter)
+				}
+			}
+		}
+	}
+	return im, nil
+}
+
+// ChannelMask returns the bitmap of pixels with lo <= channel value <= hi.
+func (im *Image) ChannelMask(channel int, lo, hi uint8) (*bitvec.Vector, error) {
+	if channel < 0 || channel >= 3 {
+		return nil, fmt.Errorf("imgproc: channel %d", channel)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("imgproc: empty range [%d,%d]", lo, hi)
+	}
+	v := bitvec.New(im.Pixels())
+	for i, val := range im.Chan[channel] {
+		if val >= lo && val <= hi {
+			v.Set(i)
+		}
+	}
+	return v, nil
+}
+
+// ColorClass is a threshold box in channel space.
+type ColorClass struct {
+	Name string
+	Lo   [3]uint8
+	Hi   [3]uint8
+}
+
+// Contains reports whether a pixel's channel triple falls in the class box.
+func (c ColorClass) Contains(p [3]uint8) bool {
+	for i := 0; i < 3; i++ {
+		if p[i] < c.Lo[i] || p[i] > c.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CPUWork prices the segmentation's non-bitwise part: building the channel
+// masks (one pass over the pixels per threshold) and extracting connected
+// regions from the final mask.
+type CPUWork struct {
+	SecPerPixel float64 // threshold one pixel while building a channel mask
+	SecPerWord  float64 // scan one word of a result mask
+	PowerW      float64
+}
+
+// DefaultCPUWork returns the evaluation constants.
+func DefaultCPUWork() CPUWork {
+	return CPUWork{SecPerPixel: 1e-9, SecPerWord: 1e-9, PowerW: 65}
+}
+
+func (c CPUWork) charge(tr *workload.Trace, seconds float64) {
+	if tr == nil {
+		return
+	}
+	tr.Other.Seconds += seconds
+	tr.Other.Joules += seconds * c.PowerW
+}
+
+// Segment computes the class membership mask: the AND of the three
+// channel-range masks. Channel-mask construction is CPU work; the two ANDs
+// are bulk ops.
+func Segment(im *Image, class ColorClass, cpu CPUWork, tr *workload.Trace) (*bitvec.Vector, error) {
+	bits := im.Pixels()
+	var masks [3]*bitvec.Vector
+	for c := 0; c < 3; c++ {
+		m, err := im.ChannelMask(c, class.Lo[c], class.Hi[c])
+		if err != nil {
+			return nil, err
+		}
+		masks[c] = m
+		cpu.charge(tr, float64(bits)*cpu.SecPerPixel)
+	}
+	out := masks[0].Clone()
+	for _, m := range masks[1:] {
+		if tr != nil {
+			tr.Append(workload.OpSpec{Op: sense.OpAND, Operands: 2, Bits: bits})
+		}
+		out.And(out, m)
+	}
+	cpu.charge(tr, float64(bitvec.WordsFor(bits))*cpu.SecPerWord)
+	return out, nil
+}
+
+// Union ORs several class masks into a composite mask (one multi-row OR).
+func Union(masks []*bitvec.Vector, cpu CPUWork, tr *workload.Trace) (*bitvec.Vector, error) {
+	if len(masks) == 0 {
+		return nil, fmt.Errorf("imgproc: union of no masks")
+	}
+	bits := masks[0].Len()
+	for i, m := range masks[1:] {
+		if m.Len() != bits {
+			return nil, fmt.Errorf("imgproc: mask %d length %d vs %d", i+1, m.Len(), bits)
+		}
+	}
+	out := bitvec.New(bits)
+	out.OrAll(masks...)
+	if tr != nil && len(masks) >= 2 {
+		tr.Append(workload.OpSpec{
+			Op: sense.OpOR, Operands: len(masks), Bits: bits,
+			Placement: workload.PlaceIntra, // masks are allocated as a group
+		})
+	}
+	cpu.charge(tr, float64(bitvec.WordsFor(bits))*cpu.SecPerWord)
+	return out, nil
+}
+
+// BruteForceSegment classifies each pixel directly (validation oracle).
+func BruteForceSegment(im *Image, class ColorClass) *bitvec.Vector {
+	v := bitvec.New(im.Pixels())
+	for i := 0; i < im.Pixels(); i++ {
+		p := [3]uint8{im.Chan[0][i], im.Chan[1][i], im.Chan[2][i]}
+		if class.Contains(p) {
+			v.Set(i)
+		}
+	}
+	return v
+}

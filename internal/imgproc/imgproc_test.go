@@ -1,0 +1,173 @@
+package imgproc
+
+import (
+	"testing"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+var (
+	orange = ColorClass{Name: "ball", Lo: [3]uint8{180, 140, 160}, Hi: [3]uint8{255, 200, 220}}
+	green  = ColorClass{Name: "field", Lo: [3]uint8{80, 60, 60}, Hi: [3]uint8{140, 110, 110}}
+)
+
+func testScene(t *testing.T) *Image {
+	t.Helper()
+	im, err := Synthetic(256, 256, []Blob{
+		{CX: 64, CY: 64, R: 20, Color: [3]uint8{220, 170, 190}},   // orange ball
+		{CX: 180, CY: 120, R: 35, Color: [3]uint8{100, 80, 80}},   // green patch
+		{CX: 200, CY: 220, R: 10, Color: [3]uint8{220, 170, 190}}, // second ball
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestNewImageErrors(t *testing.T) {
+	if _, err := NewImage(0, 5); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestChannelMask(t *testing.T) {
+	im, err := NewImage(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.Chan[1] = []uint8{10, 50, 100, 200}
+	m, err := im.ChannelMask(1, 40, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Popcount() != 2 || !m.Get(1) || !m.Get(2) {
+		t.Errorf("mask wrong: %v", m)
+	}
+	if _, err := im.ChannelMask(5, 0, 1); err == nil {
+		t.Error("bad channel accepted")
+	}
+	if _, err := im.ChannelMask(0, 9, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSegmentMatchesBruteForce(t *testing.T) {
+	im := testScene(t)
+	tr := &workload.Trace{}
+	for _, class := range []ColorClass{orange, green} {
+		got, err := Segment(im, class, DefaultCPUWork(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := BruteForceSegment(im, class)
+		if !got.Equal(want) {
+			t.Fatalf("%s: segmentation differs from per-pixel classification", class.Name)
+		}
+		if got.Popcount() == 0 {
+			t.Fatalf("%s: empty mask — scene generator broken?", class.Name)
+		}
+	}
+	// Two ANDs per class.
+	ands := 0
+	for _, op := range tr.Ops {
+		if op.Op == sense.OpAND {
+			ands++
+		}
+		if err := op.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ands != 4 {
+		t.Errorf("%d AND ops want 4", ands)
+	}
+	if tr.Other.Seconds <= 0 {
+		t.Error("no CPU work charged")
+	}
+}
+
+func TestBallsAndFieldDisjoint(t *testing.T) {
+	im := testScene(t)
+	cpu := DefaultCPUWork()
+	ball, err := Segment(im, orange, cpu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := Segment(im, green, cpu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := bitvec.New(ball.Len())
+	overlap.And(ball, field)
+	if overlap.Any() {
+		t.Error("ball and field masks overlap")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	im := testScene(t)
+	cpu := DefaultCPUWork()
+	ball, _ := Segment(im, orange, cpu, nil)
+	field, _ := Segment(im, green, cpu, nil)
+	tr := &workload.Trace{}
+	all, err := Union([]*bitvec.Vector{ball, field}, cpu, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Popcount() != ball.Popcount()+field.Popcount() {
+		t.Error("union popcount mismatch for disjoint masks")
+	}
+	if len(tr.Ops) != 1 || tr.Ops[0].Op != sense.OpOR || tr.Ops[0].Operands != 2 {
+		t.Errorf("union trace wrong: %+v", tr.Ops)
+	}
+	if _, err := Union(nil, cpu, nil); err == nil {
+		t.Error("empty union accepted")
+	}
+	if _, err := Union([]*bitvec.Vector{ball, bitvec.New(4)}, cpu, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(64, 64, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(64, 64, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		for i := range a.Chan[c] {
+			if a.Chan[c][i] != b.Chan[c][i] {
+				t.Fatal("same seed, different frames")
+			}
+		}
+	}
+}
+
+func TestColorClassContains(t *testing.T) {
+	c := ColorClass{Lo: [3]uint8{10, 20, 30}, Hi: [3]uint8{20, 30, 40}}
+	if !c.Contains([3]uint8{15, 25, 35}) {
+		t.Error("interior point rejected")
+	}
+	if c.Contains([3]uint8{5, 25, 35}) || c.Contains([3]uint8{15, 25, 45}) {
+		t.Error("exterior point accepted")
+	}
+}
+
+func BenchmarkSegment512(b *testing.B) {
+	im, err := Synthetic(512, 512, []Blob{{CX: 100, CY: 100, R: 40, Color: [3]uint8{220, 170, 190}}}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := DefaultCPUWork()
+	b.SetBytes(int64(im.Pixels()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Segment(im, orange, cpu, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package memarch
+
+import (
+	"fmt"
+
+	"pinatubo/internal/nvm"
+)
+
+// Memory is the functional storage model of an NVM main memory: every
+// rank-logical row is addressable, rows are materialised lazily (a default
+// geometry holds 16 GiB per rank, far more than a simulation ever touches),
+// and unwritten rows read as all zeros — the RESET (high-resistance, logic
+// "0") state a fresh PCM array powers up in.
+//
+// Memory also owns the two buffer levels Pinatubo's inter-subarray and
+// inter-bank datapaths latch results in: one global row buffer per bank and
+// one I/O buffer per rank.
+type Memory struct {
+	geo  Geometry
+	tech nvm.Params
+	rows map[uint64][]uint64
+
+	// globalBuf[channel][rank][bank] is the bank's global row buffer.
+	globalBuf map[[3]int][]uint64
+	// ioBuf[channel][rank] is the rank's I/O buffer.
+	ioBuf map[[2]int][]uint64
+
+	// Counters for verification and reporting.
+	rowReads  int64
+	rowWrites int64
+	// writeCounts tracks per-row write totals — PCM endurance is finite
+	// (~10^8 writes), so the evaluation's chained designs must be
+	// auditable for write amplification.
+	writeCounts map[uint64]int64
+}
+
+// NewMemory builds a memory with the given geometry and technology.
+func NewMemory(geo Geometry, tech nvm.Params) (*Memory, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{
+		geo:         geo,
+		tech:        tech,
+		rows:        make(map[uint64][]uint64),
+		globalBuf:   make(map[[3]int][]uint64),
+		ioBuf:       make(map[[2]int][]uint64),
+		writeCounts: make(map[uint64]int64),
+	}, nil
+}
+
+// Geometry returns the memory organisation.
+func (m *Memory) Geometry() Geometry { return m.geo }
+
+// Tech returns the technology parameters.
+func (m *Memory) Tech() nvm.Params { return m.tech }
+
+// RowReads and RowWrites expose access counters for tests and stats.
+func (m *Memory) RowReads() int64  { return m.rowReads }
+func (m *Memory) RowWrites() int64 { return m.rowWrites }
+
+// row returns the backing words of addr, materialising them if needed.
+func (m *Memory) row(addr RowAddr) []uint64 {
+	key := m.geo.Encode(addr)
+	r, ok := m.rows[key]
+	if !ok {
+		r = make([]uint64, m.geo.RowWords())
+		m.rows[key] = r
+	}
+	return r
+}
+
+// PeekRow returns the words of a row without copying and without counting
+// a read access. Intended for the PIM datapath, which accounts for accesses
+// itself; ordinary clients should use ReadRow.
+func (m *Memory) PeekRow(addr RowAddr) []uint64 { return m.row(addr) }
+
+// ReadRow returns a copy of the row's words.
+func (m *Memory) ReadRow(addr RowAddr) []uint64 {
+	m.rowReads++
+	src := m.row(addr)
+	dst := make([]uint64, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// WriteRow overwrites the row with words (shorter slices zero-fill the
+// rest; longer slices are an error).
+func (m *Memory) WriteRow(addr RowAddr, words []uint64) error {
+	if len(words) > m.geo.RowWords() {
+		return fmt.Errorf("memarch: writing %d words into a %d-word row %v",
+			len(words), m.geo.RowWords(), addr)
+	}
+	m.rowWrites++
+	m.writeCounts[m.geo.Encode(addr)]++
+	dst := m.row(addr)
+	n := copy(dst, words)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// MaterializedRows reports how many rows have backing storage (testing aid).
+func (m *Memory) MaterializedRows() int { return len(m.rows) }
+
+// RowWriteCount returns how many times addr has been programmed.
+func (m *Memory) RowWriteCount(addr RowAddr) int64 {
+	return m.writeCounts[m.geo.Encode(addr)]
+}
+
+// HottestRow returns the most-written row and its write count — the
+// endurance hot spot a wear-levelling layer would need to rotate. The
+// zero address with count 0 means nothing was written yet.
+func (m *Memory) HottestRow() (RowAddr, int64) {
+	var bestKey uint64
+	var best int64
+	for k, n := range m.writeCounts {
+		if n > best || (n == best && k < bestKey) {
+			bestKey, best = k, n
+		}
+	}
+	if best == 0 {
+		return RowAddr{}, 0
+	}
+	return m.geo.Decode(bestKey), best
+}
+
+// GlobalBuffer returns the bank's global row buffer, materialising it on
+// first use.
+func (m *Memory) GlobalBuffer(channel, rank, bank int) []uint64 {
+	key := [3]int{channel, rank, bank}
+	b, ok := m.globalBuf[key]
+	if !ok {
+		b = make([]uint64, m.geo.RowWords())
+		m.globalBuf[key] = b
+	}
+	return b
+}
+
+// IOBuffer returns the rank's I/O buffer, materialising it on first use.
+func (m *Memory) IOBuffer(channel, rank int) []uint64 {
+	key := [2]int{channel, rank}
+	b, ok := m.ioBuf[key]
+	if !ok {
+		b = make([]uint64, m.geo.RowWords())
+		m.ioBuf[key] = b
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+// Package nvm holds the technology parameter tables for the non-volatile
+// memories Pinatubo targets (PCM, STT-MRAM, ReRAM) plus the DRAM parameters
+// needed by the S-DRAM and SIMD baselines.
+//
+// All parameters are representative values taken from the prototypes the
+// paper cites: the 90 nm PCM chip (De Sandre, ISSCC'10; the paper's PCM main
+// memory timing tRCD/tCL/tWR = 18.3/8.9/151.1 ns comes from the CACTI-3DD
+// configuration built on it), the 64 Mb STT-MRAM chip (Tsuchida, ISSCC'10),
+// the current-sensing ReRAM front end (Chang, JSSC'13), and the NVMDB
+// technology survey (Suzuki, UCSD 2015) for resistance ranges. Where the
+// paper does not pin a number we choose one from the cited source and record
+// it in DESIGN.md.
+package nvm
+
+import "fmt"
+
+// Tech identifies a memory cell technology.
+type Tech int
+
+const (
+	// PCM is 1T1R phase-change memory, the paper's case-study technology.
+	PCM Tech = iota
+	// STTMRAM is spin-transfer-torque magnetic RAM. Its low ON/OFF ratio
+	// limits Pinatubo to 2-row operations.
+	STTMRAM
+	// ReRAM is resistive RAM (HfOx-class). Behaves like PCM for Pinatubo:
+	// high ON/OFF ratio, multi-row OR capable.
+	ReRAM
+	// DRAM is included for the baselines only; it is charge based, so it
+	// cannot run Pinatubo's resistive sensing at all.
+	DRAM
+)
+
+// String returns the conventional name of the technology.
+func (t Tech) String() string {
+	switch t {
+	case PCM:
+		return "PCM"
+	case STTMRAM:
+		return "STT-MRAM"
+	case ReRAM:
+		return "ReRAM"
+	case DRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Resistive reports whether the technology stores data as cell resistance,
+// which is the property Pinatubo's modified sensing relies on.
+func (t Tech) Resistive() bool { return t == PCM || t == STTMRAM || t == ReRAM }
+
+// CellParams describes one memory cell's electrical behaviour. Resistances
+// are in ohms. The low-resistance state encodes logic "1" and the
+// high-resistance state logic "0" for PCM/ReRAM (the encoding the paper
+// assumes for multi-row OR).
+type CellParams struct {
+	RLow  float64 // SET / parallel / low-resistance state (logic "1")
+	RHigh float64 // RESET / anti-parallel / high-resistance state (logic "0")
+	// SigmaLog is the standard deviation of ln(R) for each state's
+	// log-normal process spread. The paper assumes "variation is well
+	// controlled so that no overlap exists"; the analog model checks this.
+	SigmaLog float64
+	// AreaF2 is the cell footprint in F² (F = feature size).
+	AreaF2 float64
+}
+
+// OnOffRatio returns RHigh/RLow, the figure that bounds how many rows can be
+// sensed in parallel.
+func (c CellParams) OnOffRatio() float64 { return c.RHigh / c.RLow }
+
+// Timing holds the DDR-visible timing of a main memory built from the
+// technology. All values are in seconds (float64, so sub-nanosecond values
+// such as the paper's 18.3 ns tRCD are exact); use Dur to convert a derived
+// latency to time.Duration for presentation.
+type Timing struct {
+	TRCD float64 // activate: row open to data sensed
+	TCL  float64 // CAS latency: column access / one sense step
+	TWR  float64 // write recovery: cell array write completion
+	TCMD float64 // one slot on the command bus (address issue)
+	TRST float64 // LWL-latch RESET pulse before a multi-row activate
+}
+
+// Energy holds per-event energies in joules. "Per bit" entries are for one
+// sensed/written/transferred bit.
+type Energy struct {
+	ActPerBit    float64 // cell-array activation (row open) per sensed bit
+	LWLPerAct    float64 // wordline decode + drive energy per row activation
+	SensePerBit  float64 // sense amplifier resolve, per bit, single row on BL
+	SenseRowAdd  float64 // extra SA energy per additional open row per bit
+	WritePerBit  float64 // cell write (SET/RESET average) per bit
+	GDLPerBit    float64 // global data line transfer inside a bank, per bit
+	IOBusPerBit  float64 // chip I/O + DDR bus transfer, per bit
+	LogicPerBit  float64 // digital add-on logic (AC-PIM / global buffers), per bit op
+	BufferPerBit float64 // latching one bit in a global/I-O buffer
+	RefreshPerB  float64 // refresh energy per bit per refresh (DRAM only)
+}
+
+// Params bundles everything known about a technology node.
+type Params struct {
+	Tech   Tech
+	Node   int // feature size in nm
+	Cell   CellParams
+	Timing Timing
+	Energy Energy
+	// MaxOpenRows is the architectural cap on simultaneously opened rows
+	// for multi-row operations, derived from the sensing margin analysis
+	// (see internal/analog). The paper: 128 for PCM (TCAM-precedent
+	// sensing margins), 2 for STT-MRAM.
+	MaxOpenRows int
+}
+
+// Get returns the default parameter set for a technology. It panics on an
+// unknown technology, which indicates a programming error, not bad input.
+func Get(t Tech) Params {
+	switch t {
+	case PCM:
+		return pcmParams
+	case STTMRAM:
+		return sttParams
+	case ReRAM:
+		return rramParams
+	case DRAM:
+		return dramParams
+	default:
+		panic(fmt.Sprintf("nvm: unknown technology %d", int(t)))
+	}
+}
+
+// All returns the parameter sets of the three NVM technologies.
+func All() []Params { return []Params{pcmParams, sttParams, rramParams} }
+
+var pcmParams = Params{
+	Tech: PCM,
+	Node: 65,
+	Cell: CellParams{
+		// GST PCM: Rlow ~ 10 kΩ SET, Rhigh ~ 1 MΩ RESET (NVMDB range).
+		RLow:     1.0e4,
+		RHigh:    1.0e6,
+		SigmaLog: 0.05,
+		AreaF2:   9, // 1T1R PCM with BJT/MOS selector
+	},
+	Timing: Timing{
+		// The paper's stated PCM main-memory timing.
+		TRCD: nsf(18.3),
+		TCL:  nsf(8.9),
+		TWR:  nsf(151.1),
+		TCMD: nsf(1.25), // one DDR3-1600 command-bus slot
+		TRST: nsf(1.25),
+	},
+	Energy: Energy{
+		ActPerBit:    0.5e-12, // BL precharge/bias per sensed bit
+		LWLPerAct:    2.0e-12,
+		SensePerBit:  0.25e-12, // analog CSA resolve (Chang JSSC'13 class)
+		SenseRowAdd:  0.05e-12,
+		WritePerBit:  8.0e-12, // PCM programming dominates all other events
+		GDLPerBit:    2.0e-12,
+		IOBusPerBit:  8.0e-12, // chip pad + DDR channel
+		LogicPerBit:  6.0e-12, // 65 nm synthesized datapath incl. clock/control
+		BufferPerBit: 0.5e-12,
+		RefreshPerB:  0,
+	},
+	MaxOpenRows: 128,
+}
+
+var sttParams = Params{
+	Tech: STTMRAM,
+	Node: 65,
+	Cell: CellParams{
+		// MTJ: Rlow ~ 2.5 kΩ parallel, TMR ~ 150% → Rhigh ~ 6.25 kΩ.
+		RLow:     2.5e3,
+		RHigh:    6.25e3,
+		SigmaLog: 0.03,
+		AreaF2:   14, // larger access transistor for write current
+	},
+	Timing: Timing{
+		TRCD: nsf(5.5),
+		TCL:  nsf(5.0),
+		TWR:  nsf(12.5),
+		TCMD: nsf(1.25),
+		TRST: nsf(1.25),
+	},
+	Energy: Energy{
+		ActPerBit:    1.0e-12,
+		LWLPerAct:    1.0e-12,
+		SensePerBit:  0.35e-12, // small signal needs a bigger SA
+		SenseRowAdd:  0.15e-12,
+		WritePerBit:  5.0e-12,
+		GDLPerBit:    2.0e-12,
+		IOBusPerBit:  8.0e-12,
+		LogicPerBit:  6.0e-12,
+		BufferPerBit: 0.5e-12,
+		RefreshPerB:  0,
+	},
+	MaxOpenRows: 2,
+}
+
+var rramParams = Params{
+	Tech: ReRAM,
+	Node: 65,
+	Cell: CellParams{
+		// HfOx ReRAM: Rlow ~ 20 kΩ, Rhigh ~ 2 MΩ.
+		RLow:     2.0e4,
+		RHigh:    2.0e6,
+		SigmaLog: 0.05,
+		AreaF2:   8,
+	},
+	Timing: Timing{
+		TRCD: nsf(10.0),
+		TCL:  nsf(8.0),
+		TWR:  nsf(50.0),
+		TCMD: nsf(1.25),
+		TRST: nsf(1.25),
+	},
+	Energy: Energy{
+		ActPerBit:    1.5e-12,
+		LWLPerAct:    1.5e-12,
+		SensePerBit:  0.25e-12,
+		SenseRowAdd:  0.05e-12,
+		WritePerBit:  4.0e-12,
+		GDLPerBit:    2.0e-12,
+		IOBusPerBit:  8.0e-12,
+		LogicPerBit:  6.0e-12,
+		BufferPerBit: 0.5e-12,
+		RefreshPerB:  0,
+	},
+	MaxOpenRows: 128,
+}
+
+var dramParams = Params{
+	Tech: DRAM,
+	Node: 65,
+	Cell: CellParams{
+		// Charge based; resistance fields unused but kept non-zero so that
+		// accidental resistive use of DRAM fails loudly in the analog model
+		// rather than dividing by zero.
+		RLow:     1,
+		RHigh:    1,
+		SigmaLog: 0,
+		AreaF2:   6,
+	},
+	Timing: Timing{
+		// DDR3-1600: 13.75 ns tRCD/tCL, 15 ns tWR.
+		TRCD: nsf(13.75),
+		TCL:  nsf(13.75),
+		TWR:  nsf(15.0),
+		TCMD: nsf(1.25),
+		TRST: nsf(1.25),
+	},
+	Energy: Energy{
+		ActPerBit:    1.2e-12,
+		LWLPerAct:    1.5e-12,
+		SensePerBit:  0.15e-12,
+		SenseRowAdd:  0.1e-12,
+		WritePerBit:  1.2e-12,
+		GDLPerBit:    2.0e-12,
+		IOBusPerBit:  8.0e-12,
+		LogicPerBit:  6.0e-12,
+		BufferPerBit: 0.5e-12,
+		RefreshPerB:  0.05e-12,
+	},
+	MaxOpenRows: 3, // triple-row activation used by in-DRAM computing
+}
+
+// nsf converts nanoseconds to seconds.
+func nsf(ns float64) float64 { return ns * 1e-9 }

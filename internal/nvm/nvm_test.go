@@ -1,0 +1,135 @@
+package nvm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTechString(t *testing.T) {
+	cases := map[Tech]string{
+		PCM:     "PCM",
+		STTMRAM: "STT-MRAM",
+		ReRAM:   "ReRAM",
+		DRAM:    "DRAM",
+		Tech(9): "Tech(9)",
+	}
+	for tech, want := range cases {
+		if got := tech.String(); got != want {
+			t.Errorf("%d.String()=%q want %q", int(tech), got, want)
+		}
+	}
+}
+
+func TestResistive(t *testing.T) {
+	for _, tech := range []Tech{PCM, STTMRAM, ReRAM} {
+		if !tech.Resistive() {
+			t.Errorf("%v should be resistive", tech)
+		}
+	}
+	if DRAM.Resistive() {
+		t.Error("DRAM should not be resistive")
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(unknown) did not panic")
+		}
+	}()
+	Get(Tech(42))
+}
+
+func TestPaperPCMTiming(t *testing.T) {
+	// The paper states tRCD-tCL-tWR = 18.3-8.9-151.1 ns for the 1T1R PCM
+	// main memory. This is load-bearing for every latency figure.
+	p := Get(PCM)
+	approx := func(s, ns float64) bool {
+		return math.Abs(s-ns*1e-9) < 1e-13
+	}
+	if !approx(p.Timing.TRCD, 18.3) {
+		t.Errorf("PCM tRCD=%v want 18.3ns", p.Timing.TRCD)
+	}
+	if !approx(p.Timing.TCL, 8.9) {
+		t.Errorf("PCM tCL=%v want 8.9ns", p.Timing.TCL)
+	}
+	if !approx(p.Timing.TWR, 151.1) {
+		t.Errorf("PCM tWR=%v want 151.1ns", p.Timing.TWR)
+	}
+}
+
+func TestMaxOpenRowsClaims(t *testing.T) {
+	// Paper: maximal 128-row operations for PCM, 2-row for STT-MRAM.
+	if got := Get(PCM).MaxOpenRows; got != 128 {
+		t.Errorf("PCM MaxOpenRows=%d want 128", got)
+	}
+	if got := Get(STTMRAM).MaxOpenRows; got != 2 {
+		t.Errorf("STT-MRAM MaxOpenRows=%d want 2", got)
+	}
+	if got := Get(ReRAM).MaxOpenRows; got != 128 {
+		t.Errorf("ReRAM MaxOpenRows=%d want 128", got)
+	}
+}
+
+func TestOnOffRatios(t *testing.T) {
+	// PCM and ReRAM need ratios around 100 for deep multi-row OR; STT-MRAM
+	// is low (TMR ~ 150% → ratio ~ 2.5), which is why it is capped at 2.
+	if r := Get(PCM).Cell.OnOffRatio(); r < 50 {
+		t.Errorf("PCM ON/OFF ratio %g too small for 128-row OR", r)
+	}
+	if r := Get(ReRAM).Cell.OnOffRatio(); r < 50 {
+		t.Errorf("ReRAM ON/OFF ratio %g too small for multi-row OR", r)
+	}
+	if r := Get(STTMRAM).Cell.OnOffRatio(); r > 5 {
+		t.Errorf("STT-MRAM ON/OFF ratio %g unrealistically large", r)
+	}
+}
+
+func TestParamsSanity(t *testing.T) {
+	for _, p := range append(All(), Get(DRAM)) {
+		if p.Cell.RLow <= 0 || p.Cell.RHigh < p.Cell.RLow {
+			t.Errorf("%v: bad resistance pair %g/%g", p.Tech, p.Cell.RLow, p.Cell.RHigh)
+		}
+		if p.Timing.TRCD <= 0 || p.Timing.TCL <= 0 || p.Timing.TWR <= 0 {
+			t.Errorf("%v: non-positive timing", p.Tech)
+		}
+		if p.Energy.SensePerBit <= 0 || p.Energy.WritePerBit <= 0 {
+			t.Errorf("%v: non-positive energy", p.Tech)
+		}
+		if p.MaxOpenRows < 1 {
+			t.Errorf("%v: MaxOpenRows=%d", p.Tech, p.MaxOpenRows)
+		}
+		if p.Cell.AreaF2 <= 0 || p.Node <= 0 {
+			t.Errorf("%v: bad geometry params", p.Tech)
+		}
+	}
+}
+
+func TestAllReturnsThreeNVMs(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d techs, want 3", len(all))
+	}
+	seen := map[Tech]bool{}
+	for _, p := range all {
+		if !p.Tech.Resistive() {
+			t.Errorf("All() contains non-resistive %v", p.Tech)
+		}
+		seen[p.Tech] = true
+	}
+	if !seen[PCM] || !seen[STTMRAM] || !seen[ReRAM] {
+		t.Error("All() missing a technology")
+	}
+}
+
+func TestPCMWriteDominatesRead(t *testing.T) {
+	// PCM's defining asymmetry: writes are far slower and more expensive
+	// than reads. The in-place-update modelling depends on it.
+	p := Get(PCM)
+	if p.Timing.TWR < 5*p.Timing.TRCD {
+		t.Error("PCM tWR should dominate tRCD")
+	}
+	if p.Energy.WritePerBit < 4*p.Energy.ActPerBit {
+		t.Error("PCM write energy should dominate read energy")
+	}
+}

@@ -1,0 +1,490 @@
+// Package pim implements the Pinatubo memory controller — the paper's core
+// contribution. Given a bulk bitwise operation over operand rows, the
+// controller classifies it by operand placement (intra-subarray,
+// inter-subarray, or inter-bank, Section 4.1), lowers it to a DDR command
+// sequence (mode-register setup, LWL-latch multi-row activation, sensing
+// steps, in-place writeback), executes it functionally against the memory
+// model, and accounts latency and energy.
+package pim
+
+import (
+	"errors"
+	"fmt"
+
+	"pinatubo/internal/analog"
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/energy"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/sense"
+)
+
+// Class is the placement class of an operation.
+type Class int
+
+const (
+	// ClassIntraSub: all operand rows share a subarray; the modified SA
+	// computes the result in one multi-row activation.
+	ClassIntraSub Class = iota
+	// ClassInterSub: operands share a bank but not a subarray; the add-on
+	// logic at the global row buffer combines serially-read rows.
+	ClassInterSub
+	// ClassInterBank: operands share a rank but not a bank; the add-on
+	// logic at the I/O buffer combines them.
+	ClassInterBank
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case ClassIntraSub:
+		return "intra-subarray"
+	case ClassInterSub:
+		return "inter-subarray"
+	case ClassInterBank:
+		return "inter-bank"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ErrCrossRank is returned for operand sets spanning ranks or channels:
+// Pinatubo does not operate across chips — the paper relies on the
+// PIM-aware memory mapping to avoid such placements.
+var ErrCrossRank = errors.New("pim: operands span ranks or channels; not supported (remap or fall back to the CPU)")
+
+// ErrSharedRow is returned when two operands name the same physical row.
+var ErrSharedRow = errors.New("pim: operands share a physical row; Pinatubo requires distinct rows")
+
+// InterORLimit caps the operand count of a single inter-subarray/bank OR
+// request; longer chains are split by the runtime scheduler.
+const InterORLimit = 256
+
+// Result describes one executed operation.
+type Result struct {
+	Op    sense.Op
+	Class Class
+	Rows  int // operand row count
+	Bits  int // vector length in bits
+	// Seconds is the command-sequence latency on one channel.
+	Seconds float64
+	// Energy is the per-component energy of the operation.
+	Energy energy.Meter
+	// Commands is the DDR command sequence the controller issued.
+	Commands []ddr.Cmd
+	// Words is the result vector (bitvec.WordsFor(Bits) words).
+	Words []uint64
+}
+
+// Counters accumulates the controller's lifetime hardware activity.
+type Counters struct {
+	Ops         map[Class]int64 // completed ops by placement class
+	Activations int64           // row activations (ACT + ACT-LATCH)
+	SenseSteps  int64           // column-group sensing steps
+	Writebacks  int64           // cell-array writes (WBACK / WR)
+	BusBits     int64           // data bits that crossed the DDR bus
+}
+
+// Controller drives one NVM main memory with Pinatubo extensions.
+type Controller struct {
+	mem      *memarch.Memory
+	sa       *sense.Array
+	bus      ddr.BusParams
+	mrs      ddr.ModeRegisters
+	counters Counters
+}
+
+// NewController builds a controller over mem. checkBits configures the
+// per-op analog cross-check sample of the SA model (0 disables).
+func NewController(mem *memarch.Memory, checkBits int) (*Controller, error) {
+	sa, err := sense.NewArray(mem.Tech(), analog.DefaultSenseConfig(), checkBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		mem:      mem,
+		sa:       sa,
+		bus:      ddr.DefaultBus(),
+		counters: Counters{Ops: make(map[Class]int64)},
+	}, nil
+}
+
+// Counters returns a snapshot of the accumulated hardware activity.
+func (c *Controller) Counters() Counters {
+	out := c.counters
+	out.Ops = make(map[Class]int64, len(c.counters.Ops))
+	for k, v := range c.counters.Ops {
+		out.Ops[k] = v
+	}
+	return out
+}
+
+// tally folds a completed command sequence into the counters.
+func (c *Controller) tally(class Class, cmds []ddr.Cmd) {
+	c.counters.Ops[class]++
+	for _, cmd := range cmds {
+		switch cmd.Kind {
+		case ddr.CmdAct, ddr.CmdActLatch:
+			c.counters.Activations++
+		case ddr.CmdSense:
+			c.counters.SenseSteps++
+		case ddr.CmdWBack, ddr.CmdWr:
+			c.counters.Writebacks++
+		}
+		if cmd.Kind == ddr.CmdRd || cmd.Kind == ddr.CmdWr {
+			c.counters.BusBits += int64(cmd.Bits)
+		}
+	}
+}
+
+// Memory returns the controlled memory.
+func (c *Controller) Memory() *memarch.Memory { return c.mem }
+
+// MaxORRows returns the one-step OR operand limit of the technology
+// (sensing margin and architectural cap combined).
+func (c *Controller) MaxORRows() int { return c.sa.MaxORRows() }
+
+// ModeRegister returns the current value of the PIM configuration register.
+func (c *Controller) ModeRegister() ddr.MR4 {
+	v, err := c.mrs.Read(ddr.PIMRegister)
+	if err != nil {
+		panic(err) // PIMRegister is a valid constant index
+	}
+	return ddr.MR4(v)
+}
+
+// Classify determines the placement class of an operand set.
+func (c *Controller) Classify(srcs []memarch.RowAddr) (Class, error) {
+	if len(srcs) == 0 {
+		return 0, errors.New("pim: no operand rows")
+	}
+	geo := c.mem.Geometry()
+	for _, a := range srcs {
+		if !geo.Valid(a) {
+			return 0, fmt.Errorf("pim: operand address %v outside geometry", a)
+		}
+	}
+	if !memarch.DistinctRows(geo, srcs...) {
+		return 0, ErrSharedRow
+	}
+	switch {
+	case memarch.SameSubarray(srcs...):
+		return ClassIntraSub, nil
+	case memarch.SameBank(srcs...):
+		return ClassInterSub, nil
+	case memarch.SameRank(srcs...):
+		return ClassInterBank, nil
+	default:
+		return 0, ErrCrossRank
+	}
+}
+
+// validateOperandCount applies the per-class operand rules.
+func (c *Controller) validateOperandCount(op sense.Op, class Class, n int) error {
+	if class == ClassIntraSub {
+		return c.sa.ValidateOperands(op, n)
+	}
+	// Inter-subarray/bank ops run through digital logic: AND/XOR stay
+	// 2-operand, INV/READ 1-operand, OR chains up to the request cap.
+	switch op {
+	case sense.OpRead, sense.OpINV:
+		if n != 1 {
+			return fmt.Errorf("pim: %v requires exactly 1 operand, got %d", op, n)
+		}
+	case sense.OpAND, sense.OpXOR:
+		if n != 2 {
+			return fmt.Errorf("pim: %v requires exactly 2 operands, got %d", op, n)
+		}
+	case sense.OpOR:
+		if n < 2 || n > InterORLimit {
+			return fmt.Errorf("pim: %v supports 2..%d operands, got %d", op, InterORLimit, n)
+		}
+	default:
+		return fmt.Errorf("pim: unknown op %d", int(op))
+	}
+	return nil
+}
+
+// Execute runs op over the operand rows on their first `bits` bits. If dst
+// is non-nil the result is written to that row (in place when possible);
+// otherwise the result is burst onto the DDR bus for the host. The result
+// words are returned either way so callers can verify functionally.
+func (c *Controller) Execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr) (*Result, error) {
+	geo := c.mem.Geometry()
+	if bits < 1 || bits > geo.RowBits() {
+		return nil, fmt.Errorf("pim: bits=%d outside 1..%d (row length)", bits, geo.RowBits())
+	}
+	class, err := c.Classify(srcs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.validateOperandCount(op, class, len(srcs)); err != nil {
+		return nil, err
+	}
+	if dst != nil {
+		if !geo.Valid(*dst) {
+			return nil, fmt.Errorf("pim: destination %v outside geometry", *dst)
+		}
+		if !memarch.SameRank(append([]memarch.RowAddr{*dst}, srcs...)...) {
+			return nil, ErrCrossRank
+		}
+	}
+
+	// Configure MR4: the DIMM-side SA reference / datapath selector.
+	mr4, err := ddr.EncodeMR4(op, len(srcs))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.mrs.Write(ddr.PIMRegister, uint16(mr4)); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Op: op, Class: class, Rows: len(srcs), Bits: bits}
+	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdMRS})
+
+	switch class {
+	case ClassIntraSub:
+		err = c.execIntra(op, srcs, bits, dst, res)
+	case ClassInterSub:
+		err = c.execInter(op, srcs, bits, dst, res, false)
+	case ClassInterBank:
+		err = c.execInter(op, srcs, bits, dst, res, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdPre})
+	if err := ddr.ValidateSequence(res.Commands); err != nil {
+		// A protocol violation is a controller bug, never a caller error.
+		panic(fmt.Sprintf("pim: invalid command sequence for %v/%v: %v", op, class, err))
+	}
+	res.Seconds = ddr.Duration(res.Commands, c.mem.Tech().Timing, c.bus)
+	c.tally(class, res.Commands)
+
+	if dst != nil {
+		if err := c.mem.WriteRow(*dst, res.Words); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// senseGroups returns how many serial column-group sensing steps cover
+// `bits` bits.
+func senseGroups(geo memarch.Geometry, bits int) int {
+	sw := geo.SenseWidthBits()
+	return (bits + sw - 1) / sw
+}
+
+// execIntra performs the one-step multi-row operation in the SAs.
+func (c *Controller) execIntra(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, res *Result) error {
+	geo := c.mem.Geometry()
+	e := c.mem.Tech().Energy
+
+	// Multi-row activation through the LWL latches (protocol-checked).
+	lwl := NewLWL(geo.RowsPerSubarray)
+	lwl.Reset()
+	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdLWLReset, Addr: srcs[0]})
+	for i, s := range srcs {
+		if err := lwl.Latch(s.Row); err != nil {
+			return err
+		}
+		kind := ddr.CmdActLatch
+		if i == 0 {
+			kind = ddr.CmdAct // the first activate biases the array: full tRCD
+		}
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: kind, Addr: s})
+	}
+	if lwl.OpenCount() != len(srcs) {
+		return fmt.Errorf("pim: LWL opened %d rows, want %d", lwl.OpenCount(), len(srcs))
+	}
+
+	// Sensing: one CmdSense per column group per micro-step.
+	groups := senseGroups(geo, bits)
+	steps := groups * op.SenseSteps()
+	for i := 0; i < steps; i++ {
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdSense, Addr: srcs[0]})
+	}
+
+	// Functional result through the SA model.
+	w := bitvec.WordsFor(bits)
+	rows := make([][]uint64, len(srcs))
+	for i, s := range srcs {
+		rows[i] = c.mem.PeekRow(s)[:w]
+	}
+	out, err := c.sa.ComputeWords(op, rows)
+	if err != nil {
+		return err
+	}
+	res.Words = out
+
+	// Energy: one bitline bias per sensed bit (the BL is shared by all open
+	// rows), the cell read current of every open row folded into the
+	// per-row SA adder, and LWL decode+latch switching per activation.
+	fbits := float64(bits)
+	n := float64(len(srcs))
+	res.Energy.Add(energy.CellArray, fbits*e.ActPerBit)
+	res.Energy.Add(energy.LWLDriver, n*e.LWLPerAct)
+	res.Energy.Add(energy.SenseAmp,
+		float64(op.SenseSteps())*fbits*(e.SensePerBit+n*e.SenseRowAdd))
+
+	return c.writeback(srcs[0], bits, dst, res, ClassIntraSub)
+}
+
+// execInter performs the serial global-buffer operation (inter-subarray
+// when interBank is false, inter-bank when true).
+func (c *Controller) execInter(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, res *Result, interBank bool) error {
+	geo := c.mem.Geometry()
+	e := c.mem.Tech().Energy
+	groups := senseGroups(geo, bits)
+	w := bitvec.WordsFor(bits)
+
+	moveKind := ddr.CmdGDLMove
+	moveEnergy := e.GDLPerBit
+	moveComp := energy.GDL
+	if interBank {
+		moveKind = ddr.CmdIOMove
+		moveEnergy = e.IOBusPerBit
+		moveComp = energy.IOBus
+	}
+
+	// The accumulation buffer: global row buffer of the first operand's
+	// bank, or the rank's I/O buffer.
+	var buf []uint64
+	if interBank {
+		buf = c.mem.IOBuffer(srcs[0].Channel, srcs[0].Rank)
+	} else {
+		buf = c.mem.GlobalBuffer(srcs[0].Channel, srcs[0].Rank, srcs[0].Bank)
+	}
+
+	fbits := float64(bits)
+	for i, s := range srcs {
+		// Read the operand row: activate + normal sensing per group.
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdAct, Addr: s})
+		for g := 0; g < groups; g++ {
+			res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdSense, Addr: s})
+		}
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: moveKind, Addr: s, Bits: bits})
+		// Close the operand's row before the next serial read (the data is
+		// safe in the accumulation buffer).
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdPre})
+		res.Energy.Add(energy.CellArray, fbits*e.ActPerBit)
+		res.Energy.Add(energy.LWLDriver, e.LWLPerAct)
+		res.Energy.Add(energy.SenseAmp, fbits*e.SensePerBit)
+		res.Energy.Add(moveComp, fbits*moveEnergy)
+		res.Energy.Add(energy.Buffer, fbits*e.BufferPerBit)
+
+		row := c.mem.PeekRow(s)[:w]
+		if i == 0 {
+			copy(buf[:w], row)
+			continue
+		}
+		// Add-on digital logic combines the streamed row into the buffer.
+		res.Energy.Add(energy.Logic, fbits*e.LogicPerBit)
+		switch op {
+		case sense.OpAND:
+			for j := 0; j < w; j++ {
+				buf[j] &= row[j]
+			}
+		case sense.OpOR:
+			for j := 0; j < w; j++ {
+				buf[j] |= row[j]
+			}
+		case sense.OpXOR:
+			for j := 0; j < w; j++ {
+				buf[j] ^= row[j]
+			}
+		default:
+			return fmt.Errorf("pim: op %v cannot have %d operands on the %s path",
+				op, len(srcs), res.Class)
+		}
+	}
+	if len(srcs) == 1 && op == sense.OpINV {
+		for j := 0; j < w; j++ {
+			buf[j] = ^buf[j]
+		}
+		res.Energy.Add(energy.Logic, fbits*e.LogicPerBit)
+	}
+
+	res.Words = make([]uint64, w)
+	copy(res.Words, buf[:w])
+	return c.writeback(srcs[0], bits, dst, res, res.Class)
+}
+
+// writeback routes the result to dst (or to the host when dst is nil) and
+// charges the corresponding commands and energy. locus is where the result
+// currently sits: the computing subarray's SAs (intra) or a buffer.
+func (c *Controller) writeback(locus memarch.RowAddr, bits int, dst *memarch.RowAddr, res *Result, class Class) error {
+	e := c.mem.Tech().Energy
+	fbits := float64(bits)
+	if dst == nil {
+		// Burst to the host over the DDR bus.
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdRd, Bits: bits})
+		res.Energy.Add(energy.IOBus, fbits*e.IOBusPerBit)
+		return nil
+	}
+	sameSub := memarch.SameSubarray(locus, *dst)
+	sameBank := memarch.SameBank(locus, *dst)
+	switch {
+	case class == ClassIntraSub && sameSub:
+		// Pure in-place update: SA output feeds the WDs directly.
+	case sameBank:
+		// Move over the bank's GDLs to the destination subarray's WDs.
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdGDLMove, Addr: *dst, Bits: bits})
+		res.Energy.Add(energy.GDL, fbits*e.GDLPerBit)
+	default:
+		// Cross-bank: GDL out of the source bank, I/O datapath across,
+		// GDL into the destination bank.
+		res.Commands = append(res.Commands,
+			ddr.Cmd{Kind: ddr.CmdGDLMove, Addr: locus, Bits: bits},
+			ddr.Cmd{Kind: ddr.CmdIOMove, Addr: *dst, Bits: bits},
+			ddr.Cmd{Kind: ddr.CmdGDLMove, Addr: *dst, Bits: bits})
+		res.Energy.Add(energy.GDL, 2*fbits*e.GDLPerBit)
+		res.Energy.Add(energy.IOBus, fbits*e.IOBusPerBit)
+	}
+	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdWBack, Addr: *dst})
+	res.Energy.Add(energy.WriteDriver, fbits*e.WritePerBit)
+	return nil
+}
+
+// ReadRow performs a conventional read of `bits` bits from a row to the
+// host, returning latency/energy like Execute (used by baselines and the
+// public API's Read).
+func (c *Controller) ReadRow(addr memarch.RowAddr, bits int) (*Result, error) {
+	return c.Execute(sense.OpRead, []memarch.RowAddr{addr}, bits, nil)
+}
+
+// WriteRowFromHost performs a conventional write of `bits` bits from the
+// host into a row, pricing the bus transfer and cell programming.
+func (c *Controller) WriteRowFromHost(addr memarch.RowAddr, words []uint64, bits int) (*Result, error) {
+	geo := c.mem.Geometry()
+	if bits < 1 || bits > geo.RowBits() {
+		return nil, fmt.Errorf("pim: bits=%d outside 1..%d", bits, geo.RowBits())
+	}
+	if !geo.Valid(addr) {
+		return nil, fmt.Errorf("pim: address %v outside geometry", addr)
+	}
+	if want := bitvec.WordsFor(bits); len(words) > want {
+		return nil, fmt.Errorf("pim: %d words exceed %d-bit vector", len(words), bits)
+	}
+	res := &Result{Op: sense.OpRead, Class: ClassIntraSub, Rows: 1, Bits: bits}
+	res.Commands = []ddr.Cmd{
+		{Kind: ddr.CmdAct, Addr: addr},
+		{Kind: ddr.CmdWr, Addr: addr, Bits: bits},
+		{Kind: ddr.CmdPre},
+	}
+	if err := ddr.ValidateSequence(res.Commands); err != nil {
+		panic(fmt.Sprintf("pim: invalid host-write sequence: %v", err))
+	}
+	res.Seconds = ddr.Duration(res.Commands, c.mem.Tech().Timing, c.bus)
+	c.tally(ClassIntraSub, res.Commands)
+	e := c.mem.Tech().Energy
+	res.Energy.Add(energy.IOBus, float64(bits)*e.IOBusPerBit)
+	res.Energy.Add(energy.WriteDriver, float64(bits)*e.WritePerBit)
+	if err := c.mem.WriteRow(addr, words); err != nil {
+		return nil, err
+	}
+	res.Words = words
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package pimrt
+
+import (
+	"testing"
+
+	"pinatubo/internal/memarch"
+)
+
+func row(sub, r int) memarch.RowAddr {
+	return memarch.RowAddr{Subarray: sub, Row: r}
+}
+
+func TestOptimizeFusesChain(t *testing.T) {
+	geo := memarch.Default()
+	// Software fold: t1 = a|b; t2 = t1|c; out = t2|d.
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1)}, Dst: row(0, 100), Bits: 64, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 2)}, Dst: row(0, 101), Bits: 64, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 101), row(0, 3)}, Dst: row(0, 200), Bits: 64},
+	}
+	opt := OptimizeBatch(reqs, 128, geo)
+	if len(opt) != 1 {
+		t.Fatalf("fused to %d requests, want 1", len(opt))
+	}
+	if len(opt[0].Srcs) != 4 {
+		t.Fatalf("fused request has %d sources want 4", len(opt[0].Srcs))
+	}
+	if opt[0].Dst != row(0, 200) {
+		t.Errorf("fused dst %v", opt[0].Dst)
+	}
+}
+
+func TestOptimizeRespectsDepth(t *testing.T) {
+	geo := memarch.Default()
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1)}, Dst: row(0, 100), Bits: 64, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 2)}, Dst: row(0, 200), Bits: 64},
+	}
+	// Depth 2 cannot hold a fused 3-operand request.
+	opt := OptimizeBatch(reqs, 2, geo)
+	if len(opt) != 2 {
+		t.Fatalf("depth-2 fusion produced %d requests, want 2 (no fusion)", len(opt))
+	}
+}
+
+func TestOptimizeKeepsNonTemp(t *testing.T) {
+	geo := memarch.Default()
+	// t1 is NOT marked temporary: the program reads it later.
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1)}, Dst: row(0, 100), Bits: 64},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 2)}, Dst: row(0, 200), Bits: 64},
+	}
+	if opt := OptimizeBatch(reqs, 128, geo); len(opt) != 2 {
+		t.Fatalf("non-temp dst fused away (%d requests)", len(opt))
+	}
+}
+
+func TestOptimizeMultipleConsumersBlocked(t *testing.T) {
+	geo := memarch.Default()
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1)}, Dst: row(0, 100), Bits: 64, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 2)}, Dst: row(0, 200), Bits: 64},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 3)}, Dst: row(0, 201), Bits: 64},
+	}
+	if opt := OptimizeBatch(reqs, 128, geo); len(opt) != 3 {
+		t.Fatalf("multi-consumer temp fused (%d requests)", len(opt))
+	}
+}
+
+func TestOptimizeBitsMismatchBlocked(t *testing.T) {
+	geo := memarch.Default()
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1)}, Dst: row(0, 100), Bits: 64, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 2)}, Dst: row(0, 200), Bits: 128},
+	}
+	if opt := OptimizeBatch(reqs, 128, geo); len(opt) != 2 {
+		t.Fatal("bit-length mismatch fused")
+	}
+}
+
+func TestOptimizeDedupesOperands(t *testing.T) {
+	geo := memarch.Default()
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1), row(0, 0)}, Dst: row(0, 200), Bits: 64},
+	}
+	opt := OptimizeBatch(reqs, 128, geo)
+	if len(opt[0].Srcs) != 2 {
+		t.Fatalf("duplicates not removed: %v", opt[0].Srcs)
+	}
+}
+
+func TestOptimizedBatchSameResultLowerCost(t *testing.T) {
+	s, ctl := newSched(t)
+	const bits = 4096
+	// Data in four rows of one subarray.
+	var data [4]uint64
+	for i := 0; i < 4; i++ {
+		data[i] = 1 << (10 * i)
+		if err := ctl.Memory().WriteRow(row(0, i), []uint64{data[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := []ORRequest{
+		{Srcs: []memarch.RowAddr{row(0, 0), row(0, 1)}, Dst: row(0, 100), Bits: bits, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 100), row(0, 2)}, Dst: row(0, 101), Bits: bits, Temp: true},
+		{Srcs: []memarch.RowAddr{row(0, 101), row(0, 3)}, Dst: row(0, 200), Bits: bits},
+	}
+	naiveCost, naiveReqs, err := s.RunBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveOut := ctl.Memory().ReadRow(row(0, 200))[0]
+
+	opt := OptimizeBatch(reqs, ctl.MaxORRows(), ctl.Memory().Geometry())
+	optCost, optReqs, err := s.RunBatch(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optOut := ctl.Memory().ReadRow(row(0, 200))[0]
+
+	want := data[0] | data[1] | data[2] | data[3]
+	if naiveOut != want || optOut != want {
+		t.Fatalf("results %x / %x want %x", naiveOut, optOut, want)
+	}
+	if optReqs >= naiveReqs {
+		t.Errorf("optimised batch used %d requests vs naive %d", optReqs, naiveReqs)
+	}
+	if optCost.Seconds >= naiveCost.Seconds {
+		t.Errorf("optimised batch slower: %.3g vs %.3g s", optCost.Seconds, naiveCost.Seconds)
+	}
+	if optCost.Joules >= naiveCost.Joules {
+		t.Errorf("optimised batch costs more energy: %.3g vs %.3g J", optCost.Joules, naiveCost.Joules)
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	s, _ := newSched(t)
+	if _, _, err := s.RunBatch([]ORRequest{{Bits: 64}}); err == nil {
+		t.Error("empty source list accepted")
+	}
+}

@@ -1,0 +1,361 @@
+// Package pimrt is Pinatubo's system-software stack (the paper's Fig. 4):
+// the PIM-aware allocator behind pim_malloc (bit-vectors must land in
+// distinct rows, groups of vectors that will be operated on together should
+// share a subarray), the mapper that turns logical bit-vector IDs into row
+// addresses, and the scheduler that lowers a logical multi-operand request
+// into the per-subarray intra ops plus inter-subarray/bank combines the
+// hardware actually runs.
+package pimrt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/pim"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// ErrOutOfMemory is returned when no rows are left.
+var ErrOutOfMemory = errors.New("pimrt: out of memory rows")
+
+// Allocator hands out rank-logical rows with subarray affinity. It is the
+// model of the modified C run-time allocator plus the OS mapping policy:
+// allocations walk subarrays sequentially so that consecutively allocated
+// bit-vectors (the common "operate on these together" case) share one.
+type Allocator struct {
+	geo     memarch.Geometry
+	free    map[uint64]bool // explicit frees, reused before fresh rows
+	next    uint64          // next never-allocated row index
+	max     uint64
+	scratch bool // reserve the last row of every subarray for the scheduler
+}
+
+// NewAllocator builds an allocator over the whole memory. When
+// reserveScratch is true, the last row of every subarray is never handed
+// out — the driver library keeps it as the scheduler's partial-result row
+// (ScratchRow returns it).
+func NewAllocator(geo memarch.Geometry, reserveScratch bool) (*Allocator, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Allocator{
+		geo:     geo,
+		free:    make(map[uint64]bool),
+		max:     uint64(geo.TotalRows()),
+		scratch: reserveScratch,
+	}, nil
+}
+
+// ScratchRow returns the reserved scratch row of the subarray containing a.
+func ScratchRow(geo memarch.Geometry, a memarch.RowAddr) memarch.RowAddr {
+	a.Row = geo.RowsPerSubarray - 1
+	return a
+}
+
+// skipReserved advances the frontier past reserved scratch rows.
+func (a *Allocator) skipReserved() {
+	if !a.scratch {
+		return
+	}
+	per := uint64(a.geo.RowsPerSubarray)
+	for a.next < a.max && a.next%per == per-1 {
+		a.next++
+	}
+}
+
+// AllocRows returns n rows. Rows come from the free list first, then from
+// the sequential frontier (which fills subarray after subarray, giving
+// adjacent allocations intra-subarray placement).
+func (a *Allocator) AllocRows(n int) ([]memarch.RowAddr, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pimrt: alloc of %d rows", n)
+	}
+	out := make([]memarch.RowAddr, 0, n)
+	// Reuse freed rows in ascending order for determinism.
+	if len(a.free) > 0 {
+		keys := make([]uint64, 0, len(a.free))
+		for k := range a.free {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			if len(out) == n {
+				break
+			}
+			delete(a.free, k)
+			out = append(out, a.geo.Decode(k))
+		}
+	}
+	for len(out) < n {
+		a.skipReserved()
+		if a.next >= a.max {
+			return nil, ErrOutOfMemory
+		}
+		out = append(out, a.geo.Decode(a.next))
+		a.next++
+	}
+	return out, nil
+}
+
+// AllocGroupRows returns n rows guaranteed to share one subarray (needed
+// when the caller wants one-step multi-row ops over the whole group). It
+// fails if n exceeds the subarray's row count.
+func (a *Allocator) AllocGroupRows(n int) ([]memarch.RowAddr, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pimrt: alloc of %d rows", n)
+	}
+	avail := a.geo.RowsPerSubarray
+	if a.scratch {
+		avail--
+	}
+	if n > avail {
+		return nil, fmt.Errorf("pimrt: group of %d rows exceeds subarray (%d usable rows)",
+			n, avail)
+	}
+	// Advance the frontier to a subarray boundary if the group would
+	// straddle one (counting the reserved scratch row as unusable).
+	per := uint64(a.geo.RowsPerSubarray)
+	used := a.next % per
+	if used+uint64(n) > uint64(avail) {
+		a.next += per - used
+	}
+	if a.next+uint64(n) > a.max {
+		return nil, ErrOutOfMemory
+	}
+	out := make([]memarch.RowAddr, n)
+	for i := range out {
+		out[i] = a.geo.Decode(a.next)
+		a.next++
+	}
+	return out, nil
+}
+
+// Free returns rows to the allocator.
+func (a *Allocator) Free(rows []memarch.RowAddr) {
+	for _, r := range rows {
+		a.free[a.geo.Encode(r)] = true
+	}
+}
+
+// AllocatedRows reports how many rows are currently live.
+func (a *Allocator) AllocatedRows() int { return int(a.next) - len(a.free) }
+
+// --- scheduling ---
+
+// subarrayKey identifies one subarray.
+type subarrayKey struct{ ch, rk, ba, sa int }
+
+func keyOf(a memarch.RowAddr) subarrayKey {
+	return subarrayKey{a.Channel, a.Rank, a.Bank, a.Subarray}
+}
+
+// GroupBySubarray partitions operand rows by their subarray, preserving
+// first-appearance order of the groups.
+func GroupBySubarray(rows []memarch.RowAddr) [][]memarch.RowAddr {
+	idx := make(map[subarrayKey]int)
+	var groups [][]memarch.RowAddr
+	for _, r := range rows {
+		k := keyOf(r)
+		i, ok := idx[k]
+		if !ok {
+			i = len(groups)
+			idx[k] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], r)
+	}
+	return groups
+}
+
+// PlacementOf returns the workload placement of an operand set: intra when
+// one subarray holds everything, inter-sub within a bank, inter-bank within
+// a rank. Cross-rank sets return an error — the driver must split them.
+func PlacementOf(rows []memarch.RowAddr) (workload.Placement, error) {
+	switch {
+	case memarch.SameSubarray(rows...):
+		return workload.PlaceIntra, nil
+	case memarch.SameBank(rows...):
+		return workload.PlaceInterSub, nil
+	case memarch.SameRank(rows...):
+		return workload.PlaceInterBank, nil
+	default:
+		return 0, pim.ErrCrossRank
+	}
+}
+
+// SpecForOR builds the workload OpSpec for a logical OR over operand rows,
+// with the scheduler's subarray grouping attached. bits is the vector
+// length.
+func SpecForOR(rows []memarch.RowAddr, bits int) (workload.OpSpec, error) {
+	if len(rows) < 2 {
+		return workload.OpSpec{}, fmt.Errorf("pimrt: OR over %d rows", len(rows))
+	}
+	placement, err := PlacementOf(rows)
+	if err != nil {
+		return workload.OpSpec{}, err
+	}
+	spec := workload.OpSpec{
+		Op:        sense.OpOR,
+		Operands:  len(rows),
+		Bits:      bits,
+		Placement: placement,
+	}
+	if groups := GroupBySubarray(rows); len(groups) > 1 {
+		spec.Groups = make([]int, len(groups))
+		for i, g := range groups {
+			spec.Groups[i] = len(g)
+		}
+	}
+	return spec, nil
+}
+
+// Schedule lowers a logical OR over arbitrarily many operand rows into the
+// hardware request sequence: per-subarray multi-row ORs at the controller's
+// depth (with chaining through scratch rows), then an inter combine, with
+// the final result written to dst. It executes the ops on the controller
+// and returns the accumulated cost plus the number of hardware requests.
+//
+// scratch must provide one free row in every subarray touched; the driver
+// library reserves these at init (the paper's run-time "schedule opt").
+type Scheduler struct {
+	Ctl *pim.Controller
+	// Scratch returns a scratch row in the given subarray for partial
+	// results.
+	Scratch func(sub memarch.RowAddr) memarch.RowAddr
+}
+
+// ScheduleResult summarises one scheduled logical operation.
+type ScheduleResult struct {
+	Requests int
+	Cost     workload.Cost
+	Words    []uint64
+}
+
+// OR executes the logical OR of the operand rows into dst.
+func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*ScheduleResult, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("pimrt: OR of no rows")
+	}
+	res := &ScheduleResult{}
+	if len(rows) == 1 {
+		// Degenerate copy: read + write through the controller.
+		r, err := s.Ctl.Execute(sense.OpRead, rows, bits, &dst)
+		if err != nil {
+			return nil, err
+		}
+		res.Requests = 1
+		res.Cost = workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()}
+		res.Words = r.Words
+		return res, nil
+	}
+
+	depth := s.Ctl.MaxORRows()
+	groups := GroupBySubarray(rows)
+	partials := make([]memarch.RowAddr, 0, len(groups))
+	for _, g := range groups {
+		if len(g) == 1 {
+			partials = append(partials, g[0])
+			continue
+		}
+		// Collapse the group inside its subarray, chaining at the depth.
+		target := s.Scratch(g[0])
+		if len(groups) == 1 {
+			target = dst
+		}
+		if err := s.chainedOR(g, bits, target, depth, res); err != nil {
+			return nil, err
+		}
+		partials = append(partials, target)
+	}
+	if len(groups) == 1 {
+		return res, nil
+	}
+	// Combine partials across subarrays/banks. The partials necessarily
+	// live in distinct subarrays, so this is one inter request (chunked at
+	// the request cap when enormous).
+	if err := s.chainedOR(partials, bits, dst, pim.InterORLimit, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// chainedOR folds rows into target with requests of at most depth operands.
+func (s *Scheduler) chainedOR(rows []memarch.RowAddr, bits int, target memarch.RowAddr, depth int, res *ScheduleResult) error {
+	take := len(rows)
+	if take > depth {
+		take = depth
+	}
+	srcs := append([]memarch.RowAddr(nil), rows[:take]...)
+	r, err := s.Ctl.Execute(sense.OpOR, srcs, bits, &target)
+	if err != nil {
+		return err
+	}
+	res.Requests++
+	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
+	res.Words = r.Words
+	done := take
+	for done < len(rows) {
+		take = len(rows) - done
+		if take > depth-1 {
+			take = depth - 1
+		}
+		srcs = srcs[:0]
+		srcs = append(srcs, target)
+		srcs = append(srcs, rows[done:done+take]...)
+		r, err := s.Ctl.Execute(sense.OpOR, srcs, bits, &target)
+		if err != nil {
+			return err
+		}
+		res.Requests++
+		res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
+		res.Words = r.Words
+		done += take
+	}
+	return nil
+}
+
+// --- logical-ID mapping ---
+
+// Mapper models the default pim_malloc placement policy for a homogeneous
+// collection of bit-vectors (adjacency rows, index bitmaps): logical vector
+// i occupies the i-th usable row of the sequential allocation order, with
+// the per-subarray scratch row skipped. Applications use it to derive the
+// operand grouping of a logical op without instantiating a memory.
+type Mapper struct {
+	geo    memarch.Geometry
+	usable int // rows per subarray available to data
+}
+
+// NewMapper builds a mapper for the geometry (scratch rows reserved).
+func NewMapper(geo memarch.Geometry) (Mapper, error) {
+	if err := geo.Validate(); err != nil {
+		return Mapper{}, err
+	}
+	return Mapper{geo: geo, usable: geo.RowsPerSubarray - 1}, nil
+}
+
+// RowOf returns the row address of logical vector id.
+func (m Mapper) RowOf(id int) memarch.RowAddr {
+	if id < 0 {
+		panic(fmt.Sprintf("pimrt: negative vector id %d", id))
+	}
+	sub := id / m.usable
+	row := id % m.usable
+	flat := uint64(sub)*uint64(m.geo.RowsPerSubarray) + uint64(row)
+	if flat >= uint64(m.geo.TotalRows()) {
+		panic(fmt.Sprintf("pimrt: vector id %d exceeds memory capacity", id))
+	}
+	return m.geo.Decode(flat)
+}
+
+// SpecForIDs builds the scheduler-grouped OR spec over logical vector IDs.
+func (m Mapper) SpecForIDs(ids []int, bits int) (workload.OpSpec, error) {
+	rows := make([]memarch.RowAddr, len(ids))
+	for i, id := range ids {
+		rows[i] = m.RowOf(id)
+	}
+	return SpecForOR(rows, bits)
+}

@@ -1,0 +1,259 @@
+package sense
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pinatubo/internal/analog"
+	"pinatubo/internal/nvm"
+)
+
+func newPCM(t *testing.T) *Array {
+	t.Helper()
+	a, err := NewArray(nvm.Get(nvm.PCM), analog.DefaultSenseConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpRead: "READ", OpAND: "AND", OpOR: "OR", OpXOR: "XOR", OpINV: "INV"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String()=%q want %q", int(op), op.String(), s)
+		}
+	}
+	if !strings.HasPrefix(Op(9).String(), "Op(") {
+		t.Error("unknown op string")
+	}
+}
+
+func TestSenseSteps(t *testing.T) {
+	if OpXOR.SenseSteps() != 2 {
+		t.Error("XOR should take 2 micro-steps")
+	}
+	for _, op := range []Op{OpRead, OpAND, OpOR, OpINV} {
+		if op.SenseSteps() != 1 {
+			t.Errorf("%v should take 1 step", op)
+		}
+	}
+}
+
+func TestNewArrayRejectsDRAM(t *testing.T) {
+	if _, err := NewArray(nvm.Get(nvm.DRAM), analog.DefaultSenseConfig(), 0); !errors.Is(err, analog.ErrNotResistive) {
+		t.Fatalf("err=%v want ErrNotResistive", err)
+	}
+}
+
+func TestMaxORRowsPerTech(t *testing.T) {
+	cfg := analog.DefaultSenseConfig()
+	pcm, _ := NewArray(nvm.Get(nvm.PCM), cfg, 0)
+	if pcm.MaxORRows() != 128 {
+		t.Errorf("PCM MaxORRows=%d want 128", pcm.MaxORRows())
+	}
+	stt, _ := NewArray(nvm.Get(nvm.STTMRAM), cfg, 0)
+	if stt.MaxORRows() != 2 {
+		t.Errorf("STT MaxORRows=%d want 2", stt.MaxORRows())
+	}
+}
+
+func TestValidateOperands(t *testing.T) {
+	a := newPCM(t)
+	ok := []struct {
+		op Op
+		n  int
+	}{
+		{OpRead, 1}, {OpINV, 1}, {OpAND, 2}, {OpXOR, 2}, {OpOR, 2}, {OpOR, 128},
+	}
+	for _, c := range ok {
+		if err := a.ValidateOperands(c.op, c.n); err != nil {
+			t.Errorf("ValidateOperands(%v,%d) unexpected error: %v", c.op, c.n, err)
+		}
+	}
+	bad := []struct {
+		op Op
+		n  int
+	}{
+		{OpRead, 2}, {OpINV, 2}, {OpAND, 3}, {OpAND, 1}, {OpXOR, 3},
+		{OpOR, 1}, {OpOR, 129},
+	}
+	for _, c := range bad {
+		if err := a.ValidateOperands(c.op, c.n); err == nil {
+			t.Errorf("ValidateOperands(%v,%d) should fail", c.op, c.n)
+		}
+	}
+	if err := a.ValidateOperands(Op(77), 1); err == nil {
+		t.Error("unknown op should fail validation")
+	}
+}
+
+func TestOperandErrorMessages(t *testing.T) {
+	a := newPCM(t)
+	err := a.ValidateOperands(OpAND, 3)
+	var oe *OperandError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(err.Error(), "exactly 2") {
+		t.Errorf("message %q should mention the fixed count", err)
+	}
+	err = a.ValidateOperands(OpOR, 500)
+	if !errors.As(err, &oe) {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(err.Error(), "2..128") {
+		t.Errorf("message %q should mention the range", err)
+	}
+}
+
+func TestSTTRejectsMultiRowOR(t *testing.T) {
+	// Paper: STT-MRAM is conservatively capped at 2-row operations.
+	stt, err := NewArray(nvm.Get(nvm.STTMRAM), analog.DefaultSenseConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stt.ValidateOperands(OpOR, 4); err == nil {
+		t.Error("4-row OR on STT-MRAM should be rejected")
+	}
+	if err := stt.ValidateOperands(OpOR, 2); err != nil {
+		t.Errorf("2-row OR on STT-MRAM should pass: %v", err)
+	}
+}
+
+func TestComputeWordsTruthTables(t *testing.T) {
+	a := newPCM(t)
+	r0 := []uint64{0b1100}
+	r1 := []uint64{0b1010}
+	cases := []struct {
+		op   Op
+		rows [][]uint64
+		want uint64
+	}{
+		{OpRead, [][]uint64{r0}, 0b1100},
+		{OpINV, [][]uint64{r0}, ^uint64(0b1100)},
+		{OpAND, [][]uint64{r0, r1}, 0b1000},
+		{OpOR, [][]uint64{r0, r1}, 0b1110},
+		{OpXOR, [][]uint64{r0, r1}, 0b0110},
+	}
+	for _, c := range cases {
+		out, err := a.ComputeWords(c.op, c.rows)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if out[0] != c.want {
+			t.Errorf("%v = %b want %b", c.op, out[0], c.want)
+		}
+	}
+}
+
+func TestComputeWordsMultiRowOR(t *testing.T) {
+	a := newPCM(t)
+	rows := make([][]uint64, 128)
+	for i := range rows {
+		rows[i] = []uint64{0, 0}
+	}
+	rows[17][0] = 1 << 5
+	rows[99][1] = 1 << 63
+	out, err := a.ComputeWords(OpOR, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1<<5 || out[1] != 1<<63 {
+		t.Errorf("128-row OR wrong: %x %x", out[0], out[1])
+	}
+}
+
+func TestComputeWordsRowWidthMismatch(t *testing.T) {
+	a := newPCM(t)
+	if _, err := a.ComputeWords(OpAND, [][]uint64{{1, 2}, {3}}); err == nil {
+		t.Error("width mismatch should error")
+	}
+}
+
+func TestComputeWordsOperandCountError(t *testing.T) {
+	a := newPCM(t)
+	if _, err := a.ComputeWords(OpAND, [][]uint64{{1}, {2}, {3}}); err == nil {
+		t.Error("3-operand AND should error")
+	}
+}
+
+func TestAnalogCrossCheckRuns(t *testing.T) {
+	// With checking enabled and correct modelling, random workloads must
+	// pass without panicking.
+	a := newPCM(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(127) + 2
+		rows := make([][]uint64, n)
+		for i := range rows {
+			rows[i] = []uint64{rng.Uint64(), rng.Uint64()}
+		}
+		if _, err := a.ComputeWords(OpOR, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParamsAccessor(t *testing.T) {
+	a := newPCM(t)
+	if a.Params().Tech != nvm.PCM {
+		t.Error("Params() wrong tech")
+	}
+}
+
+// Property: ComputeWords(OR) equals word-wise fold for arbitrary rows.
+func TestPropORAgainstFold(t *testing.T) {
+	a := newPCM(t)
+	f := func(seed int64, nSeed, wSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSeed)%127 + 2
+		w := int(wSeed)%8 + 1
+		rows := make([][]uint64, n)
+		for i := range rows {
+			rows[i] = make([]uint64, w)
+			for j := range rows[i] {
+				rows[i][j] = rng.Uint64()
+			}
+		}
+		out, err := a.ComputeWords(OpOR, rows)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < w; j++ {
+			want := uint64(0)
+			for i := 0; i < n; i++ {
+				want |= rows[i][j]
+			}
+			if out[j] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkComputeOR128x64Words(b *testing.B) {
+	a, _ := NewArray(nvm.Get(nvm.PCM), analog.DefaultSenseConfig(), 0)
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]uint64, 128)
+	for i := range rows {
+		rows[i] = make([]uint64, 64)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64()
+		}
+	}
+	b.SetBytes(128 * 64 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ComputeWords(OpOR, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

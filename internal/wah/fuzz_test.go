@@ -1,0 +1,74 @@
+package wah
+
+import (
+	"testing"
+
+	"pinatubo/internal/bitvec"
+)
+
+// vectorFromBytes builds a deterministic bit vector from fuzz bytes.
+func vectorFromBytes(data []byte, nbits int) *bitvec.Vector {
+	v := bitvec.New(nbits)
+	for i := 0; i < nbits; i++ {
+		if len(data) == 0 {
+			break
+		}
+		b := data[i%len(data)]
+		if (b>>(uint(i)%8))&1 == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FuzzRoundTrip: Compress∘Decompress must be the identity for any bit
+// pattern and any length.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00}, uint16(1))
+	f.Add([]byte{0xFF}, uint16(63))
+	f.Add([]byte{0xAA, 0x55}, uint16(200))
+	f.Add([]byte{0x01, 0x80, 0xFF, 0x00}, uint16(4096))
+	f.Fuzz(func(t *testing.T, data []byte, nb uint16) {
+		nbits := int(nb)%5000 + 1
+		v := vectorFromBytes(data, nbits)
+		b := Compress(v)
+		got := b.Decompress()
+		if !got.Equal(v) {
+			t.Fatalf("round trip mismatch at %d bits", nbits)
+		}
+		if b.Popcount() != v.Popcount() {
+			t.Fatalf("compressed popcount %d want %d", b.Popcount(), v.Popcount())
+		}
+	})
+}
+
+// FuzzOpsAgree: compressed AND/OR/XOR must match the dense reference.
+func FuzzOpsAgree(f *testing.F) {
+	f.Add([]byte{0xF0}, []byte{0x0F}, uint16(64))
+	f.Add([]byte{0x00}, []byte{0xFF}, uint16(126))
+	f.Fuzz(func(t *testing.T, da, db []byte, nb uint16) {
+		nbits := int(nb)%3000 + 1
+		a := vectorFromBytes(da, nbits)
+		b := vectorFromBytes(db, nbits)
+		ca, cb := Compress(a), Compress(b)
+		and, err := And(ca, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, err := Or(ca, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xor, err := Xor(ca, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa, wo, wx := bitvec.New(nbits), bitvec.New(nbits), bitvec.New(nbits)
+		wa.And(a, b)
+		wo.Or(a, b)
+		wx.Xor(a, b)
+		if !and.Decompress().Equal(wa) || !or.Decompress().Equal(wo) || !xor.Decompress().Equal(wx) {
+			t.Fatal("compressed op mismatch")
+		}
+	})
+}

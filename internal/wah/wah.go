@@ -1,0 +1,242 @@
+// Package wah implements Word-Aligned Hybrid bitmap compression, the format
+// FastBit (the paper's database workload) stores its index bitmaps in. A
+// compressed bitmap is a sequence of 64-bit words: literal words carry 63
+// payload bits (MSB clear), fill words (MSB set) encode a run of identical
+// 63-bit groups with the fill bit in bit 62 and the group count in the low
+// 62 bits.
+//
+// The package provides compression, decompression and logical operations
+// directly on the compressed form. The simulator's PIM path operates on
+// dense rows; WAH is the CPU-side storage format and the functional
+// cross-check for the database workload.
+package wah
+
+import (
+	"fmt"
+
+	"pinatubo/internal/bitvec"
+)
+
+const (
+	groupBits = 63
+	fillFlag  = uint64(1) << 63
+	fillBit   = uint64(1) << 62
+	countMask = fillBit - 1
+)
+
+// Bitmap is a WAH-compressed bit vector.
+type Bitmap struct {
+	nbits int
+	words []uint64
+}
+
+// Len returns the uncompressed length in bits.
+func (b *Bitmap) Len() int { return b.nbits }
+
+// CompressedWords returns the number of 64-bit words in the compressed
+// representation.
+func (b *Bitmap) CompressedWords() int { return len(b.words) }
+
+// CompressionRatio returns uncompressed words / compressed words.
+func (b *Bitmap) CompressionRatio() float64 {
+	if len(b.words) == 0 {
+		return 1
+	}
+	return float64(bitvec.WordsFor(b.nbits)) / float64(len(b.words))
+}
+
+// appendGroup adds one 63-bit group to the compressed stream.
+func appendGroup(words []uint64, g uint64) []uint64 {
+	switch g {
+	case 0:
+		return appendFill(words, 0)
+	case (uint64(1) << groupBits) - 1:
+		return appendFill(words, 1)
+	default:
+		return append(words, g)
+	}
+}
+
+// appendFill extends a fill run of the given bit, or starts one.
+func appendFill(words []uint64, bit uint64) []uint64 {
+	if n := len(words); n > 0 {
+		last := words[n-1]
+		if last&fillFlag != 0 && (last&fillBit != 0) == (bit == 1) && last&countMask < countMask {
+			words[n-1] = last + 1
+			return words
+		}
+	}
+	w := fillFlag | 1
+	if bit == 1 {
+		w |= fillBit
+	}
+	return append(words, w)
+}
+
+// Compress converts a dense vector into WAH form.
+func Compress(v *bitvec.Vector) *Bitmap {
+	b := &Bitmap{nbits: v.Len()}
+	groups := (v.Len() + groupBits - 1) / groupBits
+	for gi := 0; gi < groups; gi++ {
+		lo := gi * groupBits
+		hi := lo + groupBits
+		if hi > v.Len() {
+			hi = v.Len()
+		}
+		var g uint64
+		for i := lo; i < hi; i++ {
+			if v.Get(i) {
+				g |= 1 << uint(i-lo)
+			}
+		}
+		// The final partial group compresses as a literal unless all its
+		// defined bits are zero (an all-ones partial group is not a full
+		// fill group).
+		if hi-lo < groupBits && g != 0 {
+			b.words = append(b.words, g)
+			continue
+		}
+		if hi-lo < groupBits {
+			b.words = appendFill(b.words, 0)
+			continue
+		}
+		b.words = appendGroup(b.words, g)
+	}
+	return b
+}
+
+// Decompress expands the bitmap back to a dense vector.
+func (b *Bitmap) Decompress() *bitvec.Vector {
+	v := bitvec.New(b.nbits)
+	pos := 0
+	for _, w := range b.words {
+		if w&fillFlag == 0 {
+			for i := 0; i < groupBits && pos+i < b.nbits; i++ {
+				if w&(1<<uint(i)) != 0 {
+					v.Set(pos + i)
+				}
+			}
+			pos += groupBits
+			continue
+		}
+		count := int(w & countMask)
+		if w&fillBit != 0 {
+			hi := pos + count*groupBits
+			if hi > b.nbits {
+				hi = b.nbits
+			}
+			if pos < hi {
+				v.SetRange(pos, hi)
+			}
+		}
+		pos += count * groupBits
+	}
+	return v
+}
+
+// runIter yields (bitsRemainingInRun, isFill, fillBitSet, literal) over the
+// compressed stream, one group at a time for literals and whole runs for
+// fills.
+type runIter struct {
+	words []uint64
+	idx   int
+	// pending fill groups of the current fill word
+	fillLeft int
+	fillOne  bool
+}
+
+func (it *runIter) next() (isLiteral bool, lit uint64, ok bool) {
+	for {
+		if it.fillLeft > 0 {
+			it.fillLeft--
+			if it.fillOne {
+				return false, (uint64(1) << groupBits) - 1, true
+			}
+			return false, 0, true
+		}
+		if it.idx >= len(it.words) {
+			return false, 0, false
+		}
+		w := it.words[it.idx]
+		it.idx++
+		if w&fillFlag == 0 {
+			return true, w, true
+		}
+		it.fillLeft = int(w & countMask)
+		it.fillOne = w&fillBit != 0
+	}
+}
+
+// binaryOp combines two bitmaps group-wise.
+func binaryOp(a, b *Bitmap, f func(x, y uint64) uint64) (*Bitmap, error) {
+	if a.nbits != b.nbits {
+		return nil, fmt.Errorf("wah: length mismatch %d vs %d", a.nbits, b.nbits)
+	}
+	out := &Bitmap{nbits: a.nbits}
+	ia := &runIter{words: a.words}
+	ib := &runIter{words: b.words}
+	groups := (a.nbits + groupBits - 1) / groupBits
+	tail := a.nbits % groupBits
+	for gi := 0; gi < groups; gi++ {
+		_, ga, okA := ia.next()
+		_, gb, okB := ib.next()
+		if !okA || !okB {
+			return nil, fmt.Errorf("wah: corrupt bitmap: stream ended at group %d/%d", gi, groups)
+		}
+		g := f(ga, gb) & ((uint64(1) << groupBits) - 1)
+		last := gi == groups-1 && tail != 0
+		if last {
+			g &= (uint64(1) << uint(tail)) - 1
+			if g != 0 {
+				out.words = append(out.words, g)
+			} else {
+				out.words = appendFill(out.words, 0)
+			}
+			continue
+		}
+		out.words = appendGroup(out.words, g)
+	}
+	return out, nil
+}
+
+// And returns a AND b.
+func And(a, b *Bitmap) (*Bitmap, error) {
+	return binaryOp(a, b, func(x, y uint64) uint64 { return x & y })
+}
+
+// Or returns a OR b.
+func Or(a, b *Bitmap) (*Bitmap, error) {
+	return binaryOp(a, b, func(x, y uint64) uint64 { return x | y })
+}
+
+// Xor returns a XOR b.
+func Xor(a, b *Bitmap) (*Bitmap, error) {
+	return binaryOp(a, b, func(x, y uint64) uint64 { return x ^ y })
+}
+
+// Popcount counts set bits without decompressing.
+func (b *Bitmap) Popcount() int {
+	n := 0
+	pos := 0
+	for _, w := range b.words {
+		if w&fillFlag == 0 {
+			for i := 0; i < groupBits && pos+i < b.nbits; i++ {
+				if w&(1<<uint(i)) != 0 {
+					n++
+				}
+			}
+			pos += groupBits
+			continue
+		}
+		count := int(w & countMask)
+		if w&fillBit != 0 {
+			bitsHere := count * groupBits
+			if pos+bitsHere > b.nbits {
+				bitsHere = b.nbits - pos
+			}
+			n += bitsHere
+		}
+		pos += count * groupBits
+	}
+	return n
+}

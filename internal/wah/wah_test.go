@@ -1,0 +1,192 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pinatubo/internal/bitvec"
+)
+
+func randomVector(rng *rand.Rand, n int, density float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestRoundTripPatterns(t *testing.T) {
+	patterns := []func(n int) *bitvec.Vector{
+		func(n int) *bitvec.Vector { return bitvec.New(n) }, // all zero
+		func(n int) *bitvec.Vector { v := bitvec.New(n); v.SetAll(); return v },
+		func(n int) *bitvec.Vector { // alternating
+			v := bitvec.New(n)
+			for i := 0; i < n; i += 2 {
+				v.Set(i)
+			}
+			return v
+		},
+		func(n int) *bitvec.Vector { // one long run
+			v := bitvec.New(n)
+			v.SetRange(n/4, 3*n/4)
+			return v
+		},
+	}
+	for _, n := range []int{1, 62, 63, 64, 126, 127, 1000, 63 * 100} {
+		for pi, gen := range patterns {
+			v := gen(n)
+			b := Compress(v)
+			if b.Len() != n {
+				t.Fatalf("n=%d pat=%d: Len=%d", n, pi, b.Len())
+			}
+			got := b.Decompress()
+			if !got.Equal(v) {
+				t.Fatalf("n=%d pat=%d: round trip mismatch", n, pi)
+			}
+		}
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	// Sparse bitmaps (the FastBit case) must compress well.
+	rng := rand.New(rand.NewSource(1))
+	v := randomVector(rng, 63*1000, 0.001)
+	b := Compress(v)
+	if r := b.CompressionRatio(); r < 5 {
+		t.Errorf("sparse compression ratio %.1f, want > 5", r)
+	}
+	// Dense random bitmaps do not compress (ratio ~1, tolerating overhead).
+	d := Compress(randomVector(rng, 63*1000, 0.5))
+	if r := d.CompressionRatio(); r > 1.2 {
+		t.Errorf("random bitmap 'compressed' by %.2fx?", r)
+	}
+}
+
+func TestPopcountMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, density := range []float64{0, 0.001, 0.3, 1} {
+		v := randomVector(rng, 10000, density)
+		if density == 1 {
+			v.SetAll()
+		}
+		b := Compress(v)
+		if b.Popcount() != v.Popcount() {
+			t.Errorf("density %g: popcount %d want %d", density, b.Popcount(), v.Popcount())
+		}
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 63*37 + 17 // deliberately ragged tail
+	a := randomVector(rng, n, 0.02)
+	b := randomVector(rng, n, 0.3)
+	ca, cb := Compress(a), Compress(b)
+
+	and, err := And(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := Or(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xor, err := Xor(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnd, wantOr, wantXor := bitvec.New(n), bitvec.New(n), bitvec.New(n)
+	wantAnd.And(a, b)
+	wantOr.Or(a, b)
+	wantXor.Xor(a, b)
+	if !and.Decompress().Equal(wantAnd) {
+		t.Error("AND mismatch")
+	}
+	if !or.Decompress().Equal(wantOr) {
+		t.Error("OR mismatch")
+	}
+	if !xor.Decompress().Equal(wantXor) {
+		t.Error("XOR mismatch")
+	}
+}
+
+func TestOpsLengthMismatch(t *testing.T) {
+	a := Compress(bitvec.New(100))
+	b := Compress(bitvec.New(101))
+	if _, err := And(a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFillRunMerging(t *testing.T) {
+	// A long all-zero bitmap must compress to a single fill word.
+	v := bitvec.New(63 * 500)
+	b := Compress(v)
+	if b.CompressedWords() != 1 {
+		t.Errorf("all-zero bitmap uses %d words, want 1", b.CompressedWords())
+	}
+	v.SetAll()
+	b = Compress(v)
+	if b.CompressedWords() != 1 {
+		t.Errorf("all-one bitmap uses %d words, want 1", b.CompressedWords())
+	}
+}
+
+// Property: Compress/Decompress is the identity.
+func TestPropRoundTrip(t *testing.T) {
+	f := func(seed int64, nSeed uint16, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSeed)%4000 + 1
+		v := randomVector(rng, n, float64(density%101)/100)
+		return Compress(v).Decompress().Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compressed AND/OR agree with dense ops.
+func TestPropOpsAgree(t *testing.T) {
+	f := func(seed int64, nSeed uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSeed)%3000 + 1
+		a := randomVector(rng, n, 0.05)
+		b := randomVector(rng, n, 0.5)
+		and, err1 := And(Compress(a), Compress(b))
+		or, err2 := Or(Compress(a), Compress(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		wa, wo := bitvec.New(n), bitvec.New(n)
+		wa.And(a, b)
+		wo.Or(a, b)
+		return and.Decompress().Equal(wa) && or.Decompress().Equal(wo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := randomVector(rng, 1<<17, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(v)
+	}
+}
+
+func BenchmarkCompressedOr(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Compress(randomVector(rng, 1<<17, 0.01))
+	y := Compress(randomVector(rng, 1<<17, 0.01))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Or(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package workload defines the common currency of the evaluation: bulk
+// bitwise operation requests (OpSpec), engines that price them (SIMD,
+// S-DRAM, AC-PIM, Pinatubo-2, Pinatubo-128, Ideal), and traces that combine
+// the bitwise phase with an application's non-bitwise work to produce the
+// paper's overall speedup/energy numbers (Fig. 12) from its bitwise-only
+// numbers (Figs. 10–11).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pinatubo/internal/sense"
+)
+
+// Placement describes where a request's operand bit-vectors live relative
+// to each other in the PIM memory — the outcome of the PIM-aware mapping.
+type Placement int
+
+const (
+	// PlaceIntra: all operands in one subarray (the mapping's goal).
+	PlaceIntra Placement = iota
+	// PlaceInterSub: same bank, different subarrays.
+	PlaceInterSub
+	// PlaceInterBank: same rank, different banks.
+	PlaceInterBank
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceIntra:
+		return "intra"
+	case PlaceInterSub:
+		return "inter-sub"
+	case PlaceInterBank:
+		return "inter-bank"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// OpSpec is one bulk bitwise operation request.
+type OpSpec struct {
+	Op       sense.Op
+	Operands int // number of source bit-vectors (1 for INV)
+	Bits     int // bit-vector length
+	// Placement is where the PIM mapping managed to put the operands (for
+	// grouped requests: how the groups relate to each other).
+	Placement Placement
+	// Groups optionally partitions the operands by subarray, as produced
+	// by the PIM-aware scheduler: each entry is the number of operands
+	// co-located in one subarray. A PIM engine computes each group with an
+	// intra-subarray multi-row op and combines the partial results over
+	// the Placement path; data-movement engines (SIMD) ignore the split.
+	// nil means all operands share the Placement locality directly.
+	Groups []int
+	// CacheResident marks requests whose working set a CPU baseline would
+	// find in its last-level cache (hot bitmaps reused across queries).
+	CacheResident bool
+}
+
+// Validate sanity-checks the spec.
+func (s OpSpec) Validate() error {
+	if s.Bits < 1 {
+		return fmt.Errorf("workload: op on %d bits", s.Bits)
+	}
+	switch s.Op {
+	case sense.OpINV, sense.OpRead:
+		if s.Operands != 1 {
+			return fmt.Errorf("workload: %v with %d operands", s.Op, s.Operands)
+		}
+	case sense.OpAND, sense.OpOR, sense.OpXOR:
+		if s.Operands < 2 {
+			return fmt.Errorf("workload: %v with %d operands", s.Op, s.Operands)
+		}
+	default:
+		return fmt.Errorf("workload: unknown op %v", s.Op)
+	}
+	if s.Groups != nil {
+		if s.Op != sense.OpOR {
+			return fmt.Errorf("workload: operand groups only apply to OR, not %v", s.Op)
+		}
+		sum := 0
+		for i, g := range s.Groups {
+			if g < 1 {
+				return fmt.Errorf("workload: group %d has %d operands", i, g)
+			}
+			sum += g
+		}
+		if sum != s.Operands {
+			return fmt.Errorf("workload: groups sum to %d operands, spec has %d", sum, s.Operands)
+		}
+		if len(s.Groups) > 1 && s.Placement == PlaceIntra {
+			return fmt.Errorf("workload: %d groups cannot all be intra-subarray", len(s.Groups))
+		}
+	}
+	return nil
+}
+
+// Cost is a time + energy price.
+type Cost struct {
+	Seconds float64
+	Joules  float64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.Seconds += o.Seconds
+	c.Joules += o.Joules
+}
+
+// Scale returns the cost multiplied by k.
+func (c Cost) Scale(k float64) Cost {
+	return Cost{Seconds: c.Seconds * k, Joules: c.Joules * k}
+}
+
+// Engine prices bulk bitwise operation requests.
+type Engine interface {
+	// Name identifies the engine in figures ("SIMD", "Pinatubo-128", ...).
+	Name() string
+	// OpCost prices one request end to end (including any operand copies,
+	// chained decomposition, or CPU fallback the engine needs).
+	OpCost(spec OpSpec) (Cost, error)
+	// Parallelism is the number of independent requests the engine can
+	// overlap (channel-level concurrency for PIM engines; 1 for the CPU
+	// model, whose cost is already aggregate across cores).
+	Parallelism() float64
+}
+
+// ErrUnsupportedOp signals an engine cannot run the op natively; callers
+// may route it to a fallback engine.
+var ErrUnsupportedOp = errors.New("workload: operation not supported by this engine")
+
+// Trace is an application's recorded bitwise phase plus its non-bitwise
+// remainder as measured on the reference CPU.
+type Trace struct {
+	Name string
+	Ops  []OpSpec
+	// Other is the CPU cost of everything that is not a bulk bitwise op
+	// (scan loops, queue management, popcounts, ...). It is charged
+	// unchanged to every engine — PIM accelerates only the bitwise phase.
+	Other Cost
+}
+
+// Append adds an op to the trace.
+func (t *Trace) Append(spec OpSpec) { t.Ops = append(t.Ops, spec) }
+
+// RunResult is a trace priced on one engine.
+type RunResult struct {
+	Engine  string
+	Bitwise Cost // bitwise phase (after engine parallelism)
+	Total   Cost // bitwise + other
+}
+
+// Run prices the trace on an engine. Request-level parallelism divides the
+// bitwise time (the requests in a trace are overwhelmingly independent —
+// see the workload definitions), never the energy.
+func (t *Trace) Run(e Engine) (RunResult, error) {
+	var bit Cost
+	for i, op := range t.Ops {
+		if err := op.Validate(); err != nil {
+			return RunResult{}, fmt.Errorf("op %d: %w", i, err)
+		}
+		c, err := e.OpCost(op)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("op %d (%v/%d/%db): %w", i, op.Op, op.Operands, op.Bits, err)
+		}
+		bit.Add(c)
+	}
+	p := e.Parallelism()
+	if p < 1 {
+		return RunResult{}, fmt.Errorf("workload: engine %s has parallelism %g", e.Name(), p)
+	}
+	bit.Seconds /= p
+	res := RunResult{Engine: e.Name(), Bitwise: bit}
+	res.Total = bit
+	res.Total.Add(t.Other)
+	return res, nil
+}
+
+// Speedup returns base's time divided by this result's time for the
+// bitwise phase.
+func (r RunResult) Speedup(base RunResult) float64 {
+	return base.Bitwise.Seconds / r.Bitwise.Seconds
+}
+
+// EnergySaving returns base's bitwise energy divided by this result's.
+func (r RunResult) EnergySaving(base RunResult) float64 {
+	return base.Bitwise.Joules / r.Bitwise.Joules
+}
+
+// OverallSpeedup returns base's total time divided by this result's.
+func (r RunResult) OverallSpeedup(base RunResult) float64 {
+	return base.Total.Seconds / r.Total.Seconds
+}
+
+// OverallEnergySaving returns base's total energy divided by this result's.
+func (r RunResult) OverallEnergySaving(base RunResult) float64 {
+	return base.Total.Joules / r.Total.Joules
+}
+
+// Ideal is the paper's "Ideal" legend: bulk bitwise operations are free.
+type Ideal struct{}
+
+// Name implements Engine.
+func (Ideal) Name() string { return "Ideal" }
+
+// OpCost implements Engine: zero cost.
+func (Ideal) OpCost(OpSpec) (Cost, error) { return Cost{}, nil }
+
+// Parallelism implements Engine.
+func (Ideal) Parallelism() float64 { return 1 }
+
+// Gmean returns the geometric mean of positive values; it panics on empty
+// or non-positive input (a figure-harness bug, not data).
+func Gmean(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic("workload: gmean of nothing")
+	}
+	s := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			panic(fmt.Sprintf("workload: gmean of non-positive value %g", v))
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// TraceStats summarises a trace's operation mix — used by the figure
+// harness's sanity checks and by cmd/figures' verbose output.
+type TraceStats struct {
+	Ops          int
+	ByOp         map[sense.Op]int
+	ByPlacement  map[Placement]int
+	OperandRows  int64 // total operand rows across all requests
+	OperandBits  int64 // total operand data volume in bits
+	WidestOR     int   // largest OR operand count
+	GroupedOps   int   // ops carrying a scheduler grouping
+	OtherSeconds float64
+}
+
+// Stats computes the summary.
+func (t *Trace) Stats() TraceStats {
+	s := TraceStats{
+		ByOp:         make(map[sense.Op]int),
+		ByPlacement:  make(map[Placement]int),
+		OtherSeconds: t.Other.Seconds,
+	}
+	for _, op := range t.Ops {
+		s.Ops++
+		s.ByOp[op.Op]++
+		s.ByPlacement[op.Placement]++
+		s.OperandRows += int64(op.Operands)
+		s.OperandBits += int64(op.Operands) * int64(op.Bits)
+		if op.Op == sense.OpOR && op.Operands > s.WidestOR {
+			s.WidestOR = op.Operands
+		}
+		if op.Groups != nil {
+			s.GroupedOps++
+		}
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pinatubo/internal/sense"
+)
+
+func TestPlacementString(t *testing.T) {
+	if PlaceIntra.String() != "intra" || PlaceInterSub.String() != "inter-sub" ||
+		PlaceInterBank.String() != "inter-bank" {
+		t.Error("placement names wrong")
+	}
+	if Placement(9).String() == "" {
+		t.Error("unknown placement string empty")
+	}
+}
+
+func TestOpSpecValidate(t *testing.T) {
+	good := []OpSpec{
+		{Op: sense.OpOR, Operands: 2, Bits: 64},
+		{Op: sense.OpOR, Operands: 128, Bits: 1 << 19},
+		{Op: sense.OpAND, Operands: 2, Bits: 1},
+		{Op: sense.OpXOR, Operands: 5, Bits: 8},
+		{Op: sense.OpINV, Operands: 1, Bits: 8},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	bad := []OpSpec{
+		{Op: sense.OpOR, Operands: 1, Bits: 64},
+		{Op: sense.OpINV, Operands: 2, Bits: 64},
+		{Op: sense.OpOR, Operands: 2, Bits: 0},
+		{Op: sense.Op(9), Operands: 2, Bits: 64},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+}
+
+func TestCostAddScale(t *testing.T) {
+	c := Cost{Seconds: 1, Joules: 2}
+	c.Add(Cost{Seconds: 3, Joules: 4})
+	if c.Seconds != 4 || c.Joules != 6 {
+		t.Errorf("Add wrong: %+v", c)
+	}
+	s := c.Scale(0.5)
+	if s.Seconds != 2 || s.Joules != 3 {
+		t.Errorf("Scale wrong: %+v", s)
+	}
+}
+
+// fakeEngine charges a constant per op.
+type fakeEngine struct {
+	name string
+	per  Cost
+	par  float64
+	err  error
+}
+
+func (f fakeEngine) Name() string                { return f.name }
+func (f fakeEngine) OpCost(OpSpec) (Cost, error) { return f.per, f.err }
+func (f fakeEngine) Parallelism() float64        { return f.par }
+
+func TestTraceRun(t *testing.T) {
+	tr := &Trace{Name: "test", Other: Cost{Seconds: 10, Joules: 100}}
+	for i := 0; i < 4; i++ {
+		tr.Append(OpSpec{Op: sense.OpOR, Operands: 2, Bits: 64})
+	}
+	e := fakeEngine{name: "fake", per: Cost{Seconds: 1, Joules: 2}, par: 2}
+	res, err := tr.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ops × 1s / parallelism 2 = 2s; energy never divided: 8 J.
+	if res.Bitwise.Seconds != 2 || res.Bitwise.Joules != 8 {
+		t.Errorf("bitwise %+v", res.Bitwise)
+	}
+	if res.Total.Seconds != 12 || res.Total.Joules != 108 {
+		t.Errorf("total %+v", res.Total)
+	}
+}
+
+func TestTraceRunErrors(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(OpSpec{Op: sense.OpOR, Operands: 1, Bits: 64}) // invalid
+	if _, err := tr.Run(fakeEngine{par: 1}); err == nil {
+		t.Error("invalid op accepted")
+	}
+	tr2 := &Trace{}
+	tr2.Append(OpSpec{Op: sense.OpOR, Operands: 2, Bits: 64})
+	if _, err := tr2.Run(fakeEngine{par: 1, err: errors.New("boom")}); err == nil {
+		t.Error("engine error swallowed")
+	}
+	if _, err := tr2.Run(fakeEngine{par: 0}); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+}
+
+func TestSpeedupAndSavings(t *testing.T) {
+	base := RunResult{Bitwise: Cost{Seconds: 100, Joules: 1000}, Total: Cost{Seconds: 110, Joules: 1100}}
+	fast := RunResult{Bitwise: Cost{Seconds: 1, Joules: 10}, Total: Cost{Seconds: 11, Joules: 110}}
+	if got := fast.Speedup(base); got != 100 {
+		t.Errorf("Speedup=%g", got)
+	}
+	if got := fast.EnergySaving(base); got != 100 {
+		t.Errorf("EnergySaving=%g", got)
+	}
+	if got := fast.OverallSpeedup(base); got != 10 {
+		t.Errorf("OverallSpeedup=%g", got)
+	}
+	if got := fast.OverallEnergySaving(base); got != 10 {
+		t.Errorf("OverallEnergySaving=%g", got)
+	}
+}
+
+func TestIdealEngine(t *testing.T) {
+	var e Ideal
+	if e.Name() != "Ideal" || e.Parallelism() != 1 {
+		t.Error("Ideal metadata wrong")
+	}
+	c, err := e.OpCost(OpSpec{Op: sense.OpOR, Operands: 2, Bits: 64})
+	if err != nil || c.Seconds != 0 || c.Joules != 0 {
+		t.Error("Ideal should be free")
+	}
+	// An ideal run equals the trace's Other cost.
+	tr := &Trace{Other: Cost{Seconds: 7, Joules: 9}}
+	tr.Append(OpSpec{Op: sense.OpOR, Operands: 2, Bits: 64})
+	res, err := tr.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != tr.Other {
+		t.Errorf("ideal total %+v want %+v", res.Total, tr.Other)
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if got := Gmean([]float64{4, 9}); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Gmean=%g want 6", got)
+	}
+	if got := Gmean([]float64{5}); got != 5 {
+		t.Errorf("Gmean single=%g", got)
+	}
+	for _, bad := range [][]float64{nil, {1, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gmean(%v) did not panic", bad)
+				}
+			}()
+			Gmean(bad)
+		}()
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := &Trace{Other: Cost{Seconds: 3}}
+	tr.Append(OpSpec{Op: sense.OpOR, Operands: 64, Bits: 1 << 14, Placement: PlaceIntra})
+	tr.Append(OpSpec{Op: sense.OpOR, Operands: 8, Bits: 1 << 14, Placement: PlaceInterSub, Groups: []int{4, 4}})
+	tr.Append(OpSpec{Op: sense.OpAND, Operands: 2, Bits: 1 << 10})
+	tr.Append(OpSpec{Op: sense.OpINV, Operands: 1, Bits: 1 << 10})
+	s := tr.Stats()
+	if s.Ops != 4 || s.ByOp[sense.OpOR] != 2 || s.ByOp[sense.OpAND] != 1 {
+		t.Errorf("op counts wrong: %+v", s)
+	}
+	if s.WidestOR != 64 {
+		t.Errorf("WidestOR=%d", s.WidestOR)
+	}
+	if s.GroupedOps != 1 {
+		t.Errorf("GroupedOps=%d", s.GroupedOps)
+	}
+	if s.OperandRows != 64+8+2+1 {
+		t.Errorf("OperandRows=%d", s.OperandRows)
+	}
+	wantBits := int64(64+8)<<14 + int64(2+1)<<10
+	if s.OperandBits != wantBits {
+		t.Errorf("OperandBits=%d want %d", s.OperandBits, wantBits)
+	}
+	if s.OtherSeconds != 3 {
+		t.Errorf("OtherSeconds=%g", s.OtherSeconds)
+	}
+	if s.ByPlacement[PlaceInterSub] != 1 {
+		t.Errorf("placement counts wrong: %v", s.ByPlacement)
+	}
+}
+
+func TestOpSpecGroupValidation(t *testing.T) {
+	good := OpSpec{Op: sense.OpOR, Operands: 5, Bits: 64,
+		Placement: PlaceInterSub, Groups: []int{3, 2}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid grouped spec rejected: %v", err)
+	}
+	cases := []OpSpec{
+		// Groups on a non-OR op.
+		{Op: sense.OpAND, Operands: 2, Bits: 64, Groups: []int{1, 1}, Placement: PlaceInterSub},
+		// Group sum mismatch.
+		{Op: sense.OpOR, Operands: 5, Bits: 64, Groups: []int{3, 3}, Placement: PlaceInterSub},
+		// Zero-sized group.
+		{Op: sense.OpOR, Operands: 3, Bits: 64, Groups: []int{3, 0}, Placement: PlaceInterSub},
+		// Multiple groups claiming intra placement.
+		{Op: sense.OpOR, Operands: 4, Bits: 64, Groups: []int{2, 2}, Placement: PlaceIntra},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	// A single group with intra placement is fine.
+	one := OpSpec{Op: sense.OpOR, Operands: 4, Bits: 64, Groups: []int{4}, Placement: PlaceIntra}
+	if err := one.Validate(); err != nil {
+		t.Errorf("single intra group rejected: %v", err)
+	}
+}

@@ -1,0 +1,513 @@
+// Package pinatubo is a software reproduction of "Pinatubo: A
+// Processing-in-Memory Architecture for Bulk Bitwise Operations in Emerging
+// Non-volatile Memories" (Li et al., DAC 2016).
+//
+// A System is a simulated NVM main memory (PCM by default) whose sense
+// amplifiers, wordline drivers and buffers carry the Pinatubo
+// modifications. Bit-vectors allocated through the PIM-aware allocator live
+// one-per-row; bulk AND/OR/XOR/INV between them executes inside the memory,
+// and every operation reports the latency and energy the architectural
+// model attributes to it.
+//
+//	sys, _ := pinatubo.New(pinatubo.DefaultConfig())
+//	vs, _ := sys.AllocGroup(64, 1<<16) // 64 co-located 64-Kbit vectors
+//	dst, _ := sys.Alloc(1 << 16)
+//	res, _ := sys.Or(dst, vs...)      // one-step 64-row OR in the SAs
+//	fmt.Println(res.Latency, res.EnergyJoules)
+//
+// The internal packages contain the full evaluation apparatus: the analog
+// sense-amplifier model, the DDR command layer, the SIMD / S-DRAM / AC-PIM
+// baselines, the graph and bitmap-database workloads, and the figure
+// harness that regenerates the paper's evaluation section (see cmd/figures
+// and EXPERIMENTS.md).
+package pinatubo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/pim"
+	"pinatubo/internal/pimrt"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// Tech selects the memory cell technology.
+type Tech int
+
+const (
+	// PCM is 1T1R phase-change memory — the paper's case study, with
+	// one-step OR of up to 128 rows.
+	PCM Tech = iota
+	// STTMRAM limits every operation to 2 rows (low ON/OFF ratio).
+	STTMRAM
+	// ReRAM behaves like PCM for Pinatubo purposes.
+	ReRAM
+)
+
+func (t Tech) internal() (nvm.Tech, error) {
+	switch t {
+	case PCM:
+		return nvm.PCM, nil
+	case STTMRAM:
+		return nvm.STTMRAM, nil
+	case ReRAM:
+		return nvm.ReRAM, nil
+	default:
+		return 0, fmt.Errorf("pinatubo: unknown technology %d", int(t))
+	}
+}
+
+// String names the technology.
+func (t Tech) String() string {
+	switch t {
+	case PCM:
+		return "PCM"
+	case STTMRAM:
+		return "STT-MRAM"
+	case ReRAM:
+		return "ReRAM"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Config parameterises a System.
+type Config struct {
+	// Tech is the cell technology (default PCM).
+	Tech Tech
+	// Geometry overrides the memory organisation; zero value = default
+	// (4 channels, 8 lock-step chips per rank, 2^19-bit rank rows).
+	Geometry memarch.Geometry
+	// AnalogCheckBits is the number of bit positions per operation that
+	// are cross-validated through the analog sensing model (0 disables;
+	// the default 8 catches reference-placement regressions at negligible
+	// cost).
+	AnalogCheckBits int
+}
+
+// DefaultConfig returns the evaluation configuration: PCM, default
+// geometry, light analog cross-checking.
+func DefaultConfig() Config {
+	return Config{Tech: PCM, Geometry: memarch.Default(), AnalogCheckBits: 8}
+}
+
+// System is one simulated Pinatubo memory plus its runtime stack.
+type System struct {
+	cfg   Config
+	mem   *memarch.Memory
+	ctl   *pim.Controller
+	alloc *pimrt.Allocator
+	sched *pimrt.Scheduler
+
+	stats Stats
+}
+
+// Stats accumulates the system's lifetime activity.
+type Stats struct {
+	// Ops counts completed bulk operations by placement class name
+	// ("intra-subarray", "inter-subarray", "inter-bank").
+	Ops map[string]int64
+	// Requests is the number of hardware requests issued (a logical OR
+	// over many rows may take several).
+	Requests int64
+	// BusySeconds and EnergyJoules total the simulated time and energy of
+	// all operations, including host reads/writes.
+	BusySeconds  float64
+	EnergyJoules float64
+}
+
+// New builds a system.
+func New(cfg Config) (*System, error) {
+	tech, err := cfg.Tech.internal()
+	if err != nil {
+		return nil, err
+	}
+	geo := cfg.Geometry
+	if geo == (memarch.Geometry{}) {
+		geo = memarch.Default()
+	}
+	mem, err := memarch.NewMemory(geo, nvm.Get(tech))
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := pim.NewController(mem, cfg.AnalogCheckBits)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := pimrt.NewAllocator(geo, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:   cfg,
+		mem:   mem,
+		ctl:   ctl,
+		alloc: alloc,
+		stats: Stats{Ops: make(map[string]int64)},
+	}
+	s.sched = &pimrt.Scheduler{
+		Ctl:     ctl,
+		Scratch: func(sub memarch.RowAddr) memarch.RowAddr { return pimrt.ScratchRow(geo, sub) },
+	}
+	return s, nil
+}
+
+// MaxORRows returns the one-step OR depth of the configured technology
+// (128 for PCM/ReRAM, 2 for STT-MRAM). Wider ORs are legal — the runtime
+// chains them — but pay intermediate writebacks.
+func (s *System) MaxORRows() int { return s.ctl.MaxORRows() }
+
+// RowBits returns the rank-logical row length in bits: vectors up to this
+// length occupy a single row and enjoy one-step operations.
+func (s *System) RowBits() int { return s.mem.Geometry().RowBits() }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *System) Stats() Stats {
+	out := s.stats
+	out.Ops = make(map[string]int64, len(s.stats.Ops))
+	for k, v := range s.stats.Ops {
+		out.Ops[k] = v
+	}
+	return out
+}
+
+// BitVector is a handle to a bit-vector stored in the PIM memory.
+type BitVector struct {
+	sys  *System
+	bits int
+	rows []memarch.RowAddr
+}
+
+// Len returns the vector length in bits.
+func (b *BitVector) Len() int { return b.bits }
+
+// Rows returns the number of physical rows backing the vector.
+func (b *BitVector) Rows() int { return len(b.rows) }
+
+// ErrFreed is returned when a freed vector is used.
+var ErrFreed = errors.New("pinatubo: bit-vector already freed")
+
+func (b *BitVector) check(s *System) error {
+	if b == nil || b.sys == nil {
+		return ErrFreed
+	}
+	if b.sys != s {
+		return errors.New("pinatubo: bit-vector belongs to a different system")
+	}
+	return nil
+}
+
+func (s *System) rowsFor(bits int) (int, error) {
+	if bits < 1 {
+		return 0, fmt.Errorf("pinatubo: vector of %d bits", bits)
+	}
+	rb := s.RowBits()
+	return (bits + rb - 1) / rb, nil
+}
+
+// Alloc allocates one bit-vector (pim_malloc).
+func (s *System) Alloc(bits int) (*BitVector, error) {
+	n, err := s.rowsFor(bits)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.alloc.AllocRows(n)
+	if err != nil {
+		return nil, err
+	}
+	return &BitVector{sys: s, bits: bits, rows: rows}, nil
+}
+
+// AllocGroup allocates count single-row vectors guaranteed to share a
+// subarray, so operations across the whole group are one-step multi-row
+// ops. Each vector must fit one row.
+func (s *System) AllocGroup(count, bits int) ([]*BitVector, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("pinatubo: group of %d vectors", count)
+	}
+	if bits < 1 || bits > s.RowBits() {
+		return nil, fmt.Errorf("pinatubo: group vectors must fit one row (1..%d bits), got %d",
+			s.RowBits(), bits)
+	}
+	rows, err := s.alloc.AllocGroupRows(count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*BitVector, count)
+	for i := range out {
+		out[i] = &BitVector{sys: s, bits: bits, rows: rows[i : i+1]}
+	}
+	return out, nil
+}
+
+// Free returns the vector's rows to the allocator.
+func (s *System) Free(b *BitVector) error {
+	if err := b.check(s); err != nil {
+		return err
+	}
+	s.alloc.Free(b.rows)
+	b.sys = nil
+	return nil
+}
+
+// Result reports one logical operation's cost.
+type Result struct {
+	// Class is the dominant placement class ("intra-subarray", ...).
+	Class string
+	// Requests is the number of hardware requests the runtime issued.
+	Requests int
+	// Latency is the simulated time on the memory channel.
+	Latency time.Duration
+	// EnergyJoules is the simulated energy.
+	EnergyJoules float64
+}
+
+func (s *System) account(class string, requests int, seconds, joules float64) Result {
+	s.stats.Ops[class]++
+	s.stats.Requests += int64(requests)
+	s.stats.BusySeconds += seconds
+	s.stats.EnergyJoules += joules
+	return Result{
+		Class:        class,
+		Requests:     requests,
+		Latency:      time.Duration(seconds * float64(time.Second)),
+		EnergyJoules: joules,
+	}
+}
+
+// Write stores words into the vector through the host interface (DDR
+// burst + cell programming), zero-filling beyond len(words).
+func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
+	if err := b.check(s); err != nil {
+		return Result{}, err
+	}
+	if len(words) > bitvec.WordsFor(b.bits) {
+		return Result{}, fmt.Errorf("pinatubo: %d words exceed %d-bit vector", len(words), b.bits)
+	}
+	var seconds, joules float64
+	perRow := s.RowBits() / 64
+	for i, addr := range b.rows {
+		lo := i * perRow
+		hi := lo + perRow
+		if hi > len(words) {
+			hi = len(words)
+		}
+		var chunk []uint64
+		if lo < len(words) {
+			chunk = words[lo:hi]
+		}
+		bitsHere := s.RowBits()
+		if i == len(b.rows)-1 {
+			bitsHere = b.bits - i*s.RowBits()
+		}
+		res, err := s.ctl.WriteRowFromHost(addr, chunk, bitsHere)
+		if err != nil {
+			return Result{}, err
+		}
+		seconds += res.Seconds
+		joules += res.Energy.Total()
+	}
+	return s.account("host-write", len(b.rows), seconds, joules), nil
+}
+
+// Read returns the vector contents through the host interface.
+func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
+	if err := b.check(s); err != nil {
+		return nil, Result{}, err
+	}
+	words := make([]uint64, 0, bitvec.WordsFor(b.bits))
+	var seconds, joules float64
+	for i, addr := range b.rows {
+		bitsHere := s.RowBits()
+		if i == len(b.rows)-1 {
+			bitsHere = b.bits - i*s.RowBits()
+		}
+		res, err := s.ctl.ReadRow(addr, bitsHere)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		words = append(words, res.Words...)
+		seconds += res.Seconds
+		joules += res.Energy.Total()
+	}
+	words = words[:bitvec.WordsFor(b.bits)]
+	return words, s.account("host-read", len(b.rows), seconds, joules), nil
+}
+
+// sameLength validates operand lengths.
+func sameLength(dst *BitVector, srcs ...*BitVector) error {
+	for _, src := range srcs {
+		if src.bits != dst.bits {
+			return fmt.Errorf("pinatubo: length mismatch: %d vs %d bits", src.bits, dst.bits)
+		}
+	}
+	return nil
+}
+
+// Or computes dst = OR of all srcs inside the memory. Any number of
+// operands ≥ 1 is accepted: the runtime schedules per-subarray one-step
+// multi-row ORs (up to MaxORRows) and combines partial results.
+func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
+	if err := b0check(s, dst, srcs); err != nil {
+		return Result{}, err
+	}
+	if err := sameLength(dst, srcs...); err != nil {
+		return Result{}, err
+	}
+	if len(srcs) == 0 {
+		return Result{}, errors.New("pinatubo: OR of no operands")
+	}
+	var seconds, joules float64
+	requests := 0
+	intra := true
+	for batch := 0; batch < len(dst.rows); batch++ {
+		rows := make([]memarch.RowAddr, len(srcs))
+		for i, src := range srcs {
+			rows[i] = src.rows[batch]
+		}
+		p, err := pimrt.PlacementOf(rows)
+		if err != nil {
+			return Result{}, err
+		}
+		if p != workload.PlaceIntra {
+			intra = false
+		}
+		bitsHere := s.RowBits()
+		if batch == len(dst.rows)-1 {
+			bitsHere = dst.bits - batch*s.RowBits()
+		}
+		res, err := s.sched.OR(rows, bitsHere, dst.rows[batch])
+		if err != nil {
+			return Result{}, err
+		}
+		seconds += res.Cost.Seconds
+		joules += res.Cost.Joules
+		requests += res.Requests
+	}
+	class := "intra-subarray"
+	if !intra {
+		class = "inter-subarray"
+	}
+	return s.account(class, requests, seconds, joules), nil
+}
+
+// b0check validates dst and srcs handles.
+func b0check(s *System, dst *BitVector, srcs []*BitVector) error {
+	if err := dst.check(s); err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		if err := src.check(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binary runs a fixed-arity op per row batch through the controller.
+func (s *System) binary(op sense.Op, dst *BitVector, srcs ...*BitVector) (Result, error) {
+	if err := b0check(s, dst, srcs); err != nil {
+		return Result{}, err
+	}
+	if err := sameLength(dst, srcs...); err != nil {
+		return Result{}, err
+	}
+	var seconds, joules float64
+	class := ""
+	for batch := 0; batch < len(dst.rows); batch++ {
+		rows := make([]memarch.RowAddr, len(srcs))
+		for i, src := range srcs {
+			rows[i] = src.rows[batch]
+		}
+		bitsHere := s.RowBits()
+		if batch == len(dst.rows)-1 {
+			bitsHere = dst.bits - batch*s.RowBits()
+		}
+		res, err := s.ctl.Execute(op, rows, bitsHere, &dst.rows[batch])
+		if err != nil {
+			return Result{}, err
+		}
+		seconds += res.Seconds
+		joules += res.Energy.Total()
+		if class == "" {
+			class = res.Class.String()
+		}
+	}
+	return s.account(class, len(dst.rows), seconds, joules), nil
+}
+
+// And computes dst = a AND b (2-row operation via the shifted reference).
+func (s *System) And(dst, a, b *BitVector) (Result, error) {
+	return s.binary(sense.OpAND, dst, a, b)
+}
+
+// Xor computes dst = a XOR b (two SA micro-steps).
+func (s *System) Xor(dst, a, b *BitVector) (Result, error) {
+	return s.binary(sense.OpXOR, dst, a, b)
+}
+
+// Not computes dst = NOT a (the latch's differential output).
+func (s *System) Not(dst, a *BitVector) (Result, error) {
+	return s.binary(sense.OpINV, dst, a)
+}
+
+// Copy computes dst = a through a read/write-back pass.
+func (s *System) Copy(dst, a *BitVector) (Result, error) {
+	return s.binary(sense.OpRead, dst, a)
+}
+
+// Popcount reads the vector to the host and counts set bits, charging the
+// host-read cost (Pinatubo has no in-memory popcount; the paper leaves
+// reduction operations to the CPU).
+func (s *System) Popcount(b *BitVector) (int, Result, error) {
+	words, res, err := s.Read(b)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	v := bitvec.FromWords(b.bits, words)
+	return v.Popcount(), res, nil
+}
+
+// HardwareCounters mirrors the memory controller's lifetime activity
+// counters — the DIMM-side view of the work done (row activations, sensing
+// steps, cell programs, and how many data bits actually crossed the DDR
+// bus — the quantity Pinatubo exists to minimise).
+type HardwareCounters struct {
+	OpsByClass  map[string]int64
+	Activations int64
+	SenseSteps  int64
+	Writebacks  int64
+	BusBits     int64
+}
+
+// HardwareCounters returns the controller's counters.
+func (s *System) HardwareCounters() HardwareCounters {
+	c := s.ctl.Counters()
+	out := HardwareCounters{
+		OpsByClass:  make(map[string]int64, len(c.Ops)),
+		Activations: c.Activations,
+		SenseSteps:  c.SenseSteps,
+		Writebacks:  c.Writebacks,
+		BusBits:     c.BusBits,
+	}
+	for class, n := range c.Ops {
+		out.OpsByClass[class.String()] = n
+	}
+	return out
+}
+
+// HottestRow reports the most-programmed physical row and its write count —
+// the PCM endurance hot spot (chained operations concentrate writes on
+// accumulator rows; one-step multi-row ops do not).
+func (s *System) HottestRow() (rowDescription string, writes int64) {
+	addr, n := s.mem.HottestRow()
+	if n == 0 {
+		return "", 0
+	}
+	return addr.String(), n
+}

@@ -1,0 +1,492 @@
+package pinatubo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pinatubo/internal/memarch"
+)
+
+func newSys(t testing.TB) *System {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTechStrings(t *testing.T) {
+	if PCM.String() != "PCM" || STTMRAM.String() != "STT-MRAM" || ReRAM.String() != "ReRAM" {
+		t.Error("tech names wrong")
+	}
+	if Tech(9).String() == "" {
+		t.Error("unknown tech string empty")
+	}
+	if _, err := New(Config{Tech: Tech(9)}); err == nil {
+		t.Error("unknown tech accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := newSys(t)
+	if s.MaxORRows() != 128 {
+		t.Errorf("MaxORRows=%d want 128 for PCM", s.MaxORRows())
+	}
+	if s.RowBits() != 1<<19 {
+		t.Errorf("RowBits=%d want 2^19", s.RowBits())
+	}
+	// Zero geometry in the config means default.
+	s2, err := New(Config{Tech: PCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.RowBits() != 1<<19 {
+		t.Error("zero geometry did not default")
+	}
+}
+
+func TestSTTMRAMSystem(t *testing.T) {
+	s, err := New(Config{Tech: STTMRAM, AnalogCheckBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxORRows() != 2 {
+		t.Errorf("STT-MRAM MaxORRows=%d want 2", s.MaxORRows())
+	}
+}
+
+func TestAllocAndFree(t *testing.T) {
+	s := newSys(t)
+	b, err := s.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1000 || b.Rows() != 1 {
+		t.Errorf("Len=%d Rows=%d", b.Len(), b.Rows())
+	}
+	big, err := s.Alloc(1 << 21) // 4 rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Rows() != 4 {
+		t.Errorf("2^21-bit vector has %d rows want 4", big.Rows())
+	}
+	if err := s.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(b); err == nil {
+		t.Error("double free accepted")
+	}
+	if _, err := s.Alloc(0); err == nil {
+		t.Error("zero-bit alloc accepted")
+	}
+}
+
+func TestForeignVectorRejected(t *testing.T) {
+	s1 := newSys(t)
+	s2 := newSys(t)
+	b, err := s1.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.Read(b); err == nil {
+		t.Error("vector from another system accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newSys(t)
+	b, err := s.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []uint64{0xDEADBEEF, ^uint64(0), 0x42, 0xFF}
+	res, err := s.Write(b, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 || res.EnergyJoules <= 0 {
+		t.Error("write should cost time and energy")
+	}
+	got, _, err := s.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail bits beyond 200 must read back zero.
+	if got[0] != 0xDEADBEEF || got[1] != ^uint64(0) || got[2] != 0x42 {
+		t.Errorf("read back %x", got[:3])
+	}
+	if got[3] != 0xFF&((1<<8)-1) {
+		t.Errorf("tail word %x want %x", got[3], 0xFF)
+	}
+	if _, err := s.Write(b, make([]uint64, 10)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestGroupOrOneStep(t *testing.T) {
+	s := newSys(t)
+	const n, bits = 64, 4096
+	vs, err := s.AllocGroup(n, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := make([]uint64, bits/64)
+	for _, v := range vs {
+		words := make([]uint64, bits/64)
+		for i := range words {
+			words[i] = rng.Uint64()
+			want[i] |= words[i]
+		}
+		if _, err := s.Write(v, words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := s.Alloc(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Or(dst, vs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 co-located operands ≤ 128-row depth: a single one-step request.
+	if res.Requests != 1 {
+		t.Errorf("requests=%d want 1 (one-step 64-row OR)", res.Requests)
+	}
+	if res.Class != "intra-subarray" {
+		t.Errorf("class=%q", res.Class)
+	}
+	got, _, err := s.Read(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+}
+
+func TestWideOrChains(t *testing.T) {
+	s := newSys(t)
+	vs, err := s.AllocGroup(200, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if _, err := s.Write(v, []uint64{1 << (i % 60)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := s.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Or(dst, vs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2 {
+		t.Errorf("200-operand OR took %d requests, want 2 (128 + chain)", res.Requests)
+	}
+	got, _, err := s.Read(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := range vs {
+		want |= 1 << (i % 60)
+	}
+	if got[0] != want {
+		t.Errorf("OR=%x want %x", got[0], want)
+	}
+}
+
+func TestBinaryOpsFunctional(t *testing.T) {
+	s := newSys(t)
+	const bits = 256
+	a, _ := s.Alloc(bits)
+	b, _ := s.Alloc(bits)
+	dst, _ := s.Alloc(bits)
+	rng := rand.New(rand.NewSource(2))
+	aw := make([]uint64, 4)
+	bw := make([]uint64, 4)
+	for i := range aw {
+		aw[i], bw[i] = rng.Uint64(), rng.Uint64()
+	}
+	if _, err := s.Write(a, aw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(b, bw); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, run func() error, want func(i int) uint64) {
+		if err := run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, _, err := s.Read(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want(i) {
+				t.Fatalf("%s word %d mismatch", name, i)
+			}
+		}
+	}
+	check("and", func() error { _, err := s.And(dst, a, b); return err },
+		func(i int) uint64 { return aw[i] & bw[i] })
+	check("xor", func() error { _, err := s.Xor(dst, a, b); return err },
+		func(i int) uint64 { return aw[i] ^ bw[i] })
+	check("not", func() error { _, err := s.Not(dst, a); return err },
+		func(i int) uint64 { return ^aw[i] })
+	check("copy", func() error { _, err := s.Copy(dst, a); return err },
+		func(i int) uint64 { return aw[i] })
+}
+
+func TestMultiRowVectors(t *testing.T) {
+	// Vectors spanning several physical rows operate batch by batch.
+	s := newSys(t)
+	bits := s.RowBits() * 2
+	a, _ := s.Alloc(bits)
+	b, _ := s.Alloc(bits)
+	dst, _ := s.Alloc(bits)
+	w := bits / 64
+	aw := make([]uint64, w)
+	bw := make([]uint64, w)
+	aw[0], aw[w-1] = 5, 9
+	bw[0], bw[w-1] = 3, 12
+	if _, err := s.Write(a, aw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(b, bw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Or(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Read(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[w-1] != 13 {
+		t.Errorf("multi-row OR wrong: %d %d", got[0], got[w-1])
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	s := newSys(t)
+	a, _ := s.Alloc(64)
+	b, _ := s.Alloc(128)
+	dst, _ := s.Alloc(64)
+	if _, err := s.Or(dst, a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := s.And(dst, a, b); err == nil {
+		t.Error("length mismatch accepted by And")
+	}
+	if _, err := s.Or(dst); err == nil {
+		t.Error("empty OR accepted")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	s := newSys(t)
+	b, _ := s.Alloc(128)
+	if _, err := s.Write(b, []uint64{0xF, 0x3}); err != nil {
+		t.Fatal(err)
+	}
+	n, res, err := s.Popcount(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("popcount=%d want 6", n)
+	}
+	if res.Latency <= 0 {
+		t.Error("popcount should charge a host read")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := newSys(t)
+	vs, _ := s.AllocGroup(4, 64)
+	dst, _ := s.Alloc(64)
+	for _, v := range vs {
+		if _, err := s.Write(v, []uint64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Or(dst, vs...); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ops["intra-subarray"] != 1 {
+		t.Errorf("intra ops=%d want 1", st.Ops["intra-subarray"])
+	}
+	if st.Ops["host-write"] != 4 {
+		t.Errorf("host writes=%d want 4", st.Ops["host-write"])
+	}
+	if st.BusySeconds <= 0 || st.EnergyJoules <= 0 || st.Requests < 5 {
+		t.Errorf("stats not accumulating: %+v", st)
+	}
+	// The snapshot is a copy.
+	st.Ops["intra-subarray"] = 99
+	if s.Stats().Ops["intra-subarray"] == 99 {
+		t.Error("Stats leaked internal map")
+	}
+}
+
+func TestInterSubarrayClass(t *testing.T) {
+	s := newSys(t)
+	// Allocate enough single-row vectors to cross a subarray boundary.
+	per := memarch.Default().RowsPerSubarray - 1
+	var a, b *BitVector
+	for i := 0; i < per+1; i++ {
+		v, err := s.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			a = v
+		}
+		b = v
+	}
+	dst, _ := s.Alloc(64)
+	res, err := s.Or(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != "inter-subarray" {
+		t.Errorf("class=%q want inter-subarray", res.Class)
+	}
+}
+
+// Property: Or over random operand sets matches the word-wise reference.
+func TestPropOrMatchesReference(t *testing.T) {
+	s := newSys(t)
+	const bits = 192
+	f := func(seed int64, nSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSeed)%7 + 1
+		vs, err := s.AllocGroup(n, bits)
+		if err != nil {
+			return false
+		}
+		want := make([]uint64, 3)
+		for _, v := range vs {
+			words := make([]uint64, 3)
+			for i := range words {
+				words[i] = rng.Uint64()
+				want[i] |= words[i]
+			}
+			if _, err := s.Write(v, words); err != nil {
+				return false
+			}
+		}
+		dst, err := s.Alloc(bits)
+		if err != nil {
+			return false
+		}
+		if _, err := s.Or(dst, vs...); err != nil {
+			return false
+		}
+		got, _, err := s.Read(dst)
+		if err != nil {
+			return false
+		}
+		ok := true
+		for i := range want {
+			ok = ok && got[i] == want[i]
+		}
+		for _, v := range vs {
+			if err := s.Free(v); err != nil {
+				return false
+			}
+		}
+		if err := s.Free(dst); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSystemOr64(b *testing.B) {
+	s := newSys(b)
+	vs, err := s.AllocGroup(64, 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := s.Alloc(1 << 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Or(dst, vs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHardwareCountersExposed(t *testing.T) {
+	s := newSys(t)
+	vs, err := s.AllocGroup(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if _, err := s.Write(v, []uint64{3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := s.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Or(dst, vs...); err != nil {
+		t.Fatal(err)
+	}
+	hc := s.HardwareCounters()
+	if hc.Activations < 4 {
+		t.Errorf("activations=%d want >= 4", hc.Activations)
+	}
+	if hc.SenseSteps < 1 || hc.Writebacks < 5 {
+		t.Errorf("counters %+v", hc)
+	}
+	// Data crossed the bus only for the host writes (4 x 64 bits).
+	if hc.BusBits != 4*64 {
+		t.Errorf("bus bits %d want 256 (host writes only)", hc.BusBits)
+	}
+	if hc.OpsByClass["intra-subarray"] < 1 {
+		t.Errorf("class counts %v", hc.OpsByClass)
+	}
+}
+
+func TestHottestRowExposed(t *testing.T) {
+	s := newSys(t)
+	if desc, n := s.HottestRow(); desc != "" || n != 0 {
+		t.Error("fresh system has a hottest row")
+	}
+	v, err := s.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Write(v, []uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	desc, n := s.HottestRow()
+	if n != 3 || desc == "" {
+		t.Errorf("HottestRow=%q/%d want 3 writes", desc, n)
+	}
+}
