@@ -6,7 +6,7 @@
 // Usage:
 //
 //	figures            # everything
-//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation
+//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	flag.Parse()
 
@@ -127,6 +127,17 @@ func run(fig string, csvOut bool) error {
 			return err
 		}
 		fmt.Println(figures.FormatExtended(rows))
+		printed = true
+	}
+	if want("faults") {
+		rows, err := figures.FaultSweep(figures.DefaultFaultRates)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteFaultSweepCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatFaultSweep(rows))
 		printed = true
 	}
 	if !printed {

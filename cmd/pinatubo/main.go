@@ -37,7 +37,20 @@ func main() {
 	showCmds := flag.Bool("showcmds", false, "dump the DDR command sequence of the operation")
 	waveform := flag.Bool("waveform", false, "render the CSA sensing transient and exit")
 	seed := flag.Int64("seed", 1, "data seed")
+	faultRate := flag.Float64("faultrate", 0, "sense-flip probability per bit at the margin floor (0 = no faults)")
+	actFail := flag.Float64("actfail", 0, "transient activation failure probability per extra open row")
+	wearLimit := flag.Int64("wearlimit", 0, "row programs before a stuck-at bit appears (0 = unlimited)")
+	faultSeed := flag.Int64("faultseed", 1, "fault injection seed")
+	drift := flag.Float64("drift", 0, "seconds of resistance drift before sensing (0 = fresh cells)")
 	flag.Parse()
+
+	fc := pinatubo.FaultConfig{
+		Seed:               *faultSeed,
+		SenseFlipRate:      *faultRate,
+		ActivationFailRate: *actFail,
+		WearLimit:          *wearLimit,
+		DriftSeconds:       *drift,
+	}
 
 	if *waveform {
 		printWaveform()
@@ -50,19 +63,20 @@ func main() {
 		}
 		return
 	}
-	if err := run(*op, *rows, *bits, *tech, *inspect, *seed); err != nil {
+	if err := run(*op, *rows, *bits, *tech, *inspect, *seed, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "pinatubo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opName string, rows, bits int, techName string, inspect bool, seed int64) error {
+func run(opName string, rows, bits int, techName string, inspect bool, seed int64, fc pinatubo.FaultConfig) error {
 	if inspect {
 		printInspect()
 		return nil
 	}
 
 	cfg := pinatubo.DefaultConfig()
+	cfg.Fault = fc
 	switch strings.ToLower(techName) {
 	case "pcm":
 		cfg.Tech = pinatubo.PCM
@@ -153,11 +167,26 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 	fmt.Printf("  throughput %.1f GBps of operand data\n",
 		operandBytes/res.Latency.Seconds()/1e9)
 
+	if res.Retries > 0 || res.Degraded != "" {
+		fmt.Printf("  resilience %d retries, degraded=%q, %d bits corrected\n",
+			res.Retries, res.Degraded, res.BitsCorrected)
+	}
+
 	n, _, err := sys.Popcount(dst)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  result popcount %d / %d\n", n, bits)
+
+	if st := sys.FaultStats(); st != (pinatubo.FaultStats{}) {
+		fmt.Println("fault stats:")
+		fmt.Printf("  injected   %d sense flips, %d activation faults, %d stuck rows (%d bits forced)\n",
+			st.SenseFlips, st.ActivationFaults, st.StuckRows, st.StuckBitsForced)
+		fmt.Printf("  recovered  %d verifies, %d retries, %d depth splits, %d inter / %d host fallbacks\n",
+			st.Verifies, st.Retries, st.DepthReductions, st.InterFallbacks, st.HostFallbacks)
+		fmt.Printf("  retired    %d rows, %d wrong bits intercepted\n",
+			st.RowsRetired, st.BitsCorrected)
+	}
 	return nil
 }
 

@@ -19,9 +19,16 @@ import (
 // drifted for `seconds` since programming. Amorphous PCM follows the
 // canonical power law R(t) = R0 · (t/t0)^ν with ν ≈ 0.05–0.11 and
 // t0 = 1 s; the crystalline SET state drifts negligibly (ν ≈ 0.005).
+// R0 is the resistance characterised at the t0 = 1 s reference, so times
+// below t0 clamp to it: the power law extrapolated below its reference
+// would (wrongly) shrink RHigh, and sub-second structural relaxation is
+// not what this model models.
 func DriftedCell(c nvm.CellParams, seconds float64) (nvm.CellParams, error) {
 	if seconds <= 0 {
 		return nvm.CellParams{}, fmt.Errorf("analog: drift time %g s must be positive", seconds)
+	}
+	if seconds < 1 {
+		seconds = 1
 	}
 	const (
 		nuReset = 0.08

@@ -41,6 +41,29 @@ func TestDriftErrors(t *testing.T) {
 	}
 }
 
+func TestDriftSubSecondClampsToReference(t *testing.T) {
+	// The power law's R0 is characterised at t0 = 1 s; extrapolating below
+	// that reference used to *shrink* RHigh (t^ν < 1 for t < 1). Sub-second
+	// times must clamp to the fresh cell instead.
+	cell := nvm.Get(nvm.PCM).Cell
+	for _, secs := range []float64{1e-9, 0.01, 0.5, 0.999} {
+		got, err := DriftedCell(cell, secs)
+		if err != nil {
+			t.Fatalf("t=%g s: %v", secs, err)
+		}
+		if got.RHigh < cell.RHigh {
+			t.Errorf("t=%g s shrank RHigh: %g -> %g", secs, cell.RHigh, got.RHigh)
+		}
+		ref, err := DriftedCell(cell, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("t=%g s not clamped to the t0=1 s reference: %+v vs %+v", secs, got, ref)
+		}
+	}
+}
+
 func TestHeatShrinksMargins(t *testing.T) {
 	// Heating conducts the amorphous state harder, compressing the ON/OFF
 	// ratio and hence the deep-OR margin.

@@ -1,0 +1,309 @@
+// Package fault is a deterministic, seedable fault-injection model for the
+// Pinatubo stack. The paper dismisses reliability with "we assume the
+// variation is well controlled"; this package models the three ways a real
+// chip violates that assumption, so the controller and runtime above it can
+// be exercised — and hardened — against them:
+//
+//   - Sense-bit flips. The probability a sense amplifier misresolves a bit
+//     is derived from the analog margin model: a 128-row OR sits just above
+//     the offset tolerance and flips often, a 2-row OR has ~20× the margin
+//     and essentially never does. This is exactly the PULSAR observation
+//     that simultaneous many-row activation is where chips get unreliable,
+//     and it is what makes the runtime's depth-reduction retry effective:
+//     splitting a failing deep OR into shallower ones widens the margin.
+//
+//   - Write-endurance wear. PCM cells endure a bounded number of programs;
+//     rows written past Config.WearLimit develop permanent stuck-at bits
+//     (one more per further WearLimit programs) that corrupt every
+//     subsequent write to the row until the allocator retires it.
+//
+//   - Transient activation faults. Multi-row activation through the LWL
+//     latches can fail outright (a latch misses its address slot); the
+//     whole operation errors and must be reissued.
+//
+// Everything is driven by a single seeded PRNG plus per-row hashes, so a
+// given seed and operation sequence reproduces the exact same faults —
+// tests and the fault-sweep figure rely on that.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pinatubo/internal/analog"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+)
+
+// Config parameterises the injector. The zero value injects nothing.
+type Config struct {
+	// Seed makes the injected fault sequence reproducible.
+	Seed int64
+	// SenseFlipRate is the per-bit misresolve probability of a sensing step
+	// operating at the margin floor (margin == offset tolerance). The
+	// effective per-bit probability decays exponentially as the operation's
+	// analog margin widens beyond the floor, so deep multi-row ORs flip at
+	// ~this rate while 2-row ops and plain reads are orders of magnitude
+	// safer. 0 disables sense flips.
+	SenseFlipRate float64
+	// ActivationFailRate is the transient failure probability contributed by
+	// each additional simultaneously-opened row: a multi-row activation of n
+	// rows fails with probability (n-1)·ActivationFailRate (clamped below 1).
+	// 0 disables activation faults.
+	ActivationFailRate float64
+	// WearLimit is how many programs a row endures before it develops a
+	// stuck-at bit; every further WearLimit programs add one more. 0 means
+	// unlimited endurance.
+	WearLimit int64
+	// DriftSeconds derates the sensing margins for data that has drifted
+	// since programming. PCM RESET-state drift *widens* OR margins (RHigh
+	// grows), so larger values make sense flips rarer; the knob exists so
+	// sweeps can show that, not to make faults worse. 0 uses the fresh cell.
+	DriftSeconds float64
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.SenseFlipRate > 0 || c.ActivationFailRate > 0 || c.WearLimit > 0
+}
+
+// Validate rejects out-of-range knobs. New calls it, but callers that
+// gate injector construction on Enabled() should call it themselves so a
+// nonsense config (negative rate, rate above 1) fails loudly instead of
+// silently meaning "disabled".
+func (c Config) Validate() error {
+	if c.SenseFlipRate < 0 || c.SenseFlipRate > 1 {
+		return fmt.Errorf("fault: SenseFlipRate %g outside 0..1", c.SenseFlipRate)
+	}
+	if c.ActivationFailRate < 0 || c.ActivationFailRate > 1 {
+		return fmt.Errorf("fault: ActivationFailRate %g outside 0..1", c.ActivationFailRate)
+	}
+	if c.WearLimit < 0 {
+		return fmt.Errorf("fault: WearLimit %d negative", c.WearLimit)
+	}
+	if c.DriftSeconds < 0 {
+		return fmt.Errorf("fault: DriftSeconds %g negative", c.DriftSeconds)
+	}
+	return nil
+}
+
+// Stats accumulates the injector's lifetime activity — the ground truth a
+// resilience layer is measured against.
+type Stats struct {
+	SenseFlips       int64 // bits flipped on the sensing path
+	ActivationFaults int64 // transient multi-row activation failures
+	StuckRows        int64 // rows that have developed at least one stuck bit
+	StuckBitsForced  int64 // written bits overridden by a stuck cell
+	RowWrites        int64 // row programs seen by the wear model
+}
+
+// stuckBit is one permanently-failed cell of a worn row.
+type stuckBit struct {
+	pos int  // bit position within the row
+	val bool // the value the cell is stuck at
+}
+
+// Injector draws faults for one memory. Not safe for concurrent use, like
+// the controller that owns it.
+type Injector struct {
+	cfg     Config
+	scfg    analog.SenseConfig
+	cell    nvm.CellParams
+	rowBits int
+	rng     *rand.Rand
+	margins map[marginKey]float64
+	wear    map[uint64]int64
+	stuck   map[uint64][]stuckBit
+	stats   Stats
+}
+
+type marginKey struct {
+	op   sense.Op
+	rows int
+}
+
+// New builds an injector for the technology. rowBits is the rank-logical
+// row width (stuck-at positions are drawn inside it).
+func New(cfg Config, p nvm.Params, scfg analog.SenseConfig, rowBits int) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rowBits < 1 {
+		return nil, fmt.Errorf("fault: rowBits %d must be positive", rowBits)
+	}
+	cell := p.Cell
+	if cfg.DriftSeconds > 0 {
+		drifted, err := analog.DriftedCell(cell, cfg.DriftSeconds)
+		if err != nil {
+			return nil, err
+		}
+		cell = drifted
+	}
+	return &Injector{
+		cfg:     cfg,
+		scfg:    scfg,
+		cell:    cell,
+		rowBits: rowBits,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		margins: make(map[marginKey]float64),
+		wear:    make(map[uint64]int64),
+		stuck:   make(map[uint64][]stuckBit),
+	}, nil
+}
+
+// Stats returns a snapshot of the accumulated fault activity.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// margin returns the worst-case analog margin of one sensing step of op over
+// `rows` simultaneously-open rows, memoised (the analog math is pure).
+func (in *Injector) margin(op sense.Op, rows int) float64 {
+	key := marginKey{op: op, rows: rows}
+	if m, ok := in.margins[key]; ok {
+		return m
+	}
+	var m float64
+	switch {
+	case rows < 2 || op == sense.OpRead || op == sense.OpINV:
+		m = analog.ReadMargin(in.scfg, in.cell)
+	case op == sense.OpAND, op == sense.OpXOR:
+		// XOR's two micro-steps share the AND reference as the tighter one.
+		m = analog.ANDMargin(in.scfg, in.cell, rows)
+	default:
+		m = analog.ORMargin(in.scfg, in.cell, rows)
+	}
+	in.margins[key] = m
+	return m
+}
+
+// FlipProb returns the effective per-bit misresolve probability of op over
+// `rows` open rows: SenseFlipRate at the margin floor, decaying
+// exponentially (one e-fold per offset tolerance of extra margin) as the
+// operation gets easier to sense.
+func (in *Injector) FlipProb(op sense.Op, rows int) float64 {
+	if in.cfg.SenseFlipRate == 0 {
+		return 0
+	}
+	m := in.margin(op, rows)
+	tol := in.scfg.OffsetTol
+	if m <= tol {
+		return in.cfg.SenseFlipRate
+	}
+	return in.cfg.SenseFlipRate * math.Exp(-(m-tol)/tol)
+}
+
+// FlipSensed corrupts the sensed words of one operation in place, flipping
+// each of the first `bits` bits independently with FlipProb. It returns how
+// many bits were flipped.
+func (in *Injector) FlipSensed(op sense.Op, rows, bits int, words []uint64) int {
+	p := in.FlipProb(op, rows)
+	if p == 0 || bits == 0 {
+		return 0
+	}
+	n := in.poisson(float64(bits) * p)
+	for k := 0; k < n; k++ {
+		pos := in.rng.Intn(bits)
+		words[pos/64] ^= 1 << uint(pos%64)
+	}
+	in.stats.SenseFlips += int64(n)
+	return n
+}
+
+// poisson draws a Poisson variate (Knuth's method; the rates in play keep
+// lambda small, and the loop is exact for any lambda).
+func (in *Injector) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= in.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// ActivationFault reports whether this multi-row activation of `rows` rows
+// transiently fails. Single-row activates never do.
+func (in *Injector) ActivationFault(rows int) bool {
+	if in.cfg.ActivationFailRate == 0 || rows < 2 {
+		return false
+	}
+	p := float64(rows-1) * in.cfg.ActivationFailRate
+	if p > 1 {
+		p = 1
+	}
+	if in.rng.Float64() < p {
+		in.stats.ActivationFaults++
+		return true
+	}
+	return false
+}
+
+// RecordWrite advances the wear counter of the row identified by its encoded
+// address. Crossing a multiple of WearLimit mints one new stuck-at bit whose
+// position and polarity derive from a hash of (seed, row, event) — the same
+// row always fails the same way, independent of operation order.
+func (in *Injector) RecordWrite(key uint64) {
+	in.stats.RowWrites++
+	if in.cfg.WearLimit == 0 {
+		return
+	}
+	in.wear[key]++
+	if in.wear[key]%in.cfg.WearLimit != 0 {
+		return
+	}
+	event := in.wear[key] / in.cfg.WearLimit
+	h := splitmix64(uint64(in.cfg.Seed) ^ key*0x9e3779b97f4a7c15 ^ uint64(event))
+	b := stuckBit{
+		pos: int(h % uint64(in.rowBits)),
+		val: h&(1<<63) != 0,
+	}
+	if len(in.stuck[key]) == 0 {
+		in.stats.StuckRows++
+	}
+	in.stuck[key] = append(in.stuck[key], b)
+}
+
+// Wear returns the program count the wear model has seen for the row.
+func (in *Injector) Wear(key uint64) int64 { return in.wear[key] }
+
+// Worn reports whether the row has developed stuck-at bits.
+func (in *Injector) Worn(key uint64) bool { return len(in.stuck[key]) > 0 }
+
+// CorruptStored forces the row's stuck-at bits into freshly-programmed row
+// words in place, modelling the cells that no longer accept the write. It
+// returns how many bits were actually overridden (a write agreeing with the
+// stuck value is unharmed).
+func (in *Injector) CorruptStored(key uint64, row []uint64) int {
+	forced := 0
+	for _, b := range in.stuck[key] {
+		wi, mask := b.pos/64, uint64(1)<<uint(b.pos%64)
+		if wi >= len(row) {
+			continue
+		}
+		was := row[wi]&mask != 0
+		if was == b.val {
+			continue
+		}
+		if b.val {
+			row[wi] |= mask
+		} else {
+			row[wi] &^= mask
+		}
+		forced++
+	}
+	in.stats.StuckBitsForced += int64(forced)
+	return forced
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"testing"
+
+	"pinatubo/internal/analog"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/sense"
+)
+
+func newPCM(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := New(cfg, nvm.Get(nvm.PCM), analog.DefaultSenseConfig(), 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{}, false},
+		{Config{Seed: 7}, false},
+		{Config{DriftSeconds: 100}, false},
+		{Config{SenseFlipRate: 1e-6}, true},
+		{Config{ActivationFailRate: 1e-4}, true},
+		{Config{WearLimit: 100}, true},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("Enabled(%+v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{SenseFlipRate: -1},
+		{SenseFlipRate: 1.5},
+		{ActivationFailRate: -0.1},
+		{ActivationFailRate: 2},
+		{WearLimit: -1},
+		{DriftSeconds: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, nvm.Get(nvm.PCM), analog.DefaultSenseConfig(), 64); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", cfg)
+		}
+	}
+}
+
+func TestFlipProbOrderedByMargin(t *testing.T) {
+	// The whole point of the margin-derived model: deep ORs flip much more
+	// than shallow ones, which flip much more than plain reads. The ladder
+	// the runtime climbs down must be monotone.
+	in := newPCM(t, Config{SenseFlipRate: 1e-3})
+	p128 := in.FlipProb(sense.OpOR, 128)
+	p64 := in.FlipProb(sense.OpOR, 64)
+	p2 := in.FlipProb(sense.OpOR, 2)
+	pRead := in.FlipProb(sense.OpRead, 1)
+	if !(p128 > p64 && p64 > p2 && p2 >= pRead) {
+		t.Fatalf("flip probabilities not ordered by margin: OR128=%g OR64=%g OR2=%g read=%g",
+			p128, p64, p2, pRead)
+	}
+	// Halving the depth of a failing 128-row OR must buy real safety.
+	if p128 < 10*p64 {
+		t.Errorf("depth reduction 128->64 should cut the flip rate by >=10x, got %g -> %g", p128, p64)
+	}
+	if p128 > in.cfg.SenseFlipRate {
+		t.Errorf("flip probability %g exceeds the configured rate %g", p128, in.cfg.SenseFlipRate)
+	}
+}
+
+func TestFlipSensedDeterministic(t *testing.T) {
+	run := func() (int, []uint64) {
+		in := newPCM(t, Config{Seed: 42, SenseFlipRate: 0.01})
+		words := make([]uint64, 1<<10)
+		n := 0
+		for i := 0; i < 20; i++ {
+			n += in.FlipSensed(sense.OpOR, 128, 1<<16, words)
+		}
+		return n, words
+	}
+	n1, w1 := run()
+	n2, w2 := run()
+	if n1 != n2 {
+		t.Fatalf("same seed, different flip counts: %d vs %d", n1, n2)
+	}
+	if n1 == 0 {
+		t.Fatal("0.01 rate over 20 deep ORs of 64 Kbit flipped nothing")
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("same seed, different flip positions at word %d", i)
+		}
+	}
+}
+
+func TestFlipSensedZeroRate(t *testing.T) {
+	in := newPCM(t, Config{WearLimit: 10}) // enabled, but no sense flips
+	words := make([]uint64, 16)
+	if n := in.FlipSensed(sense.OpOR, 128, 1024, words); n != 0 {
+		t.Fatalf("flipped %d bits with SenseFlipRate=0", n)
+	}
+	for _, w := range words {
+		if w != 0 {
+			t.Fatal("words mutated with SenseFlipRate=0")
+		}
+	}
+}
+
+func TestActivationFault(t *testing.T) {
+	in := newPCM(t, Config{ActivationFailRate: 0.01})
+	if in.ActivationFault(1) {
+		t.Fatal("single-row activation faulted")
+	}
+	faults := 0
+	for i := 0; i < 1000; i++ {
+		if in.ActivationFault(128) {
+			faults++
+		}
+	}
+	// p = 127*0.01 > 1 clamps to certainty.
+	if faults != 1000 {
+		t.Fatalf("128-row activation at clamped p=1 faulted %d/1000 times", faults)
+	}
+	if got := in.Stats().ActivationFaults; got != 1000 {
+		t.Fatalf("stats recorded %d activation faults, want 1000", got)
+	}
+}
+
+func TestWearMintsStuckBits(t *testing.T) {
+	in := newPCM(t, Config{Seed: 1, WearLimit: 10})
+	const key = 12345
+	for i := 0; i < 9; i++ {
+		in.RecordWrite(key)
+	}
+	if in.Worn(key) {
+		t.Fatal("row worn before reaching the limit")
+	}
+	in.RecordWrite(key)
+	if !in.Worn(key) {
+		t.Fatal("row not worn after WearLimit programs")
+	}
+	if got := in.Wear(key); got != 10 {
+		t.Fatalf("wear counter %d, want 10", got)
+	}
+	// Another WearLimit programs mint a second stuck bit.
+	for i := 0; i < 10; i++ {
+		in.RecordWrite(key)
+	}
+	if got := len(in.stuck[key]); got != 2 {
+		t.Fatalf("%d stuck bits after 2x WearLimit programs, want 2", got)
+	}
+	st := in.Stats()
+	if st.StuckRows != 1 {
+		t.Fatalf("StuckRows = %d, want 1", st.StuckRows)
+	}
+	if st.RowWrites != 20 {
+		t.Fatalf("RowWrites = %d, want 20", st.RowWrites)
+	}
+}
+
+func TestStuckBitsDeterministicPerRow(t *testing.T) {
+	// The same (seed, row, event) must always fail the same way, regardless
+	// of what else happened in between — tests and sweeps rely on it.
+	mint := func(extraTraffic bool) []stuckBit {
+		in := newPCM(t, Config{Seed: 9, WearLimit: 3})
+		if extraTraffic {
+			for i := 0; i < 50; i++ {
+				in.RecordWrite(777)
+				in.ActivationFault(64)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			in.RecordWrite(42)
+		}
+		return in.stuck[42]
+	}
+	a, b := mint(false), mint(true)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("stuck bits depend on unrelated traffic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCorruptStored(t *testing.T) {
+	in := newPCM(t, Config{Seed: 3, WearLimit: 1})
+	const key = 7
+	in.RecordWrite(key)
+	b := in.stuck[key][0]
+	row := make([]uint64, 1<<13)
+	// Program the complement of the stuck value: the cell must override it.
+	if !b.val {
+		row[b.pos/64] |= 1 << uint(b.pos%64)
+	}
+	if forced := in.CorruptStored(key, row); forced != 1 {
+		t.Fatalf("forced %d bits, want 1", forced)
+	}
+	got := row[b.pos/64]&(1<<uint(b.pos%64)) != 0
+	if got != b.val {
+		t.Fatal("stored bit does not match the stuck value")
+	}
+	// Writing the stuck value itself is unharmed.
+	if forced := in.CorruptStored(key, row); forced != 0 {
+		t.Fatalf("agreeing write forced %d bits, want 0", forced)
+	}
+	if st := in.Stats(); st.StuckBitsForced != 1 {
+		t.Fatalf("StuckBitsForced = %d, want 1", st.StuckBitsForced)
+	}
+}
+
+func TestDriftWidensMarginsReducesFlips(t *testing.T) {
+	fresh := newPCM(t, Config{SenseFlipRate: 1e-3})
+	aged := newPCM(t, Config{SenseFlipRate: 1e-3, DriftSeconds: 1e6})
+	if pf, pa := fresh.FlipProb(sense.OpOR, 128), aged.FlipProb(sense.OpOR, 128); pa >= pf {
+		t.Fatalf("drift should widen the 128-row margin and cut flips: fresh %g, aged %g", pf, pa)
+	}
+}

@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFaultSweep(t *testing.T) {
+	// One fault-free point and one hot enough that the ladder must engage.
+	rows, err := FaultSweep([]float64{0, 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.WrongWords != 0 {
+			t.Fatalf("rate %g returned %d wrong words — resilience contract broken", r.Rate, r.WrongWords)
+		}
+		if r.GBps <= 0 {
+			t.Fatalf("rate %g: bandwidth %g", r.Rate, r.GBps)
+		}
+	}
+	base, hot := rows[0], rows[1]
+	if base.SenseFlips != 0 || base.Retries != 0 || base.Slowdown != 1 {
+		t.Fatalf("fault-free baseline shows ladder activity: %+v", base)
+	}
+	if hot.SenseFlips == 0 || hot.Retries == 0 {
+		t.Fatalf("1e-4 point shows no faults or retries: %+v", hot)
+	}
+	if hot.Slowdown <= 1 {
+		t.Fatalf("verification traffic should cost bandwidth: slowdown %g", hot.Slowdown)
+	}
+
+	text := FormatFaultSweep(rows)
+	if !strings.Contains(text, "fault-free") || !strings.Contains(text, "exact") {
+		t.Fatalf("format output missing labels:\n%s", text)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFaultSweepCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "rate,gbps") {
+		t.Fatalf("csv output malformed:\n%s", buf.String())
+	}
+}

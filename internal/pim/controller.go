@@ -15,6 +15,7 @@ import (
 	"pinatubo/internal/bitvec"
 	"pinatubo/internal/ddr"
 	"pinatubo/internal/energy"
+	"pinatubo/internal/fault"
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/sense"
 )
@@ -56,6 +57,11 @@ var ErrCrossRank = errors.New("pim: operands span ranks or channels; not support
 // ErrSharedRow is returned when two operands name the same physical row.
 var ErrSharedRow = errors.New("pim: operands share a physical row; Pinatubo requires distinct rows")
 
+// ErrActivationFault is returned when a multi-row activation transiently
+// fails under fault injection. The operation touched no cell state, so the
+// caller may simply reissue it.
+var ErrActivationFault = errors.New("pim: transient multi-row activation fault")
+
 // InterORLimit caps the operand count of a single inter-subarray/bank OR
 // request; longer chains are split by the runtime scheduler.
 const InterORLimit = 256
@@ -92,6 +98,9 @@ type Controller struct {
 	bus      ddr.BusParams
 	mrs      ddr.ModeRegisters
 	counters Counters
+	// inj, when attached, corrupts sensing and cell writes — see
+	// internal/fault. nil means the ideal-hardware model.
+	inj *fault.Injector
 }
 
 // NewController builds a controller over mem. checkBits configures the
@@ -108,6 +117,13 @@ func NewController(mem *memarch.Memory, checkBits int) (*Controller, error) {
 		counters: Counters{Ops: make(map[Class]int64)},
 	}, nil
 }
+
+// AttachInjector wires a fault injector into the controller's sensing and
+// cell-write paths. Passing nil restores the ideal-hardware model.
+func (c *Controller) AttachInjector(in *fault.Injector) { c.inj = in }
+
+// Injector returns the attached fault injector (nil when none).
+func (c *Controller) Injector() *fault.Injector { return c.inj }
 
 // Counters returns a snapshot of the accumulated hardware activity.
 func (c *Controller) Counters() Counters {
@@ -165,7 +181,7 @@ func (c *Controller) Classify(srcs []memarch.RowAddr) (Class, error) {
 		}
 	}
 	if !memarch.DistinctRows(geo, srcs...) {
-		return 0, ErrSharedRow
+		return 0, fmt.Errorf("pim: classifying %d operand rows: %w", len(srcs), ErrSharedRow)
 	}
 	switch {
 	case memarch.SameSubarray(srcs...):
@@ -175,7 +191,7 @@ func (c *Controller) Classify(srcs []memarch.RowAddr) (Class, error) {
 	case memarch.SameRank(srcs...):
 		return ClassInterBank, nil
 	default:
-		return 0, ErrCrossRank
+		return 0, fmt.Errorf("pim: classifying %d operand rows: %w", len(srcs), ErrCrossRank)
 	}
 }
 
@@ -210,6 +226,19 @@ func (c *Controller) validateOperandCount(op sense.Op, class Class, n int) error
 // otherwise the result is burst onto the DDR bus for the host. The result
 // words are returned either way so callers can verify functionally.
 func (c *Controller) Execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr) (*Result, error) {
+	return c.execute(op, srcs, bits, dst, false)
+}
+
+// ExecuteDigital forces the serial digital datapath (global row buffer /
+// I/O buffer) even when the operands share a subarray. The digital path
+// reads every operand with single-row sensing — the widest margin the chip
+// has — so the resilience layer uses it when multi-row analog sensing keeps
+// failing: slower, never deep-margin-limited.
+func (c *Controller) ExecuteDigital(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr) (*Result, error) {
+	return c.execute(op, srcs, bits, dst, true)
+}
+
+func (c *Controller) execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, digital bool) (*Result, error) {
 	geo := c.mem.Geometry()
 	if bits < 1 || bits > geo.RowBits() {
 		return nil, fmt.Errorf("pim: bits=%d outside 1..%d (row length)", bits, geo.RowBits())
@@ -217,6 +246,9 @@ func (c *Controller) Execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst 
 	class, err := c.Classify(srcs)
 	if err != nil {
 		return nil, err
+	}
+	if digital && class == ClassIntraSub {
+		class = ClassInterSub
 	}
 	if err := c.validateOperandCount(op, class, len(srcs)); err != nil {
 		return nil, err
@@ -263,11 +295,27 @@ func (c *Controller) Execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst 
 	c.tally(class, res.Commands)
 
 	if dst != nil {
-		if err := c.mem.WriteRow(*dst, res.Words); err != nil {
+		if err := c.store(*dst, res.Words); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// store programs a row, routing the write through the wear model: worn rows
+// keep their stuck-at bits regardless of what the write drivers deliver.
+func (c *Controller) store(addr memarch.RowAddr, words []uint64) error {
+	if err := c.mem.WriteRow(addr, words); err != nil {
+		return err
+	}
+	if c.inj != nil {
+		key := c.mem.Geometry().Encode(addr)
+		c.inj.RecordWrite(key)
+		if c.inj.Worn(key) {
+			c.inj.CorruptStored(key, c.mem.PeekRow(addr))
+		}
+	}
+	return nil
 }
 
 // senseGroups returns how many serial column-group sensing steps cover
@@ -299,6 +347,11 @@ func (c *Controller) execIntra(op sense.Op, srcs []memarch.RowAddr, bits int, ds
 	if lwl.OpenCount() != len(srcs) {
 		return fmt.Errorf("pim: LWL opened %d rows, want %d", lwl.OpenCount(), len(srcs))
 	}
+	if c.inj != nil && c.inj.ActivationFault(len(srcs)) {
+		// The latches lost a row address before sensing began; no cell or
+		// buffer state changed, so the request can simply be reissued.
+		return fmt.Errorf("pim: activating %d rows: %w", len(srcs), ErrActivationFault)
+	}
 
 	// Sensing: one CmdSense per column group per micro-step.
 	groups := senseGroups(geo, bits)
@@ -316,6 +369,9 @@ func (c *Controller) execIntra(op sense.Op, srcs []memarch.RowAddr, bits int, ds
 	out, err := c.sa.ComputeWords(op, rows)
 	if err != nil {
 		return err
+	}
+	if c.inj != nil {
+		c.inj.FlipSensed(op, len(srcs), bits, out)
 	}
 	res.Words = out
 
@@ -376,6 +432,14 @@ func (c *Controller) execInter(op sense.Op, srcs []memarch.RowAddr, bits int, ds
 		res.Energy.Add(energy.Buffer, fbits*e.BufferPerBit)
 
 		row := c.mem.PeekRow(s)[:w]
+		if c.inj != nil {
+			// The digital path senses each operand with an ordinary
+			// single-row read; flips are possible but read-margin rare.
+			cp := make([]uint64, w)
+			copy(cp, row)
+			c.inj.FlipSensed(sense.OpRead, 1, bits, cp)
+			row = cp
+		}
 		if i == 0 {
 			copy(buf[:w], row)
 			continue
@@ -482,7 +546,7 @@ func (c *Controller) WriteRowFromHost(addr memarch.RowAddr, words []uint64, bits
 	e := c.mem.Tech().Energy
 	res.Energy.Add(energy.IOBus, float64(bits)*e.IOBusPerBit)
 	res.Energy.Add(energy.WriteDriver, float64(bits)*e.WritePerBit)
-	if err := c.mem.WriteRow(addr, words); err != nil {
+	if err := c.store(addr, words); err != nil {
 		return nil, err
 	}
 	res.Words = words

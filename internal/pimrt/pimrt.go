@@ -28,6 +28,7 @@ var ErrOutOfMemory = errors.New("pimrt: out of memory rows")
 type Allocator struct {
 	geo     memarch.Geometry
 	free    map[uint64]bool // explicit frees, reused before fresh rows
+	retired map[uint64]bool // worn-out rows, permanently out of circulation
 	next    uint64          // next never-allocated row index
 	max     uint64
 	scratch bool // reserve the last row of every subarray for the scheduler
@@ -44,6 +45,7 @@ func NewAllocator(geo memarch.Geometry, reserveScratch bool) (*Allocator, error)
 	return &Allocator{
 		geo:     geo,
 		free:    make(map[uint64]bool),
+		retired: make(map[uint64]bool),
 		max:     uint64(geo.TotalRows()),
 		scratch: reserveScratch,
 	}, nil
@@ -92,7 +94,8 @@ func (a *Allocator) AllocRows(n int) ([]memarch.RowAddr, error) {
 	for len(out) < n {
 		a.skipReserved()
 		if a.next >= a.max {
-			return nil, ErrOutOfMemory
+			return nil, fmt.Errorf("pimrt: allocating %d rows (%d still needed): %w",
+				n, n-len(out), ErrOutOfMemory)
 		}
 		out = append(out, a.geo.Decode(a.next))
 		a.next++
@@ -123,7 +126,7 @@ func (a *Allocator) AllocGroupRows(n int) ([]memarch.RowAddr, error) {
 		a.next += per - used
 	}
 	if a.next+uint64(n) > a.max {
-		return nil, ErrOutOfMemory
+		return nil, fmt.Errorf("pimrt: allocating a %d-row group: %w", n, ErrOutOfMemory)
 	}
 	out := make([]memarch.RowAddr, n)
 	for i := range out {
@@ -133,15 +136,32 @@ func (a *Allocator) AllocGroupRows(n int) ([]memarch.RowAddr, error) {
 	return out, nil
 }
 
-// Free returns rows to the allocator.
+// Free returns rows to the allocator. Retired rows stay out of circulation.
 func (a *Allocator) Free(rows []memarch.RowAddr) {
 	for _, r := range rows {
-		a.free[a.geo.Encode(r)] = true
+		key := a.geo.Encode(r)
+		if a.retired[key] {
+			continue
+		}
+		a.free[key] = true
 	}
 }
 
-// AllocatedRows reports how many rows are currently live.
+// Retire permanently removes a row from circulation (wear-out: its cells no
+// longer store what the write drivers deliver). A retired row is never
+// handed out again, even if Free is later called on it.
+func (a *Allocator) Retire(r memarch.RowAddr) {
+	key := a.geo.Encode(r)
+	a.retired[key] = true
+	delete(a.free, key)
+}
+
+// AllocatedRows reports how many rows are currently live (retired rows
+// still count — their capacity is lost, not reclaimed).
 func (a *Allocator) AllocatedRows() int { return int(a.next) - len(a.free) }
+
+// RetiredRows reports how many rows have been retired.
+func (a *Allocator) RetiredRows() int { return len(a.retired) }
 
 // --- scheduling ---
 
@@ -182,7 +202,7 @@ func PlacementOf(rows []memarch.RowAddr) (workload.Placement, error) {
 	case memarch.SameRank(rows...):
 		return workload.PlaceInterBank, nil
 	default:
-		return 0, pim.ErrCrossRank
+		return 0, fmt.Errorf("pimrt: placing %d operand rows: %w", len(rows), pim.ErrCrossRank)
 	}
 }
 
@@ -225,6 +245,17 @@ type Scheduler struct {
 	// Scratch returns a scratch row in the given subarray for partial
 	// results.
 	Scratch func(sub memarch.RowAddr) memarch.RowAddr
+	// Res enables the verify-and-retry resilience ladder (resilience.go);
+	// nil schedules plainly, trusting the hardware.
+	Res *Resilience
+	// Remap, when set, supplies a replacement row for a destination whose
+	// cells are damaged (the old row should be retired by the provider).
+	Remap func(old memarch.RowAddr) (memarch.RowAddr, error)
+	// Release, when set, takes back rows the scheduler borrowed through
+	// Remap for internal partials it no longer needs.
+	Release func(rows []memarch.RowAddr)
+
+	stats FaultStats
 }
 
 // ScheduleResult summarises one scheduled logical operation.
@@ -232,6 +263,14 @@ type ScheduleResult struct {
 	Requests int
 	Cost     workload.Cost
 	Words    []uint64
+
+	// Resilience outcome — all zero when the ladder is off or never needed.
+	Retries       int    // hardware re-executions
+	Degraded      string // worst degradation rung taken ("" = native path)
+	BitsCorrected int64  // wrong bits intercepted by verification
+	// FinalDst is where the result actually lives; it differs from the
+	// requested destination only when that row was retired mid-operation.
+	FinalDst memarch.RowAddr
 }
 
 // OR executes the logical OR of the operand rows into dst.
@@ -239,22 +278,21 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 	if len(rows) == 0 {
 		return nil, errors.New("pimrt: OR of no rows")
 	}
-	res := &ScheduleResult{}
+	res := &ScheduleResult{FinalDst: dst}
+	tgt := dst
 	if len(rows) == 1 {
 		// Degenerate copy: read + write through the controller.
-		r, err := s.Ctl.Execute(sense.OpRead, rows, bits, &dst)
-		if err != nil {
+		if _, err := s.request(sense.OpRead, rows, bits, &tgt, nil, res); err != nil {
 			return nil, err
 		}
-		res.Requests = 1
-		res.Cost = workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()}
-		res.Words = r.Words
+		res.FinalDst = tgt
 		return res, nil
 	}
 
 	depth := s.Ctl.MaxORRows()
 	groups := GroupBySubarray(rows)
 	partials := make([]memarch.RowAddr, 0, len(groups))
+	var borrowed []memarch.RowAddr
 	for _, g := range groups {
 		if len(g) == 1 {
 			partials = append(partials, g[0])
@@ -265,37 +303,48 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 		if len(groups) == 1 {
 			target = dst
 		}
-		if err := s.chainedOR(g, bits, target, depth, res); err != nil {
+		orig := target
+		if err := s.chainedOR(g, bits, &target, depth, res); err != nil {
 			return nil, err
 		}
+		if len(groups) == 1 {
+			res.FinalDst = target
+			return res, nil
+		}
+		if target != orig {
+			// The scratch row wore out mid-chain and the partial now lives
+			// in a row on loan from the allocator; return it once combined.
+			borrowed = append(borrowed, target)
+		}
 		partials = append(partials, target)
-	}
-	if len(groups) == 1 {
-		return res, nil
 	}
 	// Combine partials across subarrays/banks. The partials necessarily
 	// live in distinct subarrays, so this is one inter request (chunked at
 	// the request cap when enormous).
-	if err := s.chainedOR(partials, bits, dst, pim.InterORLimit, res); err != nil {
+	if err := s.chainedOR(partials, bits, &tgt, pim.InterORLimit, res); err != nil {
 		return nil, err
+	}
+	res.FinalDst = tgt
+	if s.Release != nil && len(borrowed) > 0 {
+		s.Release(borrowed)
 	}
 	return res, nil
 }
 
-// chainedOR folds rows into target with requests of at most depth operands.
-func (s *Scheduler) chainedOR(rows []memarch.RowAddr, bits int, target memarch.RowAddr, depth int, res *ScheduleResult) error {
+// chainedOR folds rows into *target with requests of at most depth
+// operands. Every link goes through request, so with resilience enabled
+// each one is verified before the next consumes the accumulator; the
+// verified words double as the restore checkpoint for the following link.
+func (s *Scheduler) chainedOR(rows []memarch.RowAddr, bits int, target *memarch.RowAddr, depth int, res *ScheduleResult) error {
 	take := len(rows)
 	if take > depth {
 		take = depth
 	}
 	srcs := append([]memarch.RowAddr(nil), rows[:take]...)
-	r, err := s.Ctl.Execute(sense.OpOR, srcs, bits, &target)
+	words, err := s.request(sense.OpOR, srcs, bits, target, nil, res)
 	if err != nil {
 		return err
 	}
-	res.Requests++
-	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
-	res.Words = r.Words
 	done := take
 	for done < len(rows) {
 		take = len(rows) - done
@@ -303,15 +352,12 @@ func (s *Scheduler) chainedOR(rows []memarch.RowAddr, bits int, target memarch.R
 			take = depth - 1
 		}
 		srcs = srcs[:0]
-		srcs = append(srcs, target)
+		srcs = append(srcs, *target)
 		srcs = append(srcs, rows[done:done+take]...)
-		r, err := s.Ctl.Execute(sense.OpOR, srcs, bits, &target)
+		words, err = s.request(sense.OpOR, srcs, bits, target, words, res)
 		if err != nil {
 			return err
 		}
-		res.Requests++
-		res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
-		res.Words = r.Words
 		done += take
 	}
 	return nil

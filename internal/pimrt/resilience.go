@@ -1,0 +1,352 @@
+package pimrt
+
+// This file is the runtime half of the verify-and-retry resilience layer.
+// Every hardware request the scheduler issues can be verified against the
+// controller's digital reference and, on failure, walked down a degradation
+// ladder that trades speed for certainty but never returns a wrong answer:
+//
+//	1. retry      — reissue the same request (transient activation faults,
+//	                unlucky sense flips);
+//	2. depth-split — re-execute a failing intra-subarray multi-row OR as a
+//	                chain of shallower ORs whose analog margins are
+//	                exponentially wider (each link is itself resilient);
+//	3. inter-digital — force the serial digital datapath, which senses one
+//	                row at a time at the full read margin;
+//	4. host-cpu   — burst the operands over the DDR bus, compute on the
+//	                host, write the result back.
+//
+// Destination rows whose cells no longer hold what the write drivers
+// deliver (stuck-at wear) are detected by the stored/claimed comparison and
+// retired through the Remap hook, so the ladder terminates even on damaged
+// silicon.
+
+import (
+	"errors"
+	"fmt"
+
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/pim"
+	"pinatubo/internal/sense"
+	"pinatubo/internal/workload"
+)
+
+// ErrResilienceExhausted is returned when every rung of the degradation
+// ladder failed to produce a verified result. The caller gets an error,
+// never silently wrong bits.
+var ErrResilienceExhausted = errors.New("pimrt: resilience ladder exhausted without a verified result")
+
+// Resilience configures the scheduler's verify-and-retry policy.
+type Resilience struct {
+	// MaxRetries bounds the re-executions attempted on each rung of the
+	// ladder before degrading to the next one.
+	MaxRetries int
+	// MinDepth floors the exponential depth reduction of rung 2 (at least
+	// 2 — a 2-row OR is the shallowest the hardware has).
+	MinDepth int
+	// HostFallback enables the final CPU rung.
+	HostFallback bool
+}
+
+// DefaultResilience returns the policy used when faults are enabled without
+// explicit tuning: 3 retries per rung, depth floor 2, host fallback on.
+func DefaultResilience() *Resilience {
+	return &Resilience{MaxRetries: 3, MinDepth: 2, HostFallback: true}
+}
+
+func (s *Scheduler) minDepth() int {
+	if s.Res.MinDepth >= 2 {
+		return s.Res.MinDepth
+	}
+	return 2
+}
+
+// FaultStats accumulates the scheduler's lifetime resilience activity.
+type FaultStats struct {
+	Verifies        int64 // read-back verification passes
+	Retries         int64 // request re-executions (any rung)
+	DepthReductions int64 // rung-2 depth halvings
+	InterFallbacks  int64 // requests degraded to the digital inter path
+	HostFallbacks   int64 // requests degraded to the host CPU
+	RowsRetired     int64 // destination rows retired and remapped
+	BitsCorrected   int64 // wrong bits intercepted before reaching a caller
+}
+
+// FaultStats returns a snapshot of the accumulated resilience activity.
+func (s *Scheduler) FaultStats() FaultStats { return s.stats }
+
+// Degradation rungs reported in ScheduleResult.Degraded (worst one wins).
+const (
+	DegradedDepthSplit = "depth-split"
+	DegradedInter      = "inter-digital"
+	DegradedHost       = "host-cpu"
+)
+
+var degradedRank = map[string]int{
+	"": 0, DegradedDepthSplit: 1, DegradedInter: 2, DegradedHost: 3,
+}
+
+// WorseDegraded returns the worse of two degradation rungs.
+func WorseDegraded(a, b string) string {
+	if degradedRank[b] > degradedRank[a] {
+		return b
+	}
+	return a
+}
+
+func (r *ScheduleResult) noteDegraded(d string) {
+	if degradedRank[d] > degradedRank[r.Degraded] {
+		r.Degraded = d
+	}
+}
+
+// Execute runs one fixed-arity op (AND/XOR/INV/READ — or a one-step OR)
+// through the resilience ladder when it is enabled, plainly otherwise. The
+// returned FinalDst differs from dst when the destination row was retired.
+func (s *Scheduler) Execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst memarch.RowAddr) (*ScheduleResult, error) {
+	res := &ScheduleResult{FinalDst: dst}
+	tgt := dst
+	if _, err := s.request(op, srcs, bits, &tgt, nil, res); err != nil {
+		return nil, err
+	}
+	res.FinalDst = tgt
+	return res, nil
+}
+
+// addExec folds one executed controller request into the running result.
+func (res *ScheduleResult) addExec(r *pim.Result) {
+	res.Requests++
+	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
+	res.Words = r.Words
+}
+
+// request executes one hardware request (op over srcs into *target). With
+// resilience off it is a plain controller call. With resilience on, the
+// result is verified and the degradation ladder walked until a verified
+// result lands in *target (possibly remapped); the verified words are
+// returned. restore must hold the known-good contents of *target when the
+// target is also an operand (a chained accumulator), so failed attempts can
+// rebuild it; nil means the target is write-only for this request.
+func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, target *memarch.RowAddr, restore []uint64, res *ScheduleResult) ([]uint64, error) {
+	if s.Res == nil {
+		r, err := s.Ctl.Execute(op, srcs, bits, target)
+		if err != nil {
+			return nil, err
+		}
+		res.addExec(r)
+		return r.Words, nil
+	}
+	golden, err := s.Ctl.Golden(op, srcs, bits)
+	if err != nil {
+		return nil, err
+	}
+	// dirty tracks whether *target may hold garbage from a failed attempt
+	// and therefore needs restoring before a self-referencing re-execution.
+	dirty := false
+
+	// Rung 1 — native execution with bounded retries.
+	ok, err := s.attempt(op, srcs, bits, target, restore, golden, res, false, &dirty)
+	if err != nil || ok {
+		return golden, err
+	}
+	// Rung 2 — exponential depth reduction: a failing intra-subarray
+	// multi-row OR re-executes as a chain of shallower ORs whose sensing
+	// margins are wider.
+	if op == sense.OpOR && len(srcs) > s.minDepth() && memarch.SameSubarray(srcs...) {
+		for depth := len(srcs) / 2; depth >= s.minDepth(); depth /= 2 {
+			s.stats.DepthReductions++
+			res.noteDegraded(DegradedDepthSplit)
+			ok, err := s.chunked(srcs, bits, target, restore, depth, res, &dirty)
+			if err != nil || ok {
+				return golden, err
+			}
+		}
+	}
+	// Rung 3 — the serial digital datapath: single-row sensing only, no
+	// multi-row margin to lose.
+	s.stats.InterFallbacks++
+	res.noteDegraded(DegradedInter)
+	ok, err = s.attempt(op, srcs, bits, target, restore, golden, res, true, &dirty)
+	if err != nil || ok {
+		return golden, err
+	}
+	// Rung 4 — the host CPU.
+	if s.Res.HostFallback {
+		s.stats.HostFallbacks++
+		res.noteDegraded(DegradedHost)
+		ok, err = s.hostAttempt(srcs, bits, target, golden, res)
+		if err != nil || ok {
+			return golden, err
+		}
+	}
+	return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w", op, len(srcs), *target, ErrResilienceExhausted)
+}
+
+// attempt is one rung of bounded retries: execute (natively or over the
+// forced digital path), verify against golden, retire the destination on
+// evidence of cell damage. It reports whether a verified result landed.
+func (s *Scheduler) attempt(op sense.Op, srcs []memarch.RowAddr, bits int, target *memarch.RowAddr, restore, golden []uint64, res *ScheduleResult, digital bool, dirty *bool) (bool, error) {
+	for try := 0; try <= s.Res.MaxRetries; try++ {
+		if try > 0 {
+			s.stats.Retries++
+			res.Retries++
+		}
+		if *dirty && restore != nil {
+			// The accumulator operand was clobbered by a failed attempt;
+			// rebuild it from the host-side checkpoint. If the row's cells
+			// are stuck the restore is corrupted too — the next verify
+			// attributes that to a write fault and retires the row.
+			if err := s.hostWrite(*target, restore, bits, res); err != nil {
+				return false, err
+			}
+		}
+		exec := s.Ctl.Execute
+		if digital {
+			exec = s.Ctl.ExecuteDigital
+		}
+		r, err := exec(op, srcs, bits, target)
+		if err != nil {
+			if errors.Is(err, pim.ErrActivationFault) {
+				continue // nothing was sensed or written; reissue
+			}
+			return false, err
+		}
+		res.addExec(r)
+		*dirty = true
+		v, err := s.Ctl.VerifyAgainst(len(srcs), bits, *target, golden, r.Words)
+		if err != nil {
+			return false, err
+		}
+		s.stats.Verifies++
+		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
+		if v.OK {
+			res.Words = golden
+			return true, nil
+		}
+		s.stats.BitsCorrected += int64(v.MismatchedBits)
+		res.BitsCorrected += int64(v.MismatchedBits)
+		if v.WriteFault {
+			s.retireTarget(srcs, target)
+		}
+	}
+	return false, nil
+}
+
+// chunked re-executes an OR as a chain of at-most-depth-operand links
+// accumulating into *target. Every link is itself a fully resilient request
+// (its own retries, further splits, inter and host rungs).
+func (s *Scheduler) chunked(rows []memarch.RowAddr, bits int, target *memarch.RowAddr, restore []uint64, depth int, res *ScheduleResult, dirty *bool) (bool, error) {
+	ops := rows
+	acc := restore
+	if restore != nil {
+		// The accumulator rides along as the head of every link rather
+		// than as a chain operand.
+		trimmed := make([]memarch.RowAddr, 0, len(rows))
+		for _, r := range rows {
+			if r != *target {
+				trimmed = append(trimmed, r)
+			}
+		}
+		ops = trimmed
+	}
+	done := 0
+	for done < len(ops) {
+		var srcs []memarch.RowAddr
+		var take int
+		if acc == nil {
+			take = len(ops)
+			if take > depth {
+				take = depth
+			}
+			srcs = append([]memarch.RowAddr(nil), ops[:take]...)
+		} else {
+			take = len(ops) - done
+			if take > depth-1 {
+				take = depth - 1
+			}
+			srcs = append([]memarch.RowAddr{*target}, ops[done:done+take]...)
+		}
+		words, err := s.request(sense.OpOR, srcs, bits, target, acc, res)
+		if err != nil {
+			if errors.Is(err, ErrResilienceExhausted) {
+				*dirty = true
+				return false, nil // let the outer rungs have a go
+			}
+			return false, err
+		}
+		acc = words
+		done += take
+	}
+	res.Words = acc
+	return true, nil
+}
+
+// hostAttempt is the last rung: read every operand over the DDR bus,
+// compute on the host, write the verified result back — never wrong, never
+// fast (exactly the bus traffic Pinatubo exists to avoid).
+func (s *Scheduler) hostAttempt(srcs []memarch.RowAddr, bits int, target *memarch.RowAddr, golden []uint64, res *ScheduleResult) (bool, error) {
+	for _, a := range srcs {
+		r, err := s.Ctl.ReadRow(a, bits)
+		if err != nil {
+			return false, err
+		}
+		res.addExec(r)
+	}
+	for try := 0; try <= s.Res.MaxRetries; try++ {
+		if try > 0 {
+			s.stats.Retries++
+			res.Retries++
+		}
+		if err := s.hostWrite(*target, golden, bits, res); err != nil {
+			return false, err
+		}
+		v, err := s.Ctl.VerifyAgainst(0, bits, *target, golden, golden)
+		if err != nil {
+			return false, err
+		}
+		s.stats.Verifies++
+		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
+		if v.OK {
+			res.Words = golden
+			return true, nil
+		}
+		s.stats.BitsCorrected += int64(v.MismatchedBits)
+		res.BitsCorrected += int64(v.MismatchedBits)
+		if v.WriteFault {
+			s.retireTarget(srcs, target)
+		}
+	}
+	return false, nil
+}
+
+// hostWrite programs a row from the host, charging the bus transfer.
+func (s *Scheduler) hostWrite(addr memarch.RowAddr, words []uint64, bits int, res *ScheduleResult) error {
+	r, err := s.Ctl.WriteRowFromHost(addr, words, bits)
+	if err != nil {
+		return err
+	}
+	res.Requests++
+	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
+	return nil
+}
+
+// retireTarget swaps a damaged destination row for a fresh one through the
+// Remap hook, patching any self-reference in srcs. With no hook — or no
+// spare rows left — the ladder keeps going with the damaged row and fails
+// loudly at the end rather than returning wrong bits.
+func (s *Scheduler) retireTarget(srcs []memarch.RowAddr, target *memarch.RowAddr) {
+	if s.Remap == nil {
+		return
+	}
+	fresh, err := s.Remap(*target)
+	if err != nil {
+		return
+	}
+	s.stats.RowsRetired++
+	old := *target
+	*target = fresh
+	for i := range srcs {
+		if srcs[i] == old {
+			srcs[i] = fresh
+		}
+	}
+}

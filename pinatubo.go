@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"time"
 
+	"pinatubo/internal/analog"
 	"pinatubo/internal/bitvec"
+	"pinatubo/internal/fault"
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/nvm"
 	"pinatubo/internal/pim"
@@ -88,6 +90,70 @@ type Config struct {
 	// the default 8 catches reference-placement regressions at negligible
 	// cost).
 	AnalogCheckBits int
+	// Fault injects hardware faults; the zero value injects nothing and
+	// leaves every latency/energy number bit-identical to a fault-free
+	// system.
+	Fault FaultConfig
+	// Resilience tunes the verify-and-retry ladder that guards results
+	// when faults are injected.
+	Resilience ResilienceConfig
+}
+
+// FaultConfig selects which hardware faults the simulated memory suffers.
+// The zero value injects nothing. All faults are drawn deterministically
+// from Seed, so a run is exactly reproducible.
+type FaultConfig struct {
+	// Seed makes the injected fault sequence reproducible.
+	Seed int64
+	// SenseFlipRate is the per-bit sense-amplifier misresolve probability
+	// at the analog margin floor. The effective rate decays exponentially
+	// as an operation's margin widens, so deep multi-row ORs flip near
+	// this rate while 2-row ops and plain reads are orders of magnitude
+	// safer.
+	SenseFlipRate float64
+	// ActivationFailRate is the transient multi-row activation failure
+	// probability per additional simultaneously-opened row.
+	ActivationFailRate float64
+	// WearLimit is how many programs a row endures before developing a
+	// permanent stuck-at bit (one more per further WearLimit programs).
+	// 0 means unlimited endurance.
+	WearLimit int64
+	// DriftSeconds derates sensing margins for data that has drifted
+	// since programming (PCM drift widens OR margins, making flips
+	// rarer). 0 uses the fresh cell.
+	DriftSeconds float64
+}
+
+func (f FaultConfig) internal() fault.Config {
+	return fault.Config{
+		Seed:               f.Seed,
+		SenseFlipRate:      f.SenseFlipRate,
+		ActivationFailRate: f.ActivationFailRate,
+		WearLimit:          f.WearLimit,
+		DriftSeconds:       f.DriftSeconds,
+	}
+}
+
+// ResilienceConfig tunes the verify-and-retry layer. By default the layer
+// turns on exactly when Config.Fault injects something: every operation is
+// then verified against the digital reference and walked down the
+// degradation ladder (retry → depth-split → inter-digital → host CPU)
+// until it is provably correct — degraded results cost more but are never
+// wrong.
+type ResilienceConfig struct {
+	// Disable turns verification off even with faults injected — the
+	// system then returns whatever the faulty hardware produced (useful
+	// for measuring raw error rates).
+	Disable bool
+	// AlwaysVerify enables verification even with no faults configured.
+	AlwaysVerify bool
+	// MaxRetries bounds re-executions per ladder rung (0 = default 3).
+	MaxRetries int
+	// MinSplitDepth floors the depth-reduction rung (0 = default 2).
+	MinSplitDepth int
+	// DisableHostFallback removes the final CPU rung; exhausting the
+	// ladder then returns an error instead.
+	DisableHostFallback bool
 }
 
 // DefaultConfig returns the evaluation configuration: PCM, default
@@ -105,6 +171,12 @@ type System struct {
 	sched *pimrt.Scheduler
 
 	stats Stats
+	// host-path resilience activity (Write/Read verification), kept apart
+	// from the scheduler's own counters.
+	hostVerifies      int64
+	hostRetries       int64
+	hostRowsRetired   int64
+	hostBitsCorrected int64
 }
 
 // Stats accumulates the system's lifetime activity.
@@ -154,7 +226,43 @@ func New(cfg Config) (*System, error) {
 		Ctl:     ctl,
 		Scratch: func(sub memarch.RowAddr) memarch.RowAddr { return pimrt.ScratchRow(geo, sub) },
 	}
+	faultCfg := cfg.Fault.internal()
+	if err := faultCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if faultCfg.Enabled() {
+		inj, err := fault.New(faultCfg, nvm.Get(tech), analog.DefaultSenseConfig(), geo.RowBits())
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachInjector(inj)
+	}
+	if (faultCfg.Enabled() && !cfg.Resilience.Disable) || cfg.Resilience.AlwaysVerify {
+		res := pimrt.DefaultResilience()
+		if cfg.Resilience.MaxRetries > 0 {
+			res.MaxRetries = cfg.Resilience.MaxRetries
+		}
+		if cfg.Resilience.MinSplitDepth > 0 {
+			res.MinDepth = cfg.Resilience.MinSplitDepth
+		}
+		if cfg.Resilience.DisableHostFallback {
+			res.HostFallback = false
+		}
+		s.sched.Res = res
+		s.sched.Remap = s.remapRow
+		s.sched.Release = s.alloc.Free
+	}
 	return s, nil
+}
+
+// remapRow retires a worn-out row and hands back a fresh one.
+func (s *System) remapRow(old memarch.RowAddr) (memarch.RowAddr, error) {
+	s.alloc.Retire(old)
+	rows, err := s.alloc.AllocRows(1)
+	if err != nil {
+		return memarch.RowAddr{}, err
+	}
+	return rows[0], nil
 }
 
 // MaxORRows returns the one-step OR depth of the configured technology
@@ -265,6 +373,17 @@ type Result struct {
 	Latency time.Duration
 	// EnergyJoules is the simulated energy.
 	EnergyJoules float64
+
+	// Resilience outcome — all zero unless faults were injected and the
+	// verify-and-retry layer had to intervene.
+	//
+	// Retries counts hardware re-executions; Degraded names the worst
+	// degradation rung taken ("", "depth-split", "inter-digital",
+	// "host-cpu"); BitsCorrected counts wrong bits the verification layer
+	// intercepted before they could reach the caller.
+	Retries       int
+	Degraded      string
+	BitsCorrected int64
 }
 
 func (s *System) account(class string, requests int, seconds, joules float64) Result {
@@ -291,7 +410,7 @@ func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
 	}
 	var seconds, joules float64
 	perRow := s.RowBits() / 64
-	for i, addr := range b.rows {
+	for i := range b.rows {
 		lo := i * perRow
 		hi := lo + perRow
 		if hi > len(words) {
@@ -305,14 +424,61 @@ func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
 		if i == len(b.rows)-1 {
 			bitsHere = b.bits - i*s.RowBits()
 		}
-		res, err := s.ctl.WriteRowFromHost(addr, chunk, bitsHere)
+		sec, j, err := s.writeRow(&b.rows[i], chunk, bitsHere)
 		if err != nil {
 			return Result{}, err
 		}
-		seconds += res.Seconds
-		joules += res.Energy.Total()
+		seconds += sec
+		joules += j
 	}
 	return s.account("host-write", len(b.rows), seconds, joules), nil
+}
+
+// writeRow programs one row from the host. With resilience on, the stored
+// row is verified against the intended data; stuck cells retire the row to
+// a fresh one (updating *addr — data rows must hold true data, or the
+// runtime's digital reference would be built on garbage).
+func (s *System) writeRow(addr *memarch.RowAddr, chunk []uint64, bitsHere int) (float64, float64, error) {
+	r, err := s.ctl.WriteRowFromHost(*addr, chunk, bitsHere)
+	if err != nil {
+		return 0, 0, err
+	}
+	seconds, joules := r.Seconds, r.Energy.Total()
+	if s.sched.Res == nil {
+		return seconds, joules, nil
+	}
+	golden := make([]uint64, bitvec.WordsFor(bitsHere))
+	copy(golden, chunk)
+	for try := 0; ; try++ {
+		v, err := s.ctl.VerifyAgainst(0, bitsHere, *addr, golden, golden)
+		if err != nil {
+			return seconds, joules, err
+		}
+		s.hostVerifies++
+		seconds += v.Seconds
+		joules += v.Energy.Total()
+		if v.OK {
+			return seconds, joules, nil
+		}
+		s.hostBitsCorrected += int64(v.MismatchedBits)
+		if try >= s.sched.Res.MaxRetries {
+			return seconds, joules, fmt.Errorf("pinatubo: writing row %v: %w",
+				*addr, pimrt.ErrResilienceExhausted)
+		}
+		s.hostRetries++
+		if v.WriteFault {
+			if fresh, err := s.remapRow(*addr); err == nil {
+				*addr = fresh
+				s.hostRowsRetired++
+			}
+		}
+		r, err := s.ctl.WriteRowFromHost(*addr, chunk, bitsHere)
+		if err != nil {
+			return seconds, joules, err
+		}
+		seconds += r.Seconds
+		joules += r.Energy.Total()
+	}
 }
 
 // Read returns the vector contents through the host interface.
@@ -327,16 +493,54 @@ func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
 		if i == len(b.rows)-1 {
 			bitsHere = b.bits - i*s.RowBits()
 		}
-		res, err := s.ctl.ReadRow(addr, bitsHere)
+		row, sec, j, err := s.readRow(addr, bitsHere)
 		if err != nil {
 			return nil, Result{}, err
 		}
-		words = append(words, res.Words...)
-		seconds += res.Seconds
-		joules += res.Energy.Total()
+		words = append(words, row...)
+		seconds += sec
+		joules += j
 	}
 	words = words[:bitvec.WordsFor(b.bits)]
 	return words, s.account("host-read", len(b.rows), seconds, joules), nil
+}
+
+// readRow bursts one row to the host. With resilience on, the sensed words
+// are checked against the row's true contents and the read reissued on a
+// flip (plain reads run at the full read margin, so this almost never
+// loops — but a wrong word never escapes).
+func (s *System) readRow(addr memarch.RowAddr, bitsHere int) ([]uint64, float64, float64, error) {
+	var seconds, joules float64
+	for try := 0; ; try++ {
+		r, err := s.ctl.ReadRow(addr, bitsHere)
+		if err != nil {
+			return nil, seconds, joules, err
+		}
+		seconds += r.Seconds
+		joules += r.Energy.Total()
+		if s.sched.Res == nil {
+			return r.Words, seconds, joules, nil
+		}
+		golden, err := s.ctl.Golden(sense.OpRead, []memarch.RowAddr{addr}, bitsHere)
+		if err != nil {
+			return nil, seconds, joules, err
+		}
+		s.hostVerifies++
+		got := bitvec.FromWords(bitsHere, r.Words)
+		want := bitvec.FromWords(bitsHere, golden)
+		if !got.Equal(want) {
+			x := bitvec.New(bitsHere)
+			x.Xor(got, want)
+			s.hostBitsCorrected += int64(x.Popcount())
+			if try >= s.sched.Res.MaxRetries {
+				return nil, seconds, joules, fmt.Errorf("pinatubo: reading row %v: %w",
+					addr, pimrt.ErrResilienceExhausted)
+			}
+			s.hostRetries++
+			continue
+		}
+		return r.Words, seconds, joules, nil
+	}
 }
 
 // sameLength validates operand lengths.
@@ -365,6 +569,7 @@ func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
 	var seconds, joules float64
 	requests := 0
 	intra := true
+	var resil resilienceTally
 	for batch := 0; batch < len(dst.rows); batch++ {
 		rows := make([]memarch.RowAddr, len(srcs))
 		for i, src := range srcs {
@@ -385,15 +590,37 @@ func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		dst.rows[batch] = res.FinalDst
 		seconds += res.Cost.Seconds
 		joules += res.Cost.Joules
 		requests += res.Requests
+		resil.add(res)
 	}
 	class := "intra-subarray"
 	if !intra {
 		class = "inter-subarray"
 	}
-	return s.account(class, requests, seconds, joules), nil
+	return resil.fill(s.account(class, requests, seconds, joules)), nil
+}
+
+// resilienceTally folds per-batch schedule outcomes into one Result.
+type resilienceTally struct {
+	retries       int
+	degraded      string
+	bitsCorrected int64
+}
+
+func (t *resilienceTally) add(res *pimrt.ScheduleResult) {
+	t.retries += res.Retries
+	t.degraded = pimrt.WorseDegraded(t.degraded, res.Degraded)
+	t.bitsCorrected += res.BitsCorrected
+}
+
+func (t *resilienceTally) fill(r Result) Result {
+	r.Retries = t.retries
+	r.Degraded = t.degraded
+	r.BitsCorrected = t.bitsCorrected
+	return r
 }
 
 // b0check validates dst and srcs handles.
@@ -418,7 +645,9 @@ func (s *System) binary(op sense.Op, dst *BitVector, srcs ...*BitVector) (Result
 		return Result{}, err
 	}
 	var seconds, joules float64
+	requests := 0
 	class := ""
+	var resil resilienceTally
 	for batch := 0; batch < len(dst.rows); batch++ {
 		rows := make([]memarch.RowAddr, len(srcs))
 		for i, src := range srcs {
@@ -428,17 +657,40 @@ func (s *System) binary(op sense.Op, dst *BitVector, srcs ...*BitVector) (Result
 		if batch == len(dst.rows)-1 {
 			bitsHere = dst.bits - batch*s.RowBits()
 		}
-		res, err := s.ctl.Execute(op, rows, bitsHere, &dst.rows[batch])
+		if s.sched.Res == nil {
+			res, err := s.ctl.Execute(op, rows, bitsHere, &dst.rows[batch])
+			if err != nil {
+				return Result{}, err
+			}
+			seconds += res.Seconds
+			joules += res.Energy.Total()
+			requests++
+			if class == "" {
+				class = res.Class.String()
+			}
+			continue
+		}
+		// Resilient path: the scheduler verifies the result and degrades as
+		// needed. Class reports the operands' placement (the native path),
+		// even when a batch was degraded to a slower one.
+		cl, err := s.ctl.Classify(rows)
 		if err != nil {
 			return Result{}, err
 		}
-		seconds += res.Seconds
-		joules += res.Energy.Total()
 		if class == "" {
-			class = res.Class.String()
+			class = cl.String()
 		}
+		res, err := s.sched.Execute(op, rows, bitsHere, dst.rows[batch])
+		if err != nil {
+			return Result{}, err
+		}
+		dst.rows[batch] = res.FinalDst
+		seconds += res.Cost.Seconds
+		joules += res.Cost.Joules
+		requests += res.Requests
+		resil.add(res)
 	}
-	return s.account(class, len(dst.rows), seconds, joules), nil
+	return resil.fill(s.account(class, requests, seconds, joules)), nil
 }
 
 // And computes dst = a AND b (2-row operation via the shifted reference).
@@ -498,6 +750,55 @@ func (s *System) HardwareCounters() HardwareCounters {
 	for class, n := range c.Ops {
 		out.OpsByClass[class.String()] = n
 	}
+	return out
+}
+
+// FaultStats is the system's cumulative fault-and-resilience ledger: what
+// the injected fault model actually did to the hardware (ground truth) and
+// what the verify-and-retry layer did about it. All zero when Config.Fault
+// is zero.
+type FaultStats struct {
+	// Ground truth from the injector.
+	SenseFlips       int64 // bits flipped on the sensing path
+	ActivationFaults int64 // transient multi-row activation failures
+	StuckRows        int64 // rows that developed stuck-at bits
+	StuckBitsForced  int64 // written bits overridden by stuck cells
+	RowWrites        int64 // row programs seen by the wear model
+
+	// The resilience layer's response (PIM scheduler + host paths).
+	Verifies        int64 // read-back verification passes
+	Retries         int64 // request re-executions
+	DepthReductions int64 // failing deep ORs re-run at lower depth
+	InterFallbacks  int64 // requests degraded to the digital inter path
+	HostFallbacks   int64 // requests degraded to the host CPU
+	RowsRetired     int64 // worn rows retired and remapped
+	BitsCorrected   int64 // wrong bits intercepted before reaching a caller
+}
+
+// FaultStats returns a snapshot of the cumulative fault activity.
+func (s *System) FaultStats() FaultStats {
+	out := FaultStats{
+		Verifies:      s.hostVerifies,
+		Retries:       s.hostRetries,
+		RowsRetired:   s.hostRowsRetired,
+		BitsCorrected: s.hostBitsCorrected,
+	}
+	if inj := s.ctl.Injector(); inj != nil {
+		st := inj.Stats()
+		out.SenseFlips = st.SenseFlips
+		out.ActivationFaults = st.ActivationFaults
+		out.StuckRows = st.StuckRows
+		out.StuckBitsForced = st.StuckBitsForced
+		out.RowWrites = st.RowWrites
+	}
+	sc := s.sched.FaultStats()
+	out.Verifies += sc.Verifies
+	out.Retries += sc.Retries
+	out.DepthReductions = sc.DepthReductions
+	out.InterFallbacks = sc.InterFallbacks
+	out.HostFallbacks = sc.HostFallbacks
+	out.RowsRetired += sc.RowsRetired
+	out.BitsCorrected += sc.BitsCorrected
 	return out
 }
 
