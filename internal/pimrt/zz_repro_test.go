@@ -1,0 +1,45 @@
+package pimrt
+
+import (
+	"math/rand"
+	"testing"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/fault"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/sense"
+)
+
+// Repro: chained OR (restore != nil links) under heavy flips — does the
+// depth-split rung commit garbage from the failed rung-1 attempt?
+func TestReproChainedORChunkedRestore(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s, ctl := newResilientSched(t, memarch.Default(),
+			fault.Config{Seed: seed, SenseFlipRate: 1})
+		rng := rand.New(rand.NewSource(seed + 100))
+		const bits = 4096
+		w := bitvec.WordsFor(bits)
+		rows := make([]memarch.RowAddr, 200) // > MaxORRows -> chained links
+		for i := range rows {
+			rows[i] = memarch.RowAddr{Subarray: 3, Row: i}
+		}
+		want := fillRows(t, ctl, rows, w, rng)
+		dst := memarch.RowAddr{Subarray: 3, Row: 900}
+		res, err := s.OR(rows, bits, dst)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := ctl.Memory().ReadRow(res.FinalDst)
+		bad := 0
+		for j := range want {
+			if got[j] != want[j] {
+				bad++
+			}
+		}
+		if bad > 0 {
+			t.Errorf("seed %d: %d/%d words wrong in stored dst despite resilience (degraded=%q retries=%d)",
+				seed, bad, w, res.Degraded, res.Retries)
+		}
+		_ = sense.OpOR
+	}
+}
