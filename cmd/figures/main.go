@@ -6,7 +6,7 @@
 // Usage:
 //
 //	figures            # everything
-//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults
+//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, ecc
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, ecc, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	flag.Parse()
 
@@ -138,6 +138,17 @@ func run(fig string, csvOut bool) error {
 			return figures.WriteFaultSweepCSV(os.Stdout, rows)
 		}
 		fmt.Println(figures.FormatFaultSweep(rows))
+		printed = true
+	}
+	if want("ecc") {
+		rows, err := figures.ECCSweep(figures.DefaultFaultRates)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteECCSweepCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatECCSweep(rows))
 		printed = true
 	}
 	if !printed {

@@ -42,6 +42,7 @@ func main() {
 	wearLimit := flag.Int64("wearlimit", 0, "row programs before a stuck-at bit appears (0 = unlimited)")
 	faultSeed := flag.Int64("faultseed", 1, "fault injection seed")
 	drift := flag.Float64("drift", 0, "seconds of resistance drift before sensing (0 = fresh cells)")
+	verify := flag.String("verify", "auto", "verification mode: auto, off, readback, ecc")
 	flag.Parse()
 
 	fc := pinatubo.FaultConfig{
@@ -63,13 +64,29 @@ func main() {
 		}
 		return
 	}
-	if err := run(*op, *rows, *bits, *tech, *inspect, *seed, fc); err != nil {
+	if err := run(*op, *rows, *bits, *tech, *inspect, *seed, fc, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "pinatubo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opName string, rows, bits int, techName string, inspect bool, seed int64, fc pinatubo.FaultConfig) error {
+// parseVerify maps the -verify flag onto the public mode enum.
+func parseVerify(name string) (pinatubo.VerifyMode, error) {
+	switch strings.ToLower(name) {
+	case "auto":
+		return pinatubo.VerifyAuto, nil
+	case "off":
+		return pinatubo.VerifyOff, nil
+	case "readback":
+		return pinatubo.VerifyReadback, nil
+	case "ecc":
+		return pinatubo.VerifyECC, nil
+	default:
+		return 0, fmt.Errorf("unknown verification mode %q", name)
+	}
+}
+
+func run(opName string, rows, bits int, techName string, inspect bool, seed int64, fc pinatubo.FaultConfig, verifyName string) error {
 	if inspect {
 		printInspect()
 		return nil
@@ -77,6 +94,11 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 
 	cfg := pinatubo.DefaultConfig()
 	cfg.Fault = fc
+	mode, err := parseVerify(verifyName)
+	if err != nil {
+		return err
+	}
+	cfg.Resilience.Verify = mode
 	switch strings.ToLower(techName) {
 	case "pcm":
 		cfg.Tech = pinatubo.PCM
@@ -91,8 +113,8 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 	if err != nil {
 		return err
 	}
-	fmt.Printf("system: %v, %d-bit rank rows, one-step OR depth %d\n",
-		cfg.Tech, sys.RowBits(), sys.MaxORRows())
+	fmt.Printf("system: %v, %d-bit rank rows, one-step OR depth %d, verify %v\n",
+		cfg.Tech, sys.RowBits(), sys.MaxORRows(), sys.VerifyMode())
 
 	rng := rand.New(rand.NewSource(seed))
 	alloc := func(n int) ([]*pinatubo.BitVector, error) {
@@ -186,6 +208,10 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 			st.Verifies, st.Retries, st.DepthReductions, st.InterFallbacks, st.HostFallbacks)
 		fmt.Printf("  retired    %d rows, %d wrong bits intercepted\n",
 			st.RowsRetired, st.BitsCorrected)
+		if st.EccDecodes > 0 {
+			fmt.Printf("  secded     %d syndrome decodes, %d bits corrected in-array, %d escalated\n",
+				st.EccDecodes, st.EccCorrectedBits, st.EccUncorrectables)
+		}
 	}
 	return nil
 }

@@ -51,6 +51,10 @@ type Params struct {
 	// ACPIMGEPerBit: gate equivalents per row bit of AC-PIM's per-subarray
 	// compute logic (pitch-matched under the array).
 	ACPIMGEPerBit float64
+	// ECCLogicGE: gate equivalents per data bit of the SECDED encode /
+	// syndrome-decode trees at each bank's row buffer. A (72,64) Hamming
+	// encoder is ~3 XOR2 per data bit; the decoder shares the same tree.
+	ECCLogicGE float64
 }
 
 // DefaultParams returns the 65 nm calibration used in the evaluation.
@@ -64,6 +68,7 @@ func DefaultParams() Params {
 		LWLLatchGE:      0.25,
 		BufLogicGE:      9.4,
 		ACPIMGEPerBit:   7.9,
+		ECCLogicGE:      3.0,
 	}
 }
 
@@ -168,6 +173,48 @@ func ACPIM(geo memarch.Geometry, tech nvm.Params, p Params) (float64, error) {
 	base := c.cells * tech.Cell.AreaF2 / p.ArrayEfficiency
 	logic := c.subarrays * c.rowBits * p.ACPIMGEPerBit * p.GateAreaF2
 	return logic / base, nil
+}
+
+// ECCOverhead is the in-array SECDED add-on cost on one chip, in F². The
+// spare stripe is the analogue of an ECC DIMM's ninth chip folded into the
+// array: checkBits extra columns per dataBits data columns, carrying the
+// same cell, sense-amplifier and wordline structure as the columns they
+// protect (so the whole stripe scales as checkBits/dataBits of the chip).
+type ECCOverhead struct {
+	BaseChipF2 float64 // baseline (non-ECC) chip area
+	SpareF2    float64 // spare check-bit columns: cells + pitch-matched periphery
+	LogicF2    float64 // encode + syndrome-decode trees at the bank row buffers
+}
+
+// TotalF2 is the total ECC add-on area.
+func (o ECCOverhead) TotalF2() float64 { return o.SpareF2 + o.LogicF2 }
+
+// Fraction returns an add-on area as a fraction of the baseline chip.
+func (o ECCOverhead) Fraction(f2 float64) float64 { return f2 / o.BaseChipF2 }
+
+// TotalFraction is the headline ECC overhead (a (72,64) code: ~12.5% spare
+// stripe plus a small logic term).
+func (o ECCOverhead) TotalFraction() float64 { return o.Fraction(o.TotalF2()) }
+
+// ECC computes the SECDED spare-column and logic areas for one chip storing
+// checkBits of in-array check columns per dataBits-wide word group.
+func ECC(geo memarch.Geometry, tech nvm.Params, p Params, dataBits, checkBits int) (ECCOverhead, error) {
+	if err := geo.Validate(); err != nil {
+		return ECCOverhead{}, err
+	}
+	if p.ArrayEfficiency <= 0 || p.ArrayEfficiency > 1 {
+		return ECCOverhead{}, fmt.Errorf("area: array efficiency %g outside (0,1]", p.ArrayEfficiency)
+	}
+	if dataBits < 1 || checkBits < 1 {
+		return ECCOverhead{}, fmt.Errorf("area: ECC code (%d data, %d check) bits must be positive", dataBits, checkBits)
+	}
+	c := countChip(geo)
+	base := c.cells * tech.Cell.AreaF2 / p.ArrayEfficiency
+	return ECCOverhead{
+		BaseChipF2: base,
+		SpareF2:    base * float64(checkBits) / float64(dataBits),
+		LogicF2:    c.banks * c.bankBits * p.ECCLogicGE * p.GateAreaF2 * p.PeriWiring,
+	}, nil
 }
 
 // SDRAMCapacityLoss returns the in-DRAM computing baseline's reported

@@ -142,6 +142,34 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestECCOverhead(t *testing.T) {
+	// A (72,64) code stripes 8 check columns per 64 data columns: the spare
+	// stripe alone is 12.5% of the chip, and the syndrome logic adds a small
+	// fraction on top.
+	o, err := ECC(memarch.Default(), nvm.Get(nvm.PCM), DefaultParams(), 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Fraction(o.SpareF2); got != 0.125 {
+		t.Errorf("spare stripe fraction %.4f want exactly 8/64 = 0.125", got)
+	}
+	logic := o.Fraction(o.LogicF2)
+	if logic <= 0 || logic > 0.01 {
+		t.Errorf("syndrome logic fraction %.5f should be small but nonzero", logic)
+	}
+	if tot := o.TotalFraction(); tot <= 0.125 || tot > 0.14 {
+		t.Errorf("total ECC fraction %.4f outside (0.125, 0.14]", tot)
+	}
+	bad := memarch.Default()
+	bad.Channels = 0
+	if _, err := ECC(bad, nvm.Get(nvm.PCM), DefaultParams(), 64, 8); err == nil {
+		t.Error("bad geometry accepted by ECC")
+	}
+	if _, err := ECC(memarch.Default(), nvm.Get(nvm.PCM), DefaultParams(), 0, 8); err == nil {
+		t.Error("zero data bits accepted by ECC")
+	}
+}
+
 func TestSDRAMCapacityLoss(t *testing.T) {
 	if l := SDRAMCapacityLoss(); l <= 0 || l > 0.01 {
 		t.Errorf("S-DRAM capacity loss %g outside (0, 1%%]", l)

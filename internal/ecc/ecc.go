@@ -1,0 +1,297 @@
+// Package ecc implements the SECDED (single-error-correct,
+// double-error-detect) code the Pinatubo reproduction stores in dedicated
+// spare columns of each rank row: an extended Hamming code — Hamming check
+// bits plus one overall parity bit — over fixed-width data word groups,
+// (72,64)-style at the default 64-bit width.
+//
+// The codec is pure arithmetic: it knows nothing about rows, latency or
+// energy. The controller (internal/pim) owns where the check bits live and
+// what sensing, programming and syndrome decoding cost; the scheduler
+// (internal/pimrt) owns when to decode and when a detected-uncorrectable
+// syndrome escalates to the read-back degradation ladder.
+//
+// Linearity matters to the cost model above: the code is linear over GF(2),
+// so Encode(a^b) == Encode(a)^Encode(b) — the spare-column sense amplifiers
+// can compute the check bits of an XOR (and of INV, which is XOR with
+// all-ones) directly from the operands' stored check bits. OR and AND are
+// not GF(2)-linear, so their check bits must be regenerated from the result
+// stream at the write drivers. TestXorLinearity pins the property.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Codec is one extended-Hamming SECDED code over dataBits-wide word groups.
+// Construct with New; the zero value is unusable.
+type Codec struct {
+	dataBits int
+	hamming  int // Hamming check bits (syndrome width)
+	n        int // codeword length excluding the overall parity bit
+	// masks[i] is the data-bit coverage of Hamming check bit i.
+	masks []uint64
+	// posToData maps a codeword position (1-based) to its data-bit index;
+	// -1 for check-bit (power-of-two) positions.
+	posToData []int
+	// dataToPos is the inverse map.
+	dataToPos []int
+}
+
+// New builds a codec over dataBits-wide groups (4..64). The standard widths
+// are 8 (13,8), 16 (22,16), 32 (39,32) and 64 bits — the (72,64) code of
+// ECC DIMMs.
+func New(dataBits int) (*Codec, error) {
+	if dataBits < 4 || dataBits > 64 {
+		return nil, fmt.Errorf("ecc: data width %d outside 4..64", dataBits)
+	}
+	h := 2
+	for 1<<h < dataBits+h+1 {
+		h++
+	}
+	c := &Codec{
+		dataBits:  dataBits,
+		hamming:   h,
+		n:         dataBits + h,
+		masks:     make([]uint64, h),
+		posToData: make([]int, dataBits+h+1),
+		dataToPos: make([]int, dataBits),
+	}
+	d := 0
+	for p := 1; p <= c.n; p++ {
+		if p&(p-1) == 0 {
+			c.posToData[p] = -1
+			continue
+		}
+		c.posToData[p] = d
+		c.dataToPos[d] = p
+		for i := 0; i < h; i++ {
+			if p&(1<<i) != 0 {
+				c.masks[i] |= 1 << uint(d)
+			}
+		}
+		d++
+	}
+	return c, nil
+}
+
+// Default returns the (72,64) codec used by the controller.
+func Default() *Codec {
+	c, err := New(64)
+	if err != nil {
+		panic(err) // 64 is a valid width
+	}
+	return c
+}
+
+// DataBits returns the data width of one word group.
+func (c *Codec) DataBits() int { return c.dataBits }
+
+// CheckBits returns the check bits per word group (Hamming + overall
+// parity): 8 for the 64-bit code.
+func (c *Codec) CheckBits() int { return c.hamming + 1 }
+
+func (c *Codec) dataMask() uint64 {
+	if c.dataBits == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(c.dataBits) - 1
+}
+
+func parity64(x uint64) uint64 { return uint64(bits.OnesCount64(x) & 1) }
+
+// Encode returns the check bits of one data group: Hamming check bit i in
+// bit i, the overall parity bit in bit CheckBits()-1.
+func (c *Codec) Encode(data uint64) uint64 {
+	data &= c.dataMask()
+	var check uint64
+	for i, m := range c.masks {
+		check |= parity64(data&m) << uint(i)
+	}
+	check |= (parity64(data) ^ parity64(check)) << uint(c.hamming)
+	return check
+}
+
+// Outcome classifies one decoded group.
+type Outcome int
+
+const (
+	// OK: syndrome clean, data returned as stored.
+	OK Outcome = iota
+	// CorrectedData: a single data-bit error was corrected.
+	CorrectedData
+	// CorrectedCheck: a single check-bit error was absorbed; the data was
+	// intact.
+	CorrectedCheck
+	// Detected: a double-bit (or syndrome-invalid) error — uncorrectable.
+	// The data cannot be trusted.
+	Detected
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedCheck:
+		return "corrected-check"
+	case Detected:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Decoded is the result of decoding one group.
+type Decoded struct {
+	Outcome Outcome
+	// Data is the (possibly corrected) data group. Meaningless when
+	// Outcome is Detected.
+	Data uint64
+	// Pos is the corrected data-bit index for CorrectedData.
+	Pos int
+}
+
+// Decode checks one stored data group against its stored check bits and
+// applies the standard SECDED syndrome cases.
+func (c *Codec) Decode(data, check uint64) Decoded {
+	data &= c.dataMask()
+	check &= 1<<uint(c.hamming+1) - 1
+	var expect uint64
+	for i, m := range c.masks {
+		expect |= parity64(data&m) << uint(i)
+	}
+	recvH := check & (1<<uint(c.hamming) - 1)
+	s := expect ^ recvH
+	// Overall parity over data + Hamming bits + the parity bit itself:
+	// odd means an odd number of bit errors (i.e. exactly one, under the
+	// double-error bound).
+	odd := parity64(data)^parity64(recvH)^(check>>uint(c.hamming)&1) == 1
+	switch {
+	case s == 0 && !odd:
+		return Decoded{Outcome: OK, Data: data}
+	case s == 0:
+		// Only the overall parity bit flipped; data and Hamming bits agree.
+		return Decoded{Outcome: CorrectedCheck, Data: data}
+	case odd:
+		if s&(s-1) == 0 {
+			// The syndrome names a power-of-two position: a Hamming check
+			// bit itself flipped.
+			return Decoded{Outcome: CorrectedCheck, Data: data}
+		}
+		if int(s) <= c.n {
+			if d := c.posToData[s]; d >= 0 {
+				return Decoded{Outcome: CorrectedData, Data: data ^ 1<<uint(d), Pos: d}
+			}
+		}
+		// Syndrome points outside the codeword: at least three errors.
+		return Decoded{Outcome: Detected, Data: data}
+	default:
+		// Non-zero syndrome with even parity: the double-bit signature.
+		return Decoded{Outcome: Detected, Data: data}
+	}
+}
+
+// Groups returns how many word groups cover `bits` data bits.
+func (c *Codec) Groups(bits int) int { return (bits + c.dataBits - 1) / c.dataBits }
+
+// CheckRowBits returns the spare-column bits backing `bits` data bits —
+// the row-level storage overhead (bits/8 for the 64-bit code).
+func (c *Codec) CheckRowBits(bits int) int { return c.Groups(bits) * c.CheckBits() }
+
+// CheckWords returns how many packed uint64 words hold the check bits of
+// `bits` data bits.
+func (c *Codec) CheckWords(bits int) int { return (c.CheckRowBits(bits) + 63) / 64 }
+
+// groupWidth returns the data width of group g of a bits-long vector (the
+// tail group may be partial; its padding encodes as zeros).
+func (c *Codec) groupWidth(g, bits int) int {
+	if w := bits - g*c.dataBits; w < c.dataBits {
+		return w
+	}
+	return c.dataBits
+}
+
+// EncodeRow computes the packed spare-column check words of the first
+// `bits` bits of data: group g's check bits sit at bit offset
+// g*CheckBits() of the returned slice.
+func (c *Codec) EncodeRow(data []uint64, bits int) []uint64 {
+	out := make([]uint64, c.CheckWords(bits))
+	cb := c.CheckBits()
+	for g := 0; g < c.Groups(bits); g++ {
+		d := getBits(data, g*c.dataBits, c.groupWidth(g, bits))
+		setBits(out, g*cb, cb, c.Encode(d))
+	}
+	return out
+}
+
+// RowResult summarises decoding one row.
+type RowResult struct {
+	CorrectedData  int // data bits corrected in place
+	CorrectedCheck int // check-bit errors absorbed (data intact)
+	Detected       int // uncorrectable groups
+}
+
+// Clean reports whether every group decoded without a detected-
+// uncorrectable syndrome.
+func (r RowResult) Clean() bool { return r.Detected == 0 }
+
+// DecodeRow decodes every group of the first `bits` bits of data against
+// the packed check words, correcting single data-bit errors in data in
+// place. A correction that names a bit inside a tail group's zero padding
+// is physically impossible and counts as Detected.
+func (c *Codec) DecodeRow(data, check []uint64, bits int) RowResult {
+	var out RowResult
+	cb := c.CheckBits()
+	for g := 0; g < c.Groups(bits); g++ {
+		nb := c.groupWidth(g, bits)
+		d := getBits(data, g*c.dataBits, nb)
+		ch := getBits(check, g*cb, cb)
+		dec := c.Decode(d, ch)
+		switch dec.Outcome {
+		case OK:
+		case CorrectedCheck:
+			out.CorrectedCheck++
+		case CorrectedData:
+			if dec.Pos >= nb {
+				out.Detected++
+				continue
+			}
+			out.CorrectedData++
+			setBits(data, g*c.dataBits, nb, dec.Data)
+		case Detected:
+			out.Detected++
+		}
+	}
+	return out
+}
+
+// getBits extracts n (≤ 64) bits at bit offset off from a packed word
+// slice.
+func getBits(words []uint64, off, n int) uint64 {
+	wi, bo := off/64, uint(off%64)
+	v := words[wi] >> bo
+	if bo != 0 && wi+1 < len(words) {
+		v |= words[wi+1] << (64 - bo)
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	return v
+}
+
+// setBits stores the low n (≤ 64) bits of v at bit offset off.
+func setBits(words []uint64, off, n int, v uint64) {
+	mask := ^uint64(0)
+	if n < 64 {
+		mask = 1<<uint(n) - 1
+		v &= mask
+	}
+	wi, bo := off/64, uint(off%64)
+	words[wi] = words[wi]&^(mask<<bo) | v<<bo
+	if bo != 0 && n > int(64-bo) {
+		words[wi+1] = words[wi+1]&^(mask>>(64-bo)) | v>>(64-bo)
+	}
+}

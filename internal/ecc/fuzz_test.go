@@ -1,0 +1,47 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode drives arbitrary (data, corruption) pairs through the (72,64)
+// codec and asserts the SECDED contract: clean words decode OK, any single
+// codeword-bit corruption is corrected back to the original data, and any
+// double corruption is detected — never silently miscorrected.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(0xdeadbeefcafef00d), uint8(3), uint8(70))
+	f.Add(^uint64(0), uint8(64), uint8(71))
+	f.Fuzz(func(t *testing.T, data uint64, a, b uint8) {
+		c := Default()
+		total := c.DataBits() + c.CheckBits()
+		check := c.Encode(data)
+		flip := func(d, ch uint64, pos int) (uint64, uint64) {
+			if pos < c.DataBits() {
+				return d ^ 1<<uint(pos), ch
+			}
+			return d, ch ^ 1<<uint(pos-c.DataBits())
+		}
+
+		if dec := c.Decode(data, check); dec.Outcome != OK || dec.Data != data {
+			t.Fatalf("clean decode of %#x: %+v", data, dec)
+		}
+
+		i, j := int(a)%total, int(b)%total
+		d1, c1 := flip(data, check, i)
+		dec := c.Decode(d1, c1)
+		if i < c.DataBits() {
+			if dec.Outcome != CorrectedData || dec.Data != data {
+				t.Fatalf("single data flip at %d: %+v", i, dec)
+			}
+		} else if dec.Outcome != CorrectedCheck || dec.Data != data {
+			t.Fatalf("single check flip at %d: %+v", i, dec)
+		}
+
+		if i == j {
+			return
+		}
+		d2, c2 := flip(d1, c1, j)
+		if dec := c.Decode(d2, c2); dec.Outcome != Detected {
+			t.Fatalf("double flip (%d,%d) of %#x: %+v", i, j, data, dec)
+		}
+	})
+}

@@ -24,6 +24,7 @@ const (
 	CPUCore                      // processor pipeline
 	CacheHier                    // L1/L2/L3 accesses
 	DRAMArray                    // DRAM cell array (S-DRAM baseline)
+	ECCLogic                     // SECDED check-bit generation + syndrome decode
 	numComponents
 )
 
@@ -32,6 +33,7 @@ func (c Component) String() string {
 	names := [...]string{
 		"cell-array", "sense-amp", "write-driver", "lwl-driver", "gdl",
 		"io-bus", "logic", "buffer", "cpu-core", "cache", "dram-array",
+		"ecc-logic",
 	}
 	if c < 0 || int(c) >= len(names) {
 		return fmt.Sprintf("component(%d)", int(c))

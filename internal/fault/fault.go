@@ -274,14 +274,40 @@ func (in *Injector) Wear(key uint64) int64 { return in.wear[key] }
 // Worn reports whether the row has developed stuck-at bits.
 func (in *Injector) Worn(key uint64) bool { return len(in.stuck[key]) > 0 }
 
+// StuckPositions returns the bit positions of the row's stuck-at cells —
+// diagnostics for tests and sweeps (positions at or past the data row width
+// are spare-column cells when the injector covers an ECC stripe).
+func (in *Injector) StuckPositions(key uint64) []int {
+	out := make([]int, 0, len(in.stuck[key]))
+	for _, b := range in.stuck[key] {
+		out = append(out, b.pos)
+	}
+	return out
+}
+
 // CorruptStored forces the row's stuck-at bits into freshly-programmed row
 // words in place, modelling the cells that no longer accept the write. It
 // returns how many bits were actually overridden (a write agreeing with the
 // stuck value is unharmed).
 func (in *Injector) CorruptStored(key uint64, row []uint64) int {
+	return in.CorruptStoredOffset(key, row, 0)
+}
+
+// CorruptStoredOffset applies the row's stuck-at bits whose positions fall
+// at or beyond offsetBits to `row`, rebased so position offsetBits lands on
+// bit 0. The controller uses it for the ECC spare columns: the injector is
+// constructed with rowBits covering data plus spare cells, positions below
+// the data width corrupt the data row (offset 0) and positions at or above
+// it corrupt the packed check words (offset = data row bits) — the spare
+// columns wear and stick exactly like the cells they protect.
+func (in *Injector) CorruptStoredOffset(key uint64, row []uint64, offsetBits int) int {
 	forced := 0
 	for _, b := range in.stuck[key] {
-		wi, mask := b.pos/64, uint64(1)<<uint(b.pos%64)
+		if b.pos < offsetBits {
+			continue
+		}
+		pos := b.pos - offsetBits
+		wi, mask := pos/64, uint64(1)<<uint(pos%64)
 		if wi >= len(row) {
 			continue
 		}

@@ -212,6 +212,56 @@ func TestCorruptStored(t *testing.T) {
 	}
 }
 
+func TestCorruptStoredOffset(t *testing.T) {
+	// Mint stuck bits until one lands in the "spare" region past dataBits and
+	// one in the data region, then check each corrupts only its own slice.
+	in := newPCM(t, Config{Seed: 5, WearLimit: 1})
+	const key = 11
+	const dataBits = 1 << 18 // injector rowBits 1<<19 leaves a huge spare tail
+	var spare, data *stuckBit
+	for i := 0; i < 4096 && (spare == nil || data == nil); i++ {
+		in.RecordWrite(key)
+		b := &in.stuck[key][len(in.stuck[key])-1]
+		if b.pos >= dataBits && spare == nil {
+			spare = b
+		}
+		if b.pos < dataBits && data == nil {
+			data = b
+		}
+	}
+	if spare == nil || data == nil {
+		t.Fatal("could not mint stuck bits on both sides of the data boundary")
+	}
+
+	dataRow := make([]uint64, dataBits/64)
+	spareRow := make([]uint64, (in.rowBits-dataBits)/64)
+	// Program complements so every stuck bit in range must force.
+	flip := func(row []uint64, pos int, val bool) {
+		if !val {
+			row[pos/64] |= 1 << uint(pos%64)
+		}
+	}
+	flip(dataRow, data.pos, data.val)
+	flip(spareRow, spare.pos-dataBits, spare.val)
+
+	if forced := in.CorruptStoredOffset(key, spareRow, dataBits); forced < 1 {
+		t.Fatalf("spare region forced %d bits, want >= 1", forced)
+	}
+	got := spareRow[(spare.pos-dataBits)/64]&(1<<uint((spare.pos-dataBits)%64)) != 0
+	if got != spare.val {
+		t.Fatal("spare bit does not match the stuck value")
+	}
+	// A data-region row sized dataBits must be untouched by spare positions:
+	// CorruptStored skips positions past len(row).
+	if forced := in.CorruptStored(key, dataRow); forced < 1 {
+		t.Fatalf("data region forced %d bits, want >= 1", forced)
+	}
+	got = dataRow[data.pos/64]&(1<<uint(data.pos%64)) != 0
+	if got != data.val {
+		t.Fatal("data bit does not match the stuck value")
+	}
+}
+
 func TestDriftWidensMarginsReducesFlips(t *testing.T) {
 	fresh := newPCM(t, Config{SenseFlipRate: 1e-3})
 	aged := newPCM(t, Config{SenseFlipRate: 1e-3, DriftSeconds: 1e6})

@@ -1,0 +1,69 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestECCSweep(t *testing.T) {
+	// One fault-free point (the headline overhead comparison) and one hot
+	// enough that SECDED must both correct and escalate.
+	rows, err := ECCSweep([]float64{0, 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byKey := map[string]ECCSweepRow{}
+	for _, r := range rows {
+		if r.WrongWords != 0 {
+			t.Fatalf("rate %g mode %s returned %d wrong words — verification contract broken",
+				r.Rate, r.Mode, r.WrongWords)
+		}
+		if r.GBps <= 0 {
+			t.Fatalf("rate %g mode %s: bandwidth %g", r.Rate, r.Mode, r.GBps)
+		}
+		key := "cold-" + r.Mode
+		if r.Rate > 0 {
+			key = "hot-" + r.Mode
+		}
+		byKey[key] = r
+	}
+
+	// The point of the PR: SECDED verification is nearly free on clean
+	// hardware, where read-back costs tens of x.
+	if r := byKey["cold-ecc"]; r.Overhead > 1.1 {
+		t.Errorf("zero-fault ECC overhead %.3fx exceeds the 1.1x budget", r.Overhead)
+	}
+	if r := byKey["cold-readback"]; r.Overhead < 2 {
+		t.Errorf("zero-fault read-back overhead %.3fx suspiciously low", r.Overhead)
+	}
+	if r := byKey["cold-ecc"]; r.EccDecodes == 0 || r.EccCorrected != 0 || r.EccUncorrectable != 0 {
+		t.Errorf("clean ECC run shows wrong syndrome activity: %+v", r)
+	}
+
+	hot := byKey["hot-ecc"]
+	if hot.EccCorrected == 0 {
+		t.Errorf("hot ECC run corrected nothing in-array: %+v", hot)
+	}
+	if hot.EccUncorrectable == 0 || hot.Verifies <= byKey["cold-ecc"].Verifies {
+		t.Errorf("hot ECC run never escalated a double-bit syndrome to the ladder: %+v", hot)
+	}
+
+	text := FormatECCSweep(rows)
+	if !strings.Contains(text, "fault-free") || !strings.Contains(text, "exact") ||
+		!strings.Contains(text, "ecc") || !strings.Contains(text, "readback") {
+		t.Fatalf("format output missing labels:\n%s", text)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteECCSweepCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "rate,mode") {
+		t.Fatalf("csv output malformed:\n%s", buf.String())
+	}
+}

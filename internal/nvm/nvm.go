@@ -95,6 +95,11 @@ type Energy struct {
 	LogicPerBit  float64 // digital add-on logic (AC-PIM / global buffers), per bit op
 	BufferPerBit float64 // latching one bit in a global/I-O buffer
 	RefreshPerB  float64 // refresh energy per bit per refresh (DRAM only)
+	// ECCPerBit is the SECDED check-bit generate / syndrome-decode logic
+	// energy per data bit. A (72,64) encoder is a shallow XOR tree (~3
+	// gate equivalents per data bit), far lighter than the full add-on
+	// datapath LogicPerBit prices.
+	ECCPerBit float64
 }
 
 // Params bundles everything known about a technology node.
@@ -160,6 +165,7 @@ var pcmParams = Params{
 		LogicPerBit:  6.0e-12, // 65 nm synthesized datapath incl. clock/control
 		BufferPerBit: 0.5e-12,
 		RefreshPerB:  0,
+		ECCPerBit:    0.3e-12,
 	},
 	MaxOpenRows: 128,
 }
@@ -192,6 +198,7 @@ var sttParams = Params{
 		LogicPerBit:  6.0e-12,
 		BufferPerBit: 0.5e-12,
 		RefreshPerB:  0,
+		ECCPerBit:    0.3e-12,
 	},
 	MaxOpenRows: 2,
 }
@@ -224,6 +231,7 @@ var rramParams = Params{
 		LogicPerBit:  6.0e-12,
 		BufferPerBit: 0.5e-12,
 		RefreshPerB:  0,
+		ECCPerBit:    0.3e-12,
 	},
 	MaxOpenRows: 128,
 }

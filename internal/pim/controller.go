@@ -14,6 +14,7 @@ import (
 	"pinatubo/internal/analog"
 	"pinatubo/internal/bitvec"
 	"pinatubo/internal/ddr"
+	"pinatubo/internal/ecc"
 	"pinatubo/internal/energy"
 	"pinatubo/internal/fault"
 	"pinatubo/internal/memarch"
@@ -101,6 +102,11 @@ type Controller struct {
 	// inj, when attached, corrupts sensing and cell writes — see
 	// internal/fault. nil means the ideal-hardware model.
 	inj *fault.Injector
+	// codec and checks model the in-array SECDED spare columns — see ecc.go.
+	// codec nil means no ECC; checks maps encoded row address to that row's
+	// stored check bits.
+	codec  *ecc.Codec
+	checks map[uint64]eccEntry
 }
 
 // NewController builds a controller over mem. checkBits configures the
@@ -548,6 +554,9 @@ func (c *Controller) WriteRowFromHost(addr memarch.RowAddr, words []uint64, bits
 	res.Energy.Add(energy.WriteDriver, float64(bits)*e.WritePerBit)
 	if err := c.store(addr, words); err != nil {
 		return nil, err
+	}
+	if c.codec != nil {
+		c.eccProgramHost(addr, words, bits, res)
 	}
 	res.Words = words
 	return res, nil

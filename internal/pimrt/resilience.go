@@ -35,6 +35,12 @@ import (
 // never silently wrong bits.
 var ErrResilienceExhausted = errors.New("pimrt: resilience ladder exhausted without a verified result")
 
+// ErrUncorrectable marks a detected-uncorrectable (double-bit class) ECC
+// syndrome. It is wrapped alongside ErrResilienceExhausted when the in-array
+// SECDED path escalated and the subsequent degradation ladder also failed,
+// so callers can distinguish "ECC gave up" from plain ladder exhaustion.
+var ErrUncorrectable = errors.New("pimrt: detected-uncorrectable ECC syndrome")
+
 // Resilience configures the scheduler's verify-and-retry policy.
 type Resilience struct {
 	// MaxRetries bounds the re-executions attempted on each rung of the
@@ -45,6 +51,12 @@ type Resilience struct {
 	MinDepth int
 	// HostFallback enables the final CPU rung.
 	HostFallback bool
+	// ECC verifies through the controller's in-array SECDED path instead of
+	// leading with read-back: syndrome decode on the program-verify sense,
+	// single-bit errors fixed in place, and only detected-uncorrectable
+	// syndromes fall into the read-back degradation ladder. Requires the
+	// controller to have a codec attached (pim.Controller.EnableECC).
+	ECC bool
 }
 
 // DefaultResilience returns the policy used when faults are enabled without
@@ -69,6 +81,11 @@ type FaultStats struct {
 	HostFallbacks   int64 // requests degraded to the host CPU
 	RowsRetired     int64 // destination rows retired and remapped
 	BitsCorrected   int64 // wrong bits intercepted before reaching a caller
+
+	// In-array SECDED activity (Resilience.ECC mode).
+	EccDecodes        int64 // syndrome-decode verification passes
+	EccCorrectedBits  int64 // single-bit errors SECDED fixed in place
+	EccUncorrectables int64 // detected-uncorrectable syndromes escalated
 }
 
 // FaultStats returns a snapshot of the accumulated resilience activity.
@@ -143,10 +160,51 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 	// and therefore needs restoring before a self-referencing re-execution.
 	dirty := false
 
-	// Rung 1 — native execution with bounded retries.
-	ok, err := s.attempt(op, srcs, bits, target, restore, golden, res, false, &dirty)
+	if s.Res.ECC {
+		// Rung 0 — in-array SECDED: syndrome decode on the program-verify
+		// sense, single-bit repair in place. Only a detected-uncorrectable
+		// syndrome falls through to the read-back ladder.
+		ok, err := s.eccAttempt(op, srcs, bits, target, restore, golden, res, &dirty)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return golden, nil
+		}
+		ok, err = s.ladder(op, srcs, bits, target, restore, golden, res, &dirty)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			// The ladder programmed *target behind the spare columns' backs;
+			// regenerate the check bits at the buffer encoder so later reads
+			// and chained ops decode against fresh state (nonlinear path —
+			// the result sits in a buffer or on the host, not on spare SAs).
+			cost, err := s.Ctl.ECCProgram(*target, golden, bits, sense.OpOR, 0)
+			if err != nil {
+				return nil, err
+			}
+			res.Cost.Add(workload.Cost{Seconds: cost.Seconds, Joules: cost.Energy.Total()})
+			return golden, nil
+		}
+		return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w (%w)",
+			op, len(srcs), *target, ErrResilienceExhausted, ErrUncorrectable)
+	}
+
+	ok, err := s.ladder(op, srcs, bits, target, restore, golden, res, &dirty)
 	if err != nil || ok {
 		return golden, err
+	}
+	return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w", op, len(srcs), *target, ErrResilienceExhausted)
+}
+
+// ladder walks the read-back degradation ladder (rungs 1-4) until a
+// verified result lands in *target. It reports whether one did.
+func (s *Scheduler) ladder(op sense.Op, srcs []memarch.RowAddr, bits int, target *memarch.RowAddr, restore, golden []uint64, res *ScheduleResult, dirty *bool) (bool, error) {
+	// Rung 1 — native execution with bounded retries.
+	ok, err := s.attempt(op, srcs, bits, target, restore, golden, res, false, dirty)
+	if err != nil || ok {
+		return ok, err
 	}
 	// Rung 2 — exponential depth reduction: a failing intra-subarray
 	// multi-row OR re-executes as a chain of shallower ORs whose sensing
@@ -155,9 +213,9 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 		for depth := len(srcs) / 2; depth >= s.minDepth(); depth /= 2 {
 			s.stats.DepthReductions++
 			res.noteDegraded(DegradedDepthSplit)
-			ok, err := s.chunked(srcs, bits, target, restore, depth, res, &dirty)
+			ok, err := s.chunked(srcs, bits, target, restore, depth, res, dirty)
 			if err != nil || ok {
-				return golden, err
+				return ok, err
 			}
 		}
 	}
@@ -165,9 +223,9 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 	// multi-row margin to lose.
 	s.stats.InterFallbacks++
 	res.noteDegraded(DegradedInter)
-	ok, err = s.attempt(op, srcs, bits, target, restore, golden, res, true, &dirty)
+	ok, err = s.attempt(op, srcs, bits, target, restore, golden, res, true, dirty)
 	if err != nil || ok {
-		return golden, err
+		return ok, err
 	}
 	// Rung 4 — the host CPU.
 	if s.Res.HostFallback {
@@ -175,10 +233,60 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 		res.noteDegraded(DegradedHost)
 		ok, err = s.hostAttempt(srcs, bits, target, golden, res)
 		if err != nil || ok {
-			return golden, err
+			return ok, err
 		}
 	}
-	return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w", op, len(srcs), *target, ErrResilienceExhausted)
+	return false, nil
+}
+
+// eccAttempt is the SECDED rung: execute once (reissuing transient
+// activation faults within the retry budget), regenerate the destination's
+// spare-column check bits, then decode on the program-verify sense.
+// Single-bit errors are repaired in place and the request completes without
+// ever reading the row back; anything SECDED cannot fix escalates.
+func (s *Scheduler) eccAttempt(op sense.Op, srcs []memarch.RowAddr, bits int, target *memarch.RowAddr, restore, golden []uint64, res *ScheduleResult, dirty *bool) (bool, error) {
+	for try := 0; try <= s.Res.MaxRetries; try++ {
+		if try > 0 {
+			s.stats.Retries++
+			res.Retries++
+		}
+		if *dirty && restore != nil {
+			if err := s.hostWrite(*target, restore, bits, res); err != nil {
+				return false, err
+			}
+		}
+		r, err := s.Ctl.Execute(op, srcs, bits, target)
+		if err != nil {
+			if errors.Is(err, pim.ErrActivationFault) {
+				continue // nothing was sensed or written; reissue
+			}
+			return false, err
+		}
+		res.addExec(r)
+		*dirty = true
+		cost, err := s.Ctl.ECCProgram(*target, golden, bits, op, len(srcs))
+		if err != nil {
+			return false, err
+		}
+		res.Cost.Add(workload.Cost{Seconds: cost.Seconds, Joules: cost.Energy.Total()})
+		v, err := s.Ctl.CorrectOrEscalate(*target, bits, golden)
+		if err != nil {
+			return false, err
+		}
+		s.stats.EccDecodes++
+		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
+		s.stats.EccCorrectedBits += int64(v.CorrectedBits)
+		res.BitsCorrected += int64(v.CorrectedBits)
+		if v.OK {
+			res.Words = golden
+			return true, nil
+		}
+		// Detected-uncorrectable (or a repair the cells would not hold):
+		// no blind retry — the ladder's read-back rungs take over.
+		s.stats.EccUncorrectables++
+		return false, nil
+	}
+	return false, nil
 }
 
 // attempt is one rung of bounded retries: execute (natively or over the

@@ -29,6 +29,7 @@ import (
 
 	"pinatubo/internal/analog"
 	"pinatubo/internal/bitvec"
+	"pinatubo/internal/ecc"
 	"pinatubo/internal/fault"
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/nvm"
@@ -134,19 +135,76 @@ func (f FaultConfig) internal() fault.Config {
 	}
 }
 
-// ResilienceConfig tunes the verify-and-retry layer. By default the layer
-// turns on exactly when Config.Fault injects something: every operation is
-// then verified against the digital reference and walked down the
+// VerifyMode selects how (and whether) operation results are verified.
+type VerifyMode int
+
+const (
+	// VerifyAuto (the zero value) turns read-back verification on exactly
+	// when Config.Fault injects something — the historical default.
+	VerifyAuto VerifyMode = iota
+	// VerifyOff trusts the hardware even with faults injected — the system
+	// returns whatever the faulty silicon produced (useful for measuring
+	// raw error rates).
+	VerifyOff
+	// VerifyReadback verifies every operation by re-reading the
+	// destination row and re-streaming the operands through the digital
+	// checker — always correct, but the zero-fault overhead is ~44x on a
+	// deep OR (see EXPERIMENTS.md).
+	VerifyReadback
+	// VerifyECC verifies through in-array SECDED check bits stored in
+	// spare columns of each row: syndrome decode rides the program-verify
+	// sense, single-bit errors are fixed in place, and only
+	// detected-uncorrectable syndromes fall back to the read-back
+	// degradation ladder. Zero-fault overhead is a few command-bus slots
+	// per operation.
+	VerifyECC
+)
+
+// String names the mode as the CLI -verify flag spells it.
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyAuto:
+		return "auto"
+	case VerifyOff:
+		return "off"
+	case VerifyReadback:
+		return "readback"
+	case VerifyECC:
+		return "ecc"
+	default:
+		return fmt.Sprintf("VerifyMode(%d)", int(m))
+	}
+}
+
+// ResilienceConfig tunes the verify-and-retry layer. By default
+// (VerifyAuto) the layer turns on exactly when Config.Fault injects
+// something: every operation is then verified and walked down the
 // degradation ladder (retry → depth-split → inter-digital → host CPU)
 // until it is provably correct — degraded results cost more but are never
 // wrong.
 type ResilienceConfig struct {
-	// Disable turns verification off even with faults injected — the
-	// system then returns whatever the faulty hardware produced (useful
-	// for measuring raw error rates).
+	// Verify selects the verification mode. VerifyAuto defers to the
+	// fault configuration; VerifyECC stores SECDED check bits in spare
+	// columns and verifies by syndrome decode instead of read-back.
+	Verify VerifyMode
+	// ECCWordBits is the SECDED word-group width for VerifyECC: 8, 16, 32
+	// or 64 (0 = the default 64, the (72,64) code of ECC DIMMs). Setting
+	// it with any other mode is a configuration error.
+	ECCWordBits int
+
+	// Disable turns verification off even with faults injected.
+	//
+	// Deprecated: set Verify to VerifyOff. Kept working for existing
+	// callers; combining it with a non-auto Verify (or with AlwaysVerify)
+	// is a configuration error.
 	Disable bool
 	// AlwaysVerify enables verification even with no faults configured.
+	//
+	// Deprecated: set Verify to VerifyReadback. Kept working for existing
+	// callers; combining it with a non-auto Verify (or with Disable) is a
+	// configuration error.
 	AlwaysVerify bool
+
 	// MaxRetries bounds re-executions per ladder rung (0 = default 3).
 	MaxRetries int
 	// MinSplitDepth floors the depth-reduction rung (0 = default 2).
@@ -154,6 +212,40 @@ type ResilienceConfig struct {
 	// DisableHostFallback removes the final CPU rung; exhausting the
 	// ladder then returns an error instead.
 	DisableHostFallback bool
+}
+
+// mode resolves the configured mode, folding the deprecated bool pair in
+// and rejecting contradictions.
+func (rc ResilienceConfig) mode() (VerifyMode, error) {
+	if rc.Verify < VerifyAuto || rc.Verify > VerifyECC {
+		return 0, fmt.Errorf("pinatubo: unknown VerifyMode %d", int(rc.Verify))
+	}
+	if rc.Disable && rc.AlwaysVerify {
+		return 0, errors.New("pinatubo: Resilience.Disable and AlwaysVerify both set")
+	}
+	if rc.Verify != VerifyAuto && (rc.Disable || rc.AlwaysVerify) {
+		return 0, fmt.Errorf("pinatubo: Resilience.Verify=%v conflicts with the deprecated Disable/AlwaysVerify booleans", rc.Verify)
+	}
+	switch rc.Verify {
+	case VerifyAuto:
+		switch {
+		case rc.Disable:
+			return VerifyOff, nil
+		case rc.AlwaysVerify:
+			return VerifyReadback, nil
+		}
+	case VerifyECC:
+		switch rc.ECCWordBits {
+		case 0, 8, 16, 32, 64:
+		default:
+			return 0, fmt.Errorf("pinatubo: ECCWordBits %d not one of 8, 16, 32, 64", rc.ECCWordBits)
+		}
+		return VerifyECC, nil
+	}
+	if rc.ECCWordBits != 0 {
+		return 0, fmt.Errorf("pinatubo: ECCWordBits=%d requires Verify=VerifyECC", rc.ECCWordBits)
+	}
+	return rc.Verify, nil
 }
 
 // DefaultConfig returns the evaluation configuration: PCM, default
@@ -164,20 +256,28 @@ func DefaultConfig() Config {
 
 // System is one simulated Pinatubo memory plus its runtime stack.
 type System struct {
-	cfg   Config
-	mem   *memarch.Memory
-	ctl   *pim.Controller
-	alloc *pimrt.Allocator
-	sched *pimrt.Scheduler
+	cfg    Config
+	verify VerifyMode // effective mode (VerifyAuto already resolved)
+	mem    *memarch.Memory
+	ctl    *pim.Controller
+	alloc  *pimrt.Allocator
+	sched  *pimrt.Scheduler
 
 	stats Stats
 	// host-path resilience activity (Write/Read verification), kept apart
 	// from the scheduler's own counters.
-	hostVerifies      int64
-	hostRetries       int64
-	hostRowsRetired   int64
-	hostBitsCorrected int64
+	hostVerifies         int64
+	hostRetries          int64
+	hostRowsRetired      int64
+	hostBitsCorrected    int64
+	hostEccDecodes       int64
+	hostEccCorrected     int64
+	hostEccUncorrectable int64
 }
+
+// VerifyMode returns the effective verification mode the system runs under
+// (VerifyAuto resolved against the fault configuration at New time).
+func (s *System) VerifyMode() VerifyMode { return s.verify }
 
 // Stats accumulates the system's lifetime activity.
 type Stats struct {
@@ -196,6 +296,10 @@ type Stats struct {
 // New builds a system.
 func New(cfg Config) (*System, error) {
 	tech, err := cfg.Tech.internal()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := cfg.Resilience.mode()
 	if err != nil {
 		return nil, err
 	}
@@ -230,14 +334,38 @@ func New(cfg Config) (*System, error) {
 	if err := faultCfg.Validate(); err != nil {
 		return nil, err
 	}
+	if mode == VerifyAuto {
+		// The historical default: read-back verification exactly when the
+		// fault model injects something.
+		if faultCfg.Enabled() {
+			mode = VerifyReadback
+		} else {
+			mode = VerifyOff
+		}
+	}
+	s.verify = mode
+	rowBits := geo.RowBits()
+	if mode == VerifyECC {
+		wb := cfg.Resilience.ECCWordBits
+		if wb == 0 {
+			wb = 64
+		}
+		codec, err := ecc.New(wb)
+		if err != nil {
+			return nil, err
+		}
+		ctl.EnableECC(codec)
+		// Stuck-at positions must be able to land in the spare columns too.
+		rowBits = pim.ECCRowBits(geo, codec)
+	}
 	if faultCfg.Enabled() {
-		inj, err := fault.New(faultCfg, nvm.Get(tech), analog.DefaultSenseConfig(), geo.RowBits())
+		inj, err := fault.New(faultCfg, nvm.Get(tech), analog.DefaultSenseConfig(), rowBits)
 		if err != nil {
 			return nil, err
 		}
 		ctl.AttachInjector(inj)
 	}
-	if (faultCfg.Enabled() && !cfg.Resilience.Disable) || cfg.Resilience.AlwaysVerify {
+	if mode == VerifyReadback || mode == VerifyECC {
 		res := pimrt.DefaultResilience()
 		if cfg.Resilience.MaxRetries > 0 {
 			res.MaxRetries = cfg.Resilience.MaxRetries
@@ -248,6 +376,7 @@ func New(cfg Config) (*System, error) {
 		if cfg.Resilience.DisableHostFallback {
 			res.HostFallback = false
 		}
+		res.ECC = mode == VerifyECC
 		s.sched.Res = res
 		s.sched.Remap = s.remapRow
 		s.sched.Release = s.alloc.Free
@@ -299,6 +428,16 @@ func (b *BitVector) Rows() int { return len(b.rows) }
 
 // ErrFreed is returned when a freed vector is used.
 var ErrFreed = errors.New("pinatubo: bit-vector already freed")
+
+// ErrResilienceExhausted is wrapped into the error returned when the
+// verify-and-retry layer walks every rung of its degradation ladder without
+// obtaining a verified result. Match with errors.Is.
+var ErrResilienceExhausted = pimrt.ErrResilienceExhausted
+
+// ErrUncorrectable is wrapped alongside ErrResilienceExhausted when the
+// failure began as a SECDED detected-uncorrectable syndrome (VerifyECC
+// mode) and the ladder could not recover either. Match with errors.Is.
+var ErrUncorrectable = pimrt.ErrUncorrectable
 
 func (b *BitVector) check(s *System) error {
 	if b == nil || b.sys == nil {
@@ -449,6 +588,9 @@ func (s *System) writeRow(addr *memarch.RowAddr, chunk []uint64, bitsHere int) (
 	}
 	golden := make([]uint64, bitvec.WordsFor(bitsHere))
 	copy(golden, chunk)
+	if s.verify == VerifyECC {
+		return s.writeRowECC(addr, chunk, golden, bitsHere, seconds, joules)
+	}
 	for try := 0; ; try++ {
 		v, err := s.ctl.VerifyAgainst(0, bitsHere, *addr, golden, golden)
 		if err != nil {
@@ -463,7 +605,7 @@ func (s *System) writeRow(addr *memarch.RowAddr, chunk []uint64, bitsHere int) (
 		s.hostBitsCorrected += int64(v.MismatchedBits)
 		if try >= s.sched.Res.MaxRetries {
 			return seconds, joules, fmt.Errorf("pinatubo: writing row %v: %w",
-				*addr, pimrt.ErrResilienceExhausted)
+				*addr, ErrResilienceExhausted)
 		}
 		s.hostRetries++
 		if v.WriteFault {
@@ -471,6 +613,43 @@ func (s *System) writeRow(addr *memarch.RowAddr, chunk []uint64, bitsHere int) (
 				*addr = fresh
 				s.hostRowsRetired++
 			}
+		}
+		r, err := s.ctl.WriteRowFromHost(*addr, chunk, bitsHere)
+		if err != nil {
+			return seconds, joules, err
+		}
+		seconds += r.Seconds
+		joules += r.Energy.Total()
+	}
+}
+
+// writeRowECC verifies a host write through the row's SECDED check bits:
+// the syndrome decode rides the final program-verify sense, single stuck
+// bits are repaired in place, and an uncorrectable syndrome retires the row
+// (host writes fail through worn cells, not sense flips, so retrying the
+// same row would burn it further).
+func (s *System) writeRowECC(addr *memarch.RowAddr, chunk, golden []uint64, bitsHere int, seconds, joules float64) (float64, float64, error) {
+	for try := 0; ; try++ {
+		v, err := s.ctl.CorrectOrEscalate(*addr, bitsHere, golden)
+		if err != nil {
+			return seconds, joules, err
+		}
+		s.hostEccDecodes++
+		seconds += v.Seconds
+		joules += v.Energy.Total()
+		s.hostEccCorrected += int64(v.CorrectedBits)
+		if v.OK {
+			return seconds, joules, nil
+		}
+		s.hostEccUncorrectable++
+		if try >= s.sched.Res.MaxRetries {
+			return seconds, joules, fmt.Errorf("pinatubo: writing row %v: %w (%w)",
+				*addr, ErrResilienceExhausted, ErrUncorrectable)
+		}
+		s.hostRetries++
+		if fresh, err := s.remapRow(*addr); err == nil {
+			*addr = fresh
+			s.hostRowsRetired++
 		}
 		r, err := s.ctl.WriteRowFromHost(*addr, chunk, bitsHere)
 		if err != nil {
@@ -521,6 +700,24 @@ func (s *System) readRow(addr memarch.RowAddr, bitsHere int) ([]uint64, float64,
 		if s.sched.Res == nil {
 			return r.Words, seconds, joules, nil
 		}
+		if s.verify == VerifyECC {
+			// Correct the sensed words through the row's check bits first;
+			// the golden compare below then only catches (and retries) the
+			// uncorrectable residue.
+			v, err := s.ctl.ECCCorrectRead(addr, bitsHere, r.Words)
+			if err != nil {
+				return nil, seconds, joules, err
+			}
+			if v.Seconds > 0 { // a decode actually ran (row was encoded)
+				s.hostEccDecodes++
+			}
+			seconds += v.Seconds
+			joules += v.Energy.Total()
+			s.hostEccCorrected += int64(v.CorrectedBits)
+			if v.Uncorrectable {
+				s.hostEccUncorrectable++
+			}
+		}
 		golden, err := s.ctl.Golden(sense.OpRead, []memarch.RowAddr{addr}, bitsHere)
 		if err != nil {
 			return nil, seconds, joules, err
@@ -534,7 +731,7 @@ func (s *System) readRow(addr memarch.RowAddr, bitsHere int) ([]uint64, float64,
 			s.hostBitsCorrected += int64(x.Popcount())
 			if try >= s.sched.Res.MaxRetries {
 				return nil, seconds, joules, fmt.Errorf("pinatubo: reading row %v: %w",
-					addr, pimrt.ErrResilienceExhausted)
+					addr, ErrResilienceExhausted)
 			}
 			s.hostRetries++
 			continue
@@ -553,40 +750,169 @@ func sameLength(dst *BitVector, srcs ...*BitVector) error {
 	return nil
 }
 
-// Or computes dst = OR of all srcs inside the memory. Any number of
-// operands ≥ 1 is accepted: the runtime schedules per-subarray one-step
-// multi-row ORs (up to MaxORRows) and combines partial results.
-func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
+// Op identifies one of the public bulk bitwise operations. It exists so
+// generic callers (benchmark harnesses, workload replayers) can drive the
+// system through a single entry point — Apply — instead of switching over
+// method names; Or/And/Xor/Not/Copy are thin wrappers over it.
+type Op int
+
+const (
+	// OpOr ORs any number of operands ≥ 1 (one-step multi-row activation,
+	// chained past the technology's depth limit).
+	OpOr Op = iota
+	// OpAnd ANDs exactly 2 operands (shifted-reference sensing).
+	OpAnd
+	// OpXor XORs exactly 2 operands (two SA micro-steps).
+	OpXor
+	// OpNot inverts exactly 1 operand (the latch's differential output).
+	OpNot
+	// OpCopy copies exactly 1 operand (read/write-back pass).
+	OpCopy
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpOr:
+		return "or"
+	case OpAnd:
+		return "and"
+	case OpXor:
+		return "xor"
+	case OpNot:
+		return "not"
+	case OpCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// internal maps the public op onto the sense-amplifier command.
+func (o Op) internal() (sense.Op, error) {
+	switch o {
+	case OpOr:
+		return sense.OpOR, nil
+	case OpAnd:
+		return sense.OpAND, nil
+	case OpXor:
+		return sense.OpXOR, nil
+	case OpNot:
+		return sense.OpINV, nil
+	case OpCopy:
+		return sense.OpRead, nil
+	default:
+		return 0, fmt.Errorf("pinatubo: unknown Op %d", int(o))
+	}
+}
+
+// arity returns the operation's source-operand bounds (max < 0 = unbounded).
+func (o Op) arity() (min, max int) {
+	switch o {
+	case OpOr:
+		return 1, -1
+	case OpNot, OpCopy:
+		return 1, 1
+	default:
+		return 2, 2
+	}
+}
+
+// classRank orders placement classes from fastest to slowest path.
+var classRank = map[string]int{"intra-subarray": 1, "inter-subarray": 2, "inter-bank": 3}
+
+// worseClass folds per-batch placement classes into the dominant (slowest)
+// one, so a multi-row vector reports the class that actually bounds it.
+func worseClass(a, b string) string {
+	if classRank[b] > classRank[a] {
+		return b
+	}
+	return a
+}
+
+// placementClass names the class string of an operand placement.
+func placementClass(p workload.Placement) string {
+	switch p {
+	case workload.PlaceInterBank:
+		return "inter-bank"
+	case workload.PlaceInterSub:
+		return "inter-subarray"
+	default:
+		return "intra-subarray"
+	}
+}
+
+// Apply computes dst = op(srcs...) inside the memory. It validates the
+// operation's arity, runs every row batch of the vectors, and reports the
+// folded cost with Class set to the worst placement class any batch took
+// (the native path of the operands, even when a batch was degraded to a
+// slower one by the resilience layer).
+func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error) {
+	sop, err := op.internal()
+	if err != nil {
+		return Result{}, err
+	}
+	if lo, hi := op.arity(); len(srcs) < lo || (hi >= 0 && len(srcs) > hi) {
+		if lo == hi {
+			return Result{}, fmt.Errorf("pinatubo: %v takes %d operand(s), got %d", op, lo, len(srcs))
+		}
+		return Result{}, fmt.Errorf("pinatubo: %v takes at least %d operand(s), got %d", op, lo, len(srcs))
+	}
 	if err := b0check(s, dst, srcs); err != nil {
 		return Result{}, err
 	}
 	if err := sameLength(dst, srcs...); err != nil {
 		return Result{}, err
 	}
-	if len(srcs) == 0 {
-		return Result{}, errors.New("pinatubo: OR of no operands")
-	}
 	var seconds, joules float64
 	requests := 0
-	intra := true
+	class := ""
 	var resil resilienceTally
 	for batch := 0; batch < len(dst.rows); batch++ {
 		rows := make([]memarch.RowAddr, len(srcs))
 		for i, src := range srcs {
 			rows[i] = src.rows[batch]
 		}
-		p, err := pimrt.PlacementOf(rows)
-		if err != nil {
-			return Result{}, err
-		}
-		if p != workload.PlaceIntra {
-			intra = false
-		}
 		bitsHere := s.RowBits()
 		if batch == len(dst.rows)-1 {
 			bitsHere = dst.bits - batch*s.RowBits()
 		}
-		res, err := s.sched.OR(rows, bitsHere, dst.rows[batch])
+		if op == OpOr {
+			// The OR scheduler owns its own placement planning (per-subarray
+			// one-step groups plus a combine step) and verification.
+			p, err := pimrt.PlacementOf(rows)
+			if err != nil {
+				return Result{}, err
+			}
+			class = worseClass(class, placementClass(p))
+			res, err := s.sched.OR(rows, bitsHere, dst.rows[batch])
+			if err != nil {
+				return Result{}, err
+			}
+			dst.rows[batch] = res.FinalDst
+			seconds += res.Cost.Seconds
+			joules += res.Cost.Joules
+			requests += res.Requests
+			resil.add(res)
+			continue
+		}
+		if s.sched.Res == nil {
+			res, err := s.ctl.Execute(sop, rows, bitsHere, &dst.rows[batch])
+			if err != nil {
+				return Result{}, err
+			}
+			seconds += res.Seconds
+			joules += res.Energy.Total()
+			requests++
+			class = worseClass(class, res.Class.String())
+			continue
+		}
+		cl, err := s.ctl.Classify(rows)
+		if err != nil {
+			return Result{}, err
+		}
+		class = worseClass(class, cl.String())
+		res, err := s.sched.Execute(sop, rows, bitsHere, dst.rows[batch])
 		if err != nil {
 			return Result{}, err
 		}
@@ -596,11 +922,14 @@ func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
 		requests += res.Requests
 		resil.add(res)
 	}
-	class := "intra-subarray"
-	if !intra {
-		class = "inter-subarray"
-	}
 	return resil.fill(s.account(class, requests, seconds, joules)), nil
+}
+
+// Or computes dst = OR of all srcs inside the memory. Any number of
+// operands ≥ 1 is accepted: the runtime schedules per-subarray one-step
+// multi-row ORs (up to MaxORRows) and combines partial results.
+func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
+	return s.Apply(OpOr, dst, srcs...)
 }
 
 // resilienceTally folds per-batch schedule outcomes into one Result.
@@ -636,81 +965,24 @@ func b0check(s *System, dst *BitVector, srcs []*BitVector) error {
 	return nil
 }
 
-// binary runs a fixed-arity op per row batch through the controller.
-func (s *System) binary(op sense.Op, dst *BitVector, srcs ...*BitVector) (Result, error) {
-	if err := b0check(s, dst, srcs); err != nil {
-		return Result{}, err
-	}
-	if err := sameLength(dst, srcs...); err != nil {
-		return Result{}, err
-	}
-	var seconds, joules float64
-	requests := 0
-	class := ""
-	var resil resilienceTally
-	for batch := 0; batch < len(dst.rows); batch++ {
-		rows := make([]memarch.RowAddr, len(srcs))
-		for i, src := range srcs {
-			rows[i] = src.rows[batch]
-		}
-		bitsHere := s.RowBits()
-		if batch == len(dst.rows)-1 {
-			bitsHere = dst.bits - batch*s.RowBits()
-		}
-		if s.sched.Res == nil {
-			res, err := s.ctl.Execute(op, rows, bitsHere, &dst.rows[batch])
-			if err != nil {
-				return Result{}, err
-			}
-			seconds += res.Seconds
-			joules += res.Energy.Total()
-			requests++
-			if class == "" {
-				class = res.Class.String()
-			}
-			continue
-		}
-		// Resilient path: the scheduler verifies the result and degrades as
-		// needed. Class reports the operands' placement (the native path),
-		// even when a batch was degraded to a slower one.
-		cl, err := s.ctl.Classify(rows)
-		if err != nil {
-			return Result{}, err
-		}
-		if class == "" {
-			class = cl.String()
-		}
-		res, err := s.sched.Execute(op, rows, bitsHere, dst.rows[batch])
-		if err != nil {
-			return Result{}, err
-		}
-		dst.rows[batch] = res.FinalDst
-		seconds += res.Cost.Seconds
-		joules += res.Cost.Joules
-		requests += res.Requests
-		resil.add(res)
-	}
-	return resil.fill(s.account(class, requests, seconds, joules)), nil
-}
-
 // And computes dst = a AND b (2-row operation via the shifted reference).
 func (s *System) And(dst, a, b *BitVector) (Result, error) {
-	return s.binary(sense.OpAND, dst, a, b)
+	return s.Apply(OpAnd, dst, a, b)
 }
 
 // Xor computes dst = a XOR b (two SA micro-steps).
 func (s *System) Xor(dst, a, b *BitVector) (Result, error) {
-	return s.binary(sense.OpXOR, dst, a, b)
+	return s.Apply(OpXor, dst, a, b)
 }
 
 // Not computes dst = NOT a (the latch's differential output).
 func (s *System) Not(dst, a *BitVector) (Result, error) {
-	return s.binary(sense.OpINV, dst, a)
+	return s.Apply(OpNot, dst, a)
 }
 
 // Copy computes dst = a through a read/write-back pass.
 func (s *System) Copy(dst, a *BitVector) (Result, error) {
-	return s.binary(sense.OpRead, dst, a)
+	return s.Apply(OpCopy, dst, a)
 }
 
 // Popcount reads the vector to the host and counts set bits, charging the
@@ -773,6 +1045,11 @@ type FaultStats struct {
 	HostFallbacks   int64 // requests degraded to the host CPU
 	RowsRetired     int64 // worn rows retired and remapped
 	BitsCorrected   int64 // wrong bits intercepted before reaching a caller
+
+	// In-array SECDED activity — all zero outside VerifyECC mode.
+	EccDecodes        int64 // syndrome decodes issued (PIM scheduler + host paths)
+	EccCorrectedBits  int64 // bits fixed in place by SECDED correction
+	EccUncorrectables int64 // double-bit syndromes escalated to the ladder
 }
 
 // FaultStats returns a snapshot of the cumulative fault activity.
@@ -799,6 +1076,9 @@ func (s *System) FaultStats() FaultStats {
 	out.HostFallbacks = sc.HostFallbacks
 	out.RowsRetired += sc.RowsRetired
 	out.BitsCorrected += sc.BitsCorrected
+	out.EccDecodes = s.hostEccDecodes + sc.EccDecodes
+	out.EccCorrectedBits = s.hostEccCorrected + sc.EccCorrectedBits
+	out.EccUncorrectables = s.hostEccUncorrectable + sc.EccUncorrectables
 	return out
 }
 
