@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, ecc, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, ecc, headroom, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	flag.Parse()
 
@@ -149,6 +149,17 @@ func run(fig string, csvOut bool) error {
 			return figures.WriteECCSweepCSV(os.Stdout, rows)
 		}
 		fmt.Println(figures.FormatECCSweep(rows))
+		printed = true
+	}
+	if want("headroom") {
+		rows, err := figures.HeadroomSweep(figures.DefaultFaultRates, figures.DefaultHeadroomConcurrency)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteHeadroomCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatHeadroom(rows))
 		printed = true
 	}
 	if !printed {

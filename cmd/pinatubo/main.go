@@ -43,6 +43,7 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "fault injection seed")
 	drift := flag.Float64("drift", 0, "seconds of resistance drift before sensing (0 = fresh cells)")
 	verify := flag.String("verify", "auto", "verification mode: auto, off, readback, ecc")
+	plan := flag.Int("plan", 0, "plan concurrency headroom for -op at -faultrate with up to this many in-flight operations, instead of executing")
 	flag.Parse()
 
 	fc := pinatubo.FaultConfig{
@@ -59,6 +60,13 @@ func main() {
 	}
 	if *showCmds {
 		if err := runShowCmds(*op, *rows, *bits); err != nil {
+			fmt.Fprintln(os.Stderr, "pinatubo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *plan > 0 {
+		if err := runPlan(*op, *plan, *tech, fc, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "pinatubo:", err)
 			os.Exit(1)
 		}
@@ -213,6 +221,66 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 				st.EccDecodes, st.EccCorrectedBits, st.EccUncorrectables)
 		}
 	}
+	return nil
+}
+
+// runPlan answers "how many of these should I keep in flight?" through the
+// public planning API: the op's command traces (including any resilience
+// expansions at the requested fault rate) replayed through the channel
+// scheduler at increasing concurrency.
+func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultConfig, verifyName string) error {
+	cfg := pinatubo.DefaultConfig()
+	cfg.Fault = fc
+	mode, err := parseVerify(verifyName)
+	if err != nil {
+		return err
+	}
+	cfg.Resilience.Verify = mode
+	switch strings.ToLower(techName) {
+	case "pcm":
+		cfg.Tech = pinatubo.PCM
+	case "stt", "stt-mram":
+		cfg.Tech = pinatubo.STTMRAM
+	case "reram":
+		cfg.Tech = pinatubo.ReRAM
+	default:
+		return fmt.Errorf("unknown technology %q", techName)
+	}
+	var op pinatubo.Op
+	switch strings.ToLower(opName) {
+	case "or":
+		op = pinatubo.OpOr
+	case "and":
+		op = pinatubo.OpAnd
+	case "xor":
+		op = pinatubo.OpXor
+	case "not":
+		op = pinatubo.OpNot
+	default:
+		return fmt.Errorf("unknown op %q", opName)
+	}
+	sys, err := pinatubo.New(cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := sys.Plan(op, concurrency, fc.SenseFlipRate)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: %v on %v at fault rate %g (%d replication(s))\n",
+		rep.Op, cfg.Tech, rep.FaultRate, rep.Replications)
+	fmt.Printf("  %-6s %14s %12s %12s %8s\n", "k", "ops/s", "p50", "p99", "bus")
+	for _, p := range rep.Points {
+		marker := ""
+		if p.Concurrency == rep.SaturationPoint {
+			marker = "  <- saturation"
+		}
+		fmt.Printf("  %-6d %14.0f %12v %12v %7.0f%%%s\n",
+			p.Concurrency, p.Throughput, p.Latency.P50, p.Latency.P99,
+			100*p.BusUtilisation, marker)
+	}
+	fmt.Printf("  saturates at %d in flight, headroom %.2fx over one at a time\n",
+		rep.SaturationPoint, rep.Headroom)
 	return nil
 }
 

@@ -70,7 +70,7 @@ func TestGoldenCompatZeroFault(t *testing.T) {
 
 	check := func(name string, got Result, class string, req int, latNs int64, joules float64) {
 		t.Helper()
-		if got.Class != class || got.Requests != req ||
+		if got.Class.String() != class || got.Requests != req ||
 			got.Latency.Nanoseconds() != latNs || got.EnergyJoules != joules {
 			t.Errorf("%s: got class=%q req=%d lat=%dns energy=%.17g, want class=%q req=%d lat=%dns energy=%.17g",
 				name, got.Class, got.Requests, got.Latency.Nanoseconds(), got.EnergyJoules,
@@ -110,20 +110,11 @@ func TestVerifyModeResolution(t *testing.T) {
 	}{
 		{name: "default no faults", want: VerifyOff},
 		{name: "default with faults", fault: FaultConfig{Seed: 1, SenseFlipRate: 1e-4}, want: VerifyReadback},
-		{name: "legacy disable", rc: ResilienceConfig{Disable: true},
-			fault: FaultConfig{Seed: 1, SenseFlipRate: 1e-4}, want: VerifyOff},
-		{name: "legacy always-verify", rc: ResilienceConfig{AlwaysVerify: true}, want: VerifyReadback},
 		{name: "explicit off beats faults", rc: ResilienceConfig{Verify: VerifyOff},
 			fault: FaultConfig{Seed: 1, SenseFlipRate: 1e-4}, want: VerifyOff},
 		{name: "explicit readback", rc: ResilienceConfig{Verify: VerifyReadback}, want: VerifyReadback},
 		{name: "explicit ecc", rc: ResilienceConfig{Verify: VerifyECC}, want: VerifyECC},
 		{name: "ecc with word width", rc: ResilienceConfig{Verify: VerifyECC, ECCWordBits: 16}, want: VerifyECC},
-		{name: "legacy pair conflict", rc: ResilienceConfig{Disable: true, AlwaysVerify: true},
-			wantErr: "both set"},
-		{name: "enum vs legacy conflict", rc: ResilienceConfig{Verify: VerifyECC, Disable: true},
-			wantErr: "conflicts"},
-		{name: "enum vs always-verify conflict", rc: ResilienceConfig{Verify: VerifyReadback, AlwaysVerify: true},
-			wantErr: "conflicts"},
 		{name: "bad word width", rc: ResilienceConfig{Verify: VerifyECC, ECCWordBits: 7},
 			wantErr: "not one of"},
 		{name: "word width without ecc", rc: ResilienceConfig{Verify: VerifyReadback, ECCWordBits: 8},

@@ -1,18 +1,26 @@
-// Package chansim is a discrete-event scheduler for concurrent Pinatubo
-// requests on one memory channel. The trace-level evaluation treats
-// requests as overlappable only across channels (a deliberately
+// Package chansim is an event-driven scheduler for concurrent Pinatubo
+// requests on one or more memory channels. The trace-level evaluation
+// treats requests as overlappable only across channels (a deliberately
 // conservative assumption: multi-row activation is power hungry); this
-// simulator models the finer truth — the command bus serialises command
-// *issue* slots while banks execute independently — so the assumption can
-// be checked rather than asserted, and the concurrency ablation can show
-// where bank-level overlap would saturate.
+// simulator models the finer truth — each channel's command bus serialises
+// command *issue* slots while banks execute independently — so the
+// assumption can be checked rather than asserted, and the concurrency
+// ablation can show where bank-level overlap would saturate.
 //
-// The model: each request is an ordered command sequence. A command c may
-// start when (a) the channel command bus is free for its issue slot, (b)
-// its target resource (bank) has finished every earlier command bound to
-// it, and (c) the previous command of the same request has completed
-// (intra-request dependency). The bus is held only for the issue slot;
-// the resource is held for the command's full execution time.
+// The model: each request is an ordered command sequence bound to one
+// channel. A command c may start when (a) its channel's command bus is
+// free for its issue slot, (b) its target resource (bank) has finished
+// every earlier command bound to it, and (c) the previous command of the
+// same request has completed (intra-request dependency). The bus is held
+// only for the issue slot; the resource is held for the command's full
+// execution time.
+//
+// Requests may grow mid-flight: a Request with a Grow hook is asked for
+// more commands whenever its queue drains, which is how stochastic
+// sequences (verify-and-retry, depth splits, ECC corrective reprograms)
+// are replayed — the scheduler discovers each expansion only after the
+// commands that triggered it have executed, exactly like a controller
+// reacting to a failed verify.
 package chansim
 
 import (
@@ -20,6 +28,7 @@ import (
 	"sort"
 
 	"pinatubo/internal/ddr"
+	"pinatubo/internal/memarch"
 	"pinatubo/internal/nvm"
 )
 
@@ -36,13 +45,24 @@ type Cmd struct {
 	Resource int
 }
 
-// Request is an ordered command sequence.
+// Request is an ordered command sequence bound to one channel.
 type Request struct {
 	Name string
 	Cmds []Cmd
+	// Channel selects the command bus the request issues on (default 0).
+	// Banks are global resource IDs, so requests on different channels
+	// still serialise if they name the same resource.
+	Channel int
+	// Grow, if non-nil, is consulted when the queued commands are
+	// exhausted: it receives the number of commands executed so far and
+	// returns the next batch, or nil/empty when the request is finished.
+	// This is how stochastic traces (retries, depth splits, ECC
+	// reprograms) extend a request mid-flight.
+	Grow func(executed int) []Cmd
 }
 
-// Duration returns the request's standalone latency (no contention).
+// Duration returns the request's standalone latency (no contention) over
+// the currently queued commands. Grow expansions are not included.
 func (r Request) Duration() float64 {
 	t := 0.0
 	for _, c := range r.Cmds {
@@ -55,116 +75,244 @@ func (r Request) Duration() float64 {
 	return t
 }
 
+// ResourceStride returns 1 + the largest resource ID queued in r (minimum
+// 1): offsetting a copy's resources by a multiple of the stride keeps the
+// copy's banks disjoint from the original while preserving intra-request
+// bank distinctness.
+func (r Request) ResourceStride() int {
+	max := -1
+	for _, c := range r.Cmds {
+		if c.Resource > max {
+			max = c.Resource
+		}
+	}
+	if max < 0 {
+		return 1
+	}
+	return max + 1
+}
+
+// WithResourceOffset returns a deep copy of r with every non-negative
+// resource ID shifted by off. Bus-only commands (Resource < 0) are left
+// untouched.
+func (r Request) WithResourceOffset(off int) Request {
+	out := r
+	out.Cmds = make([]Cmd, len(r.Cmds))
+	for i, c := range r.Cmds {
+		if c.Resource >= 0 {
+			c.Resource += off
+		}
+		out.Cmds[i] = c
+	}
+	return out
+}
+
+// Replicate returns k copies of the template, copy i offset by
+// i*template.ResourceStride() so each copy targets its own disjoint bank
+// set while keeping the template's intra-request bank structure.
+func Replicate(template Request, k int) []Request {
+	stride := template.ResourceStride()
+	reqs := make([]Request, k)
+	for i := 0; i < k; i++ {
+		r := template.WithResourceOffset(i * stride)
+		r.Name = fmt.Sprintf("%s#%d", template.Name, i)
+		reqs[i] = r
+	}
+	return reqs
+}
+
+// Arbiter selects which ready request issues next when several compete.
+type Arbiter int
+
+const (
+	// ArbFIFO issues the command that can start earliest, breaking ties
+	// by request index — how a simple in-order controller with a shared
+	// bus behaves. This is the deterministic legacy policy.
+	ArbFIFO Arbiter = iota
+	// ArbOldestReady issues for the request that has been ready longest
+	// (smallest previous-command completion time), breaking ties by
+	// earliest start then request index. It trades a little peak
+	// throughput for fairness: a request stalled behind a busy bank
+	// cannot be starved by a stream of short newcomers.
+	ArbOldestReady
+)
+
+func (a Arbiter) String() string {
+	switch a {
+	case ArbFIFO:
+		return "fifo"
+	case ArbOldestReady:
+		return "oldest-ready"
+	}
+	return fmt.Sprintf("Arbiter(%d)", int(a))
+}
+
 // Result is the outcome of a schedule.
 type Result struct {
 	// Makespan is the completion time of the last request.
 	Makespan float64
 	// Completion[i] is request i's finish time.
 	Completion []float64
-	// BusBusy is the total command-bus occupancy (for utilisation).
+	// BusBusy is the total command-bus occupancy across all channels.
 	BusBusy float64
+	// Channels is the number of command buses the schedule spanned.
+	Channels int
 }
 
-// BusUtilisation returns BusBusy / Makespan.
+// BusUtilisation returns the command-bus occupancy as a fraction of the
+// aggregate bus time available (Makespan × channels). Always <= 1.
 func (r Result) BusUtilisation() float64 {
 	if r.Makespan == 0 {
 		return 0
 	}
-	return r.BusBusy / r.Makespan
+	ch := r.Channels
+	if ch < 1 {
+		ch = 1
+	}
+	return r.BusBusy / (r.Makespan * float64(ch))
 }
 
-// Schedule runs the requests concurrently on one channel and returns the
-// makespan. Scheduling is greedy earliest-start-first with FIFO
-// tie-breaking, which is how a simple in-order per-request controller with
-// a shared bus behaves.
+// Schedule runs the requests concurrently and returns the makespan, using
+// FIFO arbitration. For fixed single-channel command sequences this
+// reproduces the original greedy earliest-start-first scheduler exactly.
 func Schedule(reqs []Request) (Result, error) {
+	return ScheduleWith(reqs, ArbFIFO)
+}
+
+// ScheduleWith runs the requests concurrently under the given arbitration
+// policy. Requests with Grow hooks are re-queried as their command queues
+// drain, so the schedule reflects expansions (retries, splits) that are
+// only discovered once earlier commands have executed.
+func ScheduleWith(reqs []Request, arb Arbiter) (Result, error) {
+	if arb != ArbFIFO && arb != ArbOldestReady {
+		return Result{}, fmt.Errorf("chansim: unknown arbiter %d", int(arb))
+	}
 	type state struct {
+		cmds     []Cmd
 		next     int     // next command index
+		executed int     // commands executed so far (passed to Grow)
 		prevDone float64 // completion of the previous command
+		grow     func(int) []Cmd
+		done     bool
 	}
 	states := make([]state, len(reqs))
+	channels := 1
 	for i, r := range reqs {
 		for j, c := range r.Cmds {
 			if c.Issue < 0 || c.Exec < 0 {
 				return Result{}, fmt.Errorf("chansim: request %d command %d has negative time", i, j)
 			}
 		}
-		_ = i
+		if r.Channel < 0 {
+			return Result{}, fmt.Errorf("chansim: request %d has negative channel", i)
+		}
+		if r.Channel+1 > channels {
+			channels = r.Channel + 1
+		}
+		states[i] = state{cmds: r.Cmds, grow: r.Grow}
 	}
 
-	busFree := 0.0
+	busFree := make([]float64, channels)
 	resourceFree := map[int]float64{}
-	res := Result{Completion: make([]float64, len(reqs))}
+	res := Result{Completion: make([]float64, len(reqs)), Channels: channels}
+
+	// refill tops up a drained request from its Grow hook and records the
+	// completion time once the request is truly finished.
+	refill := func(i int) error {
+		st := &states[i]
+		for !st.done && st.next >= len(st.cmds) {
+			if st.grow == nil {
+				st.done = true
+				break
+			}
+			more := st.grow(st.executed)
+			if len(more) == 0 {
+				st.grow = nil
+				st.done = true
+				break
+			}
+			for j, c := range more {
+				if c.Issue < 0 || c.Exec < 0 {
+					return fmt.Errorf("chansim: request %d grown command %d has negative time", i, j)
+				}
+			}
+			st.cmds = append(st.cmds, more...)
+		}
+		if st.done && res.Completion[i] == 0 {
+			res.Completion[i] = st.prevDone
+			if st.prevDone > res.Makespan {
+				res.Makespan = st.prevDone
+			}
+		}
+		return nil
+	}
 
 	for {
-		// Find the request whose next command can start earliest.
+		// Find the request whose next command the arbiter favours.
 		best := -1
-		bestStart := 0.0
+		bestStart, bestReady := 0.0, 0.0
 		for i := range reqs {
+			if err := refill(i); err != nil {
+				return Result{}, err
+			}
 			st := &states[i]
-			if st.next >= len(reqs[i].Cmds) {
+			if st.done {
 				continue
 			}
-			c := reqs[i].Cmds[st.next]
+			c := st.cmds[st.next]
 			start := st.prevDone
-			if busFree > start {
-				start = busFree
+			if bf := busFree[reqs[i].Channel]; bf > start {
+				start = bf
 			}
 			if c.Resource >= 0 && resourceFree[c.Resource] > start {
 				start = resourceFree[c.Resource]
 			}
-			if best == -1 || start < bestStart {
-				best, bestStart = i, start
+			switch arb {
+			case ArbFIFO:
+				if best == -1 || start < bestStart {
+					best, bestStart = i, start
+				}
+			case ArbOldestReady:
+				if best == -1 || st.prevDone < bestReady ||
+					(st.prevDone == bestReady && start < bestStart) {
+					best, bestStart, bestReady = i, start, st.prevDone
+				}
 			}
 		}
 		if best == -1 {
 			break // all done
 		}
-		c := reqs[best].Cmds[states[best].next]
+		st := &states[best]
+		c := st.cmds[st.next]
 		issueEnd := bestStart + c.Issue
 		execEnd := bestStart + c.Exec
 		if issueEnd > execEnd {
 			execEnd = issueEnd
 		}
-		busFree = issueEnd
+		busFree[reqs[best].Channel] = issueEnd
 		res.BusBusy += c.Issue
 		if c.Resource >= 0 {
 			resourceFree[c.Resource] = execEnd
 		}
-		states[best].prevDone = execEnd
-		states[best].next++
-		if states[best].next == len(reqs[best].Cmds) {
-			res.Completion[best] = execEnd
-			if execEnd > res.Makespan {
-				res.Makespan = execEnd
-			}
-		}
+		st.prevDone = execEnd
+		st.next++
+		st.executed++
 	}
 	return res, nil
 }
 
-// ThroughputCurve schedules k copies of a template request, each targeting
-// a distinct resource (bank), for every k in ks, and returns requests
-// completed per second — the channel's concurrency scaling curve.
+// ThroughputCurve schedules k copies of a template request for every k in
+// ks and returns requests completed per second — the channel's concurrency
+// scaling curve. Copy i's resources are offset by i×stride (stride = one
+// past the template's largest resource ID), so each copy targets its own
+// disjoint bank set while intra-request bank distinctness is preserved.
 func ThroughputCurve(template Request, ks []int) ([]float64, error) {
 	out := make([]float64, len(ks))
 	for ki, k := range ks {
 		if k < 1 {
 			return nil, fmt.Errorf("chansim: k=%d", k)
 		}
-		reqs := make([]Request, k)
-		for i := 0; i < k; i++ {
-			r := Request{Name: fmt.Sprintf("%s#%d", template.Name, i)}
-			for _, c := range template.Cmds {
-				cc := c
-				if cc.Resource >= 0 {
-					cc.Resource = i // distinct bank per copy
-				}
-				r.Cmds = append(r.Cmds, cc)
-			}
-			reqs[i] = r
-		}
-		res, err := Schedule(reqs)
+		res, err := Schedule(Replicate(template, k))
 		if err != nil {
 			return nil, err
 		}
@@ -182,14 +330,29 @@ func SaturationPoint(template Request, ks []int, frac float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return SaturationOf(sorted, curve, frac), nil
+}
+
+// SaturationOf applies SaturationPoint's per-step marginal-gain rule to an
+// already computed throughput curve (ks must be sorted ascending): it
+// returns the smallest k beyond which throughput improves by less than
+// frac per added request.
+func SaturationOf(ks []int, curve []float64, frac float64) int {
 	for i := 1; i < len(curve); i++ {
 		gain := curve[i]/curve[i-1] - 1
-		perStep := gain / float64(sorted[i]-sorted[i-1])
+		perStep := gain / float64(ks[i]-ks[i-1])
 		if perStep < frac {
-			return sorted[i-1], nil
+			return ks[i-1]
 		}
 	}
-	return sorted[len(sorted)-1], nil
+	return ks[len(ks)-1]
+}
+
+// BankResource flattens a row address into the global scheduler resource
+// ID used by FromDDR: channel, rank and bank are packed so distinct banks
+// anywhere in the system never collide.
+func BankResource(a memarch.RowAddr, geoBanks int) int {
+	return (a.Channel*64+a.Rank)*geoBanks + a.Bank
 }
 
 // FromDDR converts a controller-emitted DDR command sequence into a
@@ -207,9 +370,7 @@ func FromDDR(name string, cmds []ddr.Cmd, t nvm.Timing, bus ddr.BusParams, geoBa
 			// Bursts occupy the data bus; model as bus occupancy too.
 			issue = exec
 		}
-		resource := c.Addr.Channel
-		resource = resource*64 + c.Addr.Rank
-		resource = resource*geoBanks + c.Addr.Bank
+		resource := BankResource(c.Addr, geoBanks)
 		if c.Kind == ddr.CmdMRS {
 			resource = -1 // register write: bus only
 		}

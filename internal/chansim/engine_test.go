@@ -1,0 +1,365 @@
+package chansim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// legacySchedule is the original fixed-sequence single-channel greedy
+// scheduler, kept verbatim as the reference the event-driven engine must
+// reproduce bit-identically under ArbFIFO.
+func legacySchedule(reqs []Request) Result {
+	type state struct {
+		next     int
+		prevDone float64
+	}
+	states := make([]state, len(reqs))
+	busFree := 0.0
+	resourceFree := map[int]float64{}
+	res := Result{Completion: make([]float64, len(reqs)), Channels: 1}
+	for {
+		best := -1
+		bestStart := 0.0
+		for i := range reqs {
+			st := &states[i]
+			if st.next >= len(reqs[i].Cmds) {
+				continue
+			}
+			c := reqs[i].Cmds[st.next]
+			start := st.prevDone
+			if busFree > start {
+				start = busFree
+			}
+			if c.Resource >= 0 && resourceFree[c.Resource] > start {
+				start = resourceFree[c.Resource]
+			}
+			if best == -1 || start < bestStart {
+				best, bestStart = i, start
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := reqs[best].Cmds[states[best].next]
+		issueEnd := bestStart + c.Issue
+		execEnd := bestStart + c.Exec
+		if issueEnd > execEnd {
+			execEnd = issueEnd
+		}
+		busFree = issueEnd
+		res.BusBusy += c.Issue
+		if c.Resource >= 0 {
+			resourceFree[c.Resource] = execEnd
+		}
+		states[best].prevDone = execEnd
+		states[best].next++
+		if states[best].next == len(reqs[best].Cmds) {
+			res.Completion[best] = execEnd
+			if execEnd > res.Makespan {
+				res.Makespan = execEnd
+			}
+		}
+	}
+	return res
+}
+
+func randomRequests(rng *rand.Rand) []Request {
+	n := 1 + rng.Intn(6)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		m := rng.Intn(8)
+		cmds := make([]Cmd, m)
+		for j := range cmds {
+			cmds[j] = Cmd{
+				Issue:    float64(rng.Intn(5)) * 0.5,
+				Exec:     float64(rng.Intn(20)) * 0.5,
+				Resource: rng.Intn(5) - 1, // -1..3, includes bus-only
+			}
+		}
+		reqs[i] = Request{Cmds: cmds}
+	}
+	return reqs
+}
+
+func TestFIFOMatchesLegacyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		reqs := randomRequests(rng)
+		want := legacySchedule(reqs)
+		got, err := ScheduleWith(reqs, ArbFIFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: engine diverged from legacy scheduler:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// Satellite property tests: makespan >= max standalone duration, bus
+// utilisation <= 1, and determinism for a fixed seed.
+func TestScheduleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		reqs := randomRequests(rng)
+		for _, arb := range []Arbiter{ArbFIFO, ArbOldestReady} {
+			res, err := ScheduleWith(reqs, arb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxDur := 0.0
+			for _, r := range reqs {
+				if d := r.Duration(); d > maxDur {
+					maxDur = d
+				}
+			}
+			if res.Makespan < maxDur-1e-12 {
+				t.Fatalf("trial %d %v: makespan %g < max standalone duration %g", trial, arb, res.Makespan, maxDur)
+			}
+			if u := res.BusUtilisation(); u > 1+1e-12 {
+				t.Fatalf("trial %d %v: bus utilisation %g > 1", trial, arb, u)
+			}
+			for i, c := range res.Completion {
+				if c > res.Makespan {
+					t.Fatalf("trial %d %v: completion[%d]=%g beyond makespan %g", trial, arb, i, c, res.Makespan)
+				}
+			}
+			again, err := ScheduleWith(reqs, arb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Fatalf("trial %d %v: schedule not deterministic", trial, arb)
+			}
+		}
+	}
+}
+
+func TestGrowExtendsRequestMidFlight(t *testing.T) {
+	// A request that reveals one extra command after the first two have
+	// executed behaves exactly like the fully expanded fixed sequence.
+	base := []Cmd{{Issue: 1, Exec: 10, Resource: 0}, {Issue: 1, Exec: 10, Resource: 0}}
+	extra := Cmd{Issue: 1, Exec: 25, Resource: 1}
+	grown := 0
+	growing := Request{Cmds: base, Grow: func(executed int) []Cmd {
+		if executed == len(base) && grown == 0 {
+			grown++
+			return []Cmd{extra}
+		}
+		return nil
+	}}
+	fixed := Request{Cmds: append(append([]Cmd(nil), base...), extra)}
+
+	got, err := Schedule([]Request{growing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Schedule([]Request{fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan || got.BusBusy != want.BusBusy {
+		t.Errorf("grown schedule %+v != fixed schedule %+v", got, want)
+	}
+	if grown != 1 {
+		t.Errorf("grow hook called %d times at the expansion point, want 1", grown)
+	}
+
+	// Negative times from a Grow hook are rejected like queued ones.
+	bad := Request{Grow: func(int) []Cmd { return []Cmd{{Issue: -1}} }}
+	if _, err := Schedule([]Request{bad}); err == nil {
+		t.Error("negative grown command accepted")
+	}
+}
+
+func TestMultiChannelBusesAreIndependent(t *testing.T) {
+	// Two pure-bus requests on different channels overlap fully; on one
+	// channel they serialise.
+	mk := func(ch int) Request {
+		return Request{Channel: ch, Cmds: []Cmd{{Issue: 10, Exec: 0, Resource: -1}}}
+	}
+	same, err := Schedule([]Request{mk(0), mk(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(same.Makespan, 20, 1e-12) {
+		t.Errorf("same channel makespan %g want 20", same.Makespan)
+	}
+	split, err := Schedule([]Request{mk(0), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(split.Makespan, 10, 1e-12) {
+		t.Errorf("two channels makespan %g want 10", split.Makespan)
+	}
+	if split.Channels != 2 {
+		t.Errorf("channels %d want 2", split.Channels)
+	}
+	if !approx(split.BusUtilisation(), 1, 1e-12) {
+		t.Errorf("two-channel utilisation %g want 1", split.BusUtilisation())
+	}
+	if _, err := Schedule([]Request{{Channel: -1}}); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if _, err := ScheduleWith(nil, Arbiter(99)); err == nil {
+		t.Error("unknown arbiter accepted")
+	}
+}
+
+func TestOldestReadyInterleavesFairly(t *testing.T) {
+	// Two identical bus-command streams. FIFO's earliest-start/lowest
+	// index rule drains request 0 completely before request 1 ever
+	// issues; oldest-ready alternates between them (the request whose
+	// previous command finished longest ago goes next), so the spread
+	// between first and last completion shrinks while makespan and total
+	// bus work stay identical.
+	mk := func() Request {
+		var cmds []Cmd
+		for i := 0; i < 10; i++ {
+			cmds = append(cmds, Cmd{Issue: 1, Exec: 0, Resource: -1})
+		}
+		return Request{Cmds: cmds}
+	}
+	reqs := []Request{mk(), mk()}
+
+	fifo, err := ScheduleWith(reqs, ArbFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := ScheduleWith(reqs, ArbOldestReady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(r Result) float64 {
+		return math.Abs(r.Completion[0] - r.Completion[1])
+	}
+	if !approx(fifo.Makespan, fair.Makespan, 1e-12) {
+		t.Errorf("makespan differs: fifo %g fair %g", fifo.Makespan, fair.Makespan)
+	}
+	if math.Abs(fifo.BusBusy-fair.BusBusy) > 1e-12 {
+		t.Errorf("bus work differs: fifo %g fair %g", fifo.BusBusy, fair.BusBusy)
+	}
+	if spread(fifo) < 9 {
+		t.Errorf("FIFO spread %g — expected head-of-line drain near 10", spread(fifo))
+	}
+	if spread(fair) >= spread(fifo) {
+		t.Errorf("oldest-ready spread %g not tighter than FIFO's %g", spread(fair), spread(fifo))
+	}
+}
+
+// Satellite regression: ThroughputCurve used to flatten every in-request
+// resource to a single bank per copy (cc.Resource = i), erasing
+// intra-request bank distinctness. Replicate must offset per copy instead.
+func TestReplicatePreservesIntraRequestBanks(t *testing.T) {
+	template := Request{Name: "multi", Cmds: []Cmd{
+		{Issue: 1, Exec: 10, Resource: 0},
+		{Issue: 1, Exec: 10, Resource: 3},
+		{Issue: 1, Exec: 0, Resource: -1},
+	}}
+	copies := Replicate(template, 3)
+	if len(copies) != 3 {
+		t.Fatalf("got %d copies", len(copies))
+	}
+	stride := template.ResourceStride()
+	if stride != 4 {
+		t.Fatalf("stride %d want 4", stride)
+	}
+	for i, r := range copies {
+		if r.Cmds[0].Resource != i*stride || r.Cmds[1].Resource != i*stride+3 {
+			t.Errorf("copy %d resources (%d,%d) lost intra-request distinctness (want %d,%d)",
+				i, r.Cmds[0].Resource, r.Cmds[1].Resource, i*stride, i*stride+3)
+		}
+		if r.Cmds[2].Resource != -1 {
+			t.Errorf("copy %d bus-only command got resource %d", i, r.Cmds[2].Resource)
+		}
+	}
+	// Copies must be disjoint: scheduling k copies of a bank-bound
+	// template scales ~k.
+	curve, err := ThroughputCurve(template, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := curve[1] / curve[0]; gain < 1.9 {
+		t.Errorf("2 disjoint copies gained only %.2fx", gain)
+	}
+	// The original template is untouched by replication.
+	if template.Cmds[0].Resource != 0 || template.Cmds[1].Resource != 3 {
+		t.Error("Replicate mutated the template")
+	}
+}
+
+func TestPercentilesOf(t *testing.T) {
+	if p := PercentilesOf(nil); p != (Percentiles{}) {
+		t.Errorf("empty sample gave %+v", p)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	p := PercentilesOf(xs)
+	if p.P50 != 50 || p.P99 != 99 || p.Max != 100 {
+		t.Errorf("percentiles %+v want p50=50 p99=99 max=100", p)
+	}
+	if !approx(p.Mean, 50.5, 1e-9) {
+		t.Errorf("mean %g want 50.5", p.Mean)
+	}
+	one := PercentilesOf([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Max != 7 || one.Mean != 7 {
+		t.Errorf("singleton percentiles %+v", one)
+	}
+}
+
+func TestMonteCarloDeterministicForSeed(t *testing.T) {
+	gen := func(rng *rand.Rand, rep int) ([]Request, error) {
+		n := 2 + rng.Intn(4)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{Cmds: []Cmd{
+				{Issue: 1, Exec: 10 + float64(rng.Intn(50)), Resource: rng.Intn(4)},
+			}}
+		}
+		return reqs, nil
+	}
+	cfg := MCConfig{Seed: 99, Replications: 8, Arb: ArbFIFO}
+	a, err := MonteCarlo(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed gave different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 100
+	c, err := MonteCarlo(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds gave identical results (suspicious)")
+	}
+	if a.Latency.P99 < a.Latency.P50 {
+		t.Errorf("p99 %g < p50 %g", a.Latency.P99, a.Latency.P50)
+	}
+	if _, err := MonteCarlo(MCConfig{Replications: 0}, gen); err == nil {
+		t.Error("zero replications accepted")
+	}
+}
+
+func BenchmarkScheduleFIFO(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var sets [][]Request
+	for i := 0; i < 16; i++ {
+		sets = append(sets, randomRequests(rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(sets[i%len(sets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

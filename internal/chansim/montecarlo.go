@@ -1,0 +1,106 @@
+package chansim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Percentiles summarises a sample with nearest-rank percentiles.
+type Percentiles struct {
+	P50  float64
+	P99  float64
+	Mean float64
+	Max  float64
+}
+
+// PercentilesOf computes nearest-rank p50/p99 plus mean and max of xs.
+// An empty sample returns the zero value.
+func PercentilesOf(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		// Nearest-rank: the smallest value with at least p of the mass
+		// at or below it.
+		i := int(p*float64(len(sorted))+0.9999999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Percentiles{
+		P50:  rank(0.50),
+		P99:  rank(0.99),
+		Mean: sum / float64(len(sorted)),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// MCConfig drives a Monte Carlo scheduling experiment.
+type MCConfig struct {
+	// Seed is the base RNG seed; replication r uses Seed+r, so the whole
+	// experiment is reproducible and replications are independent.
+	Seed int64
+	// Replications is the number of independent trace samples (>= 1).
+	Replications int
+	// Arb is the arbitration policy to schedule under.
+	Arb Arbiter
+}
+
+// MCResult aggregates the schedule statistics across replications.
+type MCResult struct {
+	Replications int
+	// Latency pools every request's completion time across replications.
+	Latency Percentiles
+	// Makespan, Throughput (requests/sec) and BusUtilisation are
+	// per-replication statistics.
+	Makespan       Percentiles
+	Throughput     Percentiles
+	BusUtilisation Percentiles
+}
+
+// MonteCarlo samples gen once per replication (with a seeded, replication
+// private RNG), schedules each sample under cfg.Arb and aggregates
+// latency/makespan/throughput percentiles. gen may ignore the RNG when the
+// caller's traces carry their own randomness (e.g. pre-sampled fault
+// expansions keyed off the replication index).
+func MonteCarlo(cfg MCConfig, gen func(rng *rand.Rand, rep int) ([]Request, error)) (MCResult, error) {
+	if cfg.Replications < 1 {
+		return MCResult{}, fmt.Errorf("chansim: replications=%d", cfg.Replications)
+	}
+	var latencies, makespans, throughputs, utils []float64
+	for rep := 0; rep < cfg.Replications; rep++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
+		reqs, err := gen(rng, rep)
+		if err != nil {
+			return MCResult{}, fmt.Errorf("chansim: replication %d: %w", rep, err)
+		}
+		res, err := ScheduleWith(reqs, cfg.Arb)
+		if err != nil {
+			return MCResult{}, fmt.Errorf("chansim: replication %d: %w", rep, err)
+		}
+		latencies = append(latencies, res.Completion...)
+		makespans = append(makespans, res.Makespan)
+		if res.Makespan > 0 {
+			throughputs = append(throughputs, float64(len(reqs))/res.Makespan)
+		}
+		utils = append(utils, res.BusUtilisation())
+	}
+	return MCResult{
+		Replications:   cfg.Replications,
+		Latency:        PercentilesOf(latencies),
+		Makespan:       PercentilesOf(makespans),
+		Throughput:     PercentilesOf(throughputs),
+		BusUtilisation: PercentilesOf(utils),
+	}, nil
+}

@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"pinatubo"
+)
+
+// This file holds the headroom sweep: the public planning API
+// (System.Plan) exercised across injected sense-error rates. Where the
+// fault sweep asks "what does correctness cost one operation?", the
+// headroom sweep asks "how much in-flight concurrency is still worth
+// provisioning once the resilience ladder starts stretching traces?" —
+// per rate, the saturation point, the throughput multiple between one
+// in-flight OR and that point, and the p50/p99 completion spread there.
+
+// DefaultHeadroomConcurrency is the deepest in-flight level the sweep
+// explores: past the four-channel default geometry's saturation at every
+// fault rate in DefaultFaultRates.
+const DefaultHeadroomConcurrency = 32
+
+// HeadroomRow is one fault-rate point of the sweep: the plan's verdict
+// plus its full concurrency curve.
+type HeadroomRow struct {
+	// Rate is the sense-flip probability per bit the plan assumed.
+	Rate float64
+	// Report is the full plan at this rate (points ascending in k).
+	Report pinatubo.PlanReport
+}
+
+// at returns the plan point for level k (the saturation point lies on the
+// explored grid by construction).
+func (r HeadroomRow) at(k int) pinatubo.PlanPoint {
+	for _, p := range r.Report.Points {
+		if p.Concurrency == k {
+			return p
+		}
+	}
+	return pinatubo.PlanPoint{}
+}
+
+// HeadroomSweep plans maximally deep row ORs at each fault rate with up
+// to `concurrency` operations in flight. Every plan runs from the same
+// seed, so the sweep is reproducible run to run; the zero-rate row is the
+// deterministic baseline that matches chansim.SaturationPoint exactly.
+func HeadroomSweep(rates []float64, concurrency int) ([]HeadroomRow, error) {
+	cfg := pinatubo.DefaultConfig()
+	cfg.Fault = pinatubo.FaultConfig{Seed: 1}
+	sys, err := pinatubo.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HeadroomRow, 0, len(rates))
+	for _, rate := range rates {
+		rep, err := sys.Plan(pinatubo.OpOr, concurrency, rate)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HeadroomRow{Rate: rate, Report: rep})
+	}
+	return out, nil
+}
+
+// FormatHeadroom renders the sweep as an aligned text table: one line per
+// fault rate with the saturation verdict and the latency spread there.
+func FormatHeadroom(rows []HeadroomRow) string {
+	var sb strings.Builder
+	sb.WriteString("Headroom sweep — System.Plan of deep row ORs vs injected sense-error rate\n")
+	if len(rows) > 0 {
+		sb.WriteString(fmt.Sprintf("  (concurrency explored up to %d; latencies at the saturation point)\n",
+			rows[0].Report.Concurrency))
+	}
+	for _, r := range rows {
+		label := "fault-free"
+		if r.Rate > 0 {
+			label = fmt.Sprintf("rate %.0e", r.Rate)
+		}
+		sat := r.at(r.Report.SaturationPoint)
+		fmt.Fprintf(&sb, "  %-10s saturates at %2d in flight  headroom %5.2fx  %9.0f ops/s  p50 %-10v p99 %-10v bus %4.0f%%\n",
+			label, r.Report.SaturationPoint, r.Report.Headroom, sat.Throughput,
+			sat.Latency.P50.Round(10*time.Nanosecond),
+			sat.Latency.P99.Round(10*time.Nanosecond),
+			100*sat.BusUtilisation)
+	}
+	return sb.String()
+}
+
+// WriteHeadroomCSV emits the full curves in long format: rate, k,
+// throughput_ops_s, p50_s, p99_s, bus_utilisation, saturation_k,
+// headroom — one record per (rate, concurrency) point.
+func WriteHeadroomCSV(w io.Writer, rows []HeadroomRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"rate", "k", "throughput_ops_s", "p50_s", "p99_s",
+		"bus_utilisation", "saturation_k", "headroom"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, p := range r.Report.Points {
+			rec := []string{
+				strconv.FormatFloat(r.Rate, 'e', 1, 64),
+				strconv.Itoa(p.Concurrency),
+				strconv.FormatFloat(p.Throughput, 'f', 1, 64),
+				strconv.FormatFloat(p.Latency.P50.Seconds(), 'e', 6, 64),
+				strconv.FormatFloat(p.Latency.P99.Seconds(), 'e', 6, 64),
+				strconv.FormatFloat(p.BusUtilisation, 'f', 4, 64),
+				strconv.Itoa(r.Report.SaturationPoint),
+				strconv.FormatFloat(r.Report.Headroom, 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,63 @@
+package figures
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHeadroomSweep(t *testing.T) {
+	// One deterministic baseline and one stochastic point, shallow enough
+	// to stay fast.
+	rows, err := HeadroomSweep([]float64{0, 1e-6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	base, hot := rows[0], rows[1]
+	if base.Report.Replications != 1 {
+		t.Fatalf("fault-free plan took %d replications, want 1", base.Report.Replications)
+	}
+	if hot.Report.Replications < 2 {
+		t.Fatalf("stochastic plan took %d replications", hot.Report.Replications)
+	}
+	for _, r := range rows {
+		if r.Report.SaturationPoint < 1 || r.Report.SaturationPoint > 8 {
+			t.Fatalf("rate %g: saturation %d outside explored range", r.Rate, r.Report.SaturationPoint)
+		}
+		if r.Report.Headroom < 1 {
+			t.Fatalf("rate %g: headroom %g < 1", r.Rate, r.Report.Headroom)
+		}
+		sat := r.at(r.Report.SaturationPoint)
+		if sat.Throughput <= 0 || sat.Latency.P99 < sat.Latency.P50 {
+			t.Fatalf("rate %g: saturation point malformed: %+v", r.Rate, sat)
+		}
+	}
+
+	// Same seed, same sweep: reproducible run to run.
+	again, err := HeadroomSweep([]float64{0, 1e-6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("headroom sweep not reproducible for a fixed seed")
+	}
+
+	text := FormatHeadroom(rows)
+	if !strings.Contains(text, "fault-free") || !strings.Contains(text, "saturates at") {
+		t.Fatalf("format output missing labels:\n%s", text)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteHeadroomCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantLines := 1 + len(base.Report.Points) + len(hot.Report.Points)
+	if len(lines) != wantLines || !strings.HasPrefix(lines[0], "rate,k") {
+		t.Fatalf("csv output malformed (%d lines, want %d):\n%s", len(lines), wantLines, buf.String())
+	}
+}

@@ -162,6 +162,10 @@ func (c *Controller) tally(class Class, cmds []ddr.Cmd) {
 // Memory returns the controlled memory.
 func (c *Controller) Memory() *memarch.Memory { return c.mem }
 
+// Bus returns the DDR bus parameters the controller prices transfers with,
+// so trace consumers (the channel scheduler) can cost commands identically.
+func (c *Controller) Bus() ddr.BusParams { return c.bus }
+
 // MaxORRows returns the one-step OR operand limit of the technology
 // (sensing margin and architectural cap combined).
 func (c *Controller) MaxORRows() int { return c.sa.MaxORRows() }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pinatubo/internal/ddr"
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/pim"
 	"pinatubo/internal/sense"
@@ -258,11 +259,35 @@ type Scheduler struct {
 	stats FaultStats
 }
 
+// TraceSegment is one channel-schedulable piece of a scheduled operation's
+// command trace. Controller-executed requests carry their full DDR command
+// sequence; verification and ECC passes, which the controller prices as
+// lump-sum latencies without emitting commands, appear as opaque segments
+// that occupy the destination's bank for Seconds.
+type TraceSegment struct {
+	// Cmds is the DDR command sequence of a controller-executed request
+	// (nil for opaque verification/ECC segments).
+	Cmds []ddr.Cmd
+	// Seconds is the bank-busy time of an opaque segment (0 when Cmds is
+	// set — the commands carry their own timing).
+	Seconds float64
+	// Addr locates the bank an opaque segment occupies.
+	Addr memarch.RowAddr
+}
+
 // ScheduleResult summarises one scheduled logical operation.
 type ScheduleResult struct {
 	Requests int
 	Cost     workload.Cost
 	Words    []uint64
+
+	// Trace is the ordered command trace of everything this operation put
+	// on the channel, including resilience expansions (retries, depth
+	// splits, ECC reprograms and verification passes). Replaying it
+	// through internal/chansim reproduces the operation's scheduling
+	// footprint; with resilience off it is exactly the plain controller
+	// command sequence.
+	Trace []TraceSegment
 
 	// Resilience outcome — all zero when the ladder is off or never needed.
 	Retries       int    // hardware re-executions

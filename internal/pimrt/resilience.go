@@ -134,6 +134,17 @@ func (res *ScheduleResult) addExec(r *pim.Result) {
 	res.Requests++
 	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
 	res.Words = r.Words
+	res.Trace = append(res.Trace, TraceSegment{Cmds: r.Commands})
+}
+
+// addOpaque records a lump-sum latency pass (verify, ECC decode/reprogram)
+// that occupies addr's bank without an explicit command sequence. Zero-cost
+// passes leave no scheduling footprint.
+func (res *ScheduleResult) addOpaque(seconds float64, addr memarch.RowAddr) {
+	if seconds <= 0 {
+		return
+	}
+	res.Trace = append(res.Trace, TraceSegment{Seconds: seconds, Addr: addr})
 }
 
 // request executes one hardware request (op over srcs into *target). With
@@ -185,6 +196,7 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 				return nil, err
 			}
 			res.Cost.Add(workload.Cost{Seconds: cost.Seconds, Joules: cost.Energy.Total()})
+			res.addOpaque(cost.Seconds, *target)
 			return golden, nil
 		}
 		return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w (%w)",
@@ -269,12 +281,14 @@ func (s *Scheduler) eccAttempt(op sense.Op, srcs []memarch.RowAddr, bits int, ta
 			return false, err
 		}
 		res.Cost.Add(workload.Cost{Seconds: cost.Seconds, Joules: cost.Energy.Total()})
+		res.addOpaque(cost.Seconds, *target)
 		v, err := s.Ctl.CorrectOrEscalate(*target, bits, golden)
 		if err != nil {
 			return false, err
 		}
 		s.stats.EccDecodes++
 		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
+		res.addOpaque(v.Seconds, *target)
 		s.stats.EccCorrectedBits += int64(v.CorrectedBits)
 		res.BitsCorrected += int64(v.CorrectedBits)
 		if v.OK {
@@ -326,6 +340,7 @@ func (s *Scheduler) attempt(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 		}
 		s.stats.Verifies++
 		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
+		res.addOpaque(v.Seconds, *target)
 		if v.OK {
 			res.Words = golden
 			return true, nil
@@ -413,6 +428,7 @@ func (s *Scheduler) hostAttempt(srcs []memarch.RowAddr, bits int, target *memarc
 		}
 		s.stats.Verifies++
 		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
+		res.addOpaque(v.Seconds, *target)
 		if v.OK {
 			res.Words = golden
 			return true, nil
@@ -434,6 +450,7 @@ func (s *Scheduler) hostWrite(addr memarch.RowAddr, words []uint64, bits int, re
 	}
 	res.Requests++
 	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
+	res.Trace = append(res.Trace, TraceSegment{Cmds: r.Commands})
 	return nil
 }
 

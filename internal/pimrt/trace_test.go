@@ -1,0 +1,122 @@
+package pimrt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pinatubo/internal/bitvec"
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/fault"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/pim"
+	"pinatubo/internal/sense"
+)
+
+// traceSeconds sums the scheduling footprint of a trace: command segments
+// priced exactly as the controller priced them, opaque segments at their
+// recorded latency.
+func traceSeconds(trace []TraceSegment, t nvm.Timing, bus ddr.BusParams) float64 {
+	total := 0.0
+	for _, seg := range trace {
+		if seg.Cmds != nil {
+			total += ddr.Duration(seg.Cmds, t, bus)
+			continue
+		}
+		total += seg.Seconds
+	}
+	return total
+}
+
+// With resilience off the trace is exactly the plain controller command
+// sequence — the zero-fault reproduction guarantee the planner relies on.
+func TestTracePlainPathMatchesController(t *testing.T) {
+	geo := memarch.Default()
+	mem, err := memarch.NewMemory(geo, nvm.Get(nvm.PCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := pim.NewController(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scheduler{
+		Ctl:     ctl,
+		Scratch: func(sub memarch.RowAddr) memarch.RowAddr { return ScratchRow(geo, sub) },
+	}
+	rows := []memarch.RowAddr{{Subarray: 0, Row: 0}, {Subarray: 0, Row: 1}}
+	dst := memarch.RowAddr{Subarray: 0, Row: 5}
+	res, err := s.OR(rows, geo.RowBits(), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 1 {
+		t.Fatalf("plain OR trace has %d segments, want 1", len(res.Trace))
+	}
+	seg := res.Trace[0]
+	if seg.Cmds == nil || seg.Seconds != 0 {
+		t.Fatalf("plain segment should carry commands only: %+v", seg)
+	}
+	// The segment is the very command sequence a bare controller emits.
+	ref, err := ctl.Execute(sense.OpOR, rows, geo.RowBits(), &dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Cmds) != len(ref.Commands) {
+		t.Fatalf("trace %d commands, controller %d", len(seg.Cmds), len(ref.Commands))
+	}
+	for i := range seg.Cmds {
+		if seg.Cmds[i] != ref.Commands[i] {
+			t.Fatalf("command %d differs: %+v vs %+v", i, seg.Cmds[i], ref.Commands[i])
+		}
+	}
+	tech := nvm.Get(nvm.PCM)
+	if got := traceSeconds(res.Trace, tech.Timing, ctl.Bus()); got != res.Cost.Seconds {
+		t.Errorf("trace seconds %g != cost %g", got, res.Cost.Seconds)
+	}
+}
+
+// Under heavy faults the trace grows with the ladder — retries, verify
+// passes and host traffic all leave footprints — and its total duration
+// stays exactly the accumulated cost.
+func TestTraceAccountsForResilienceExpansions(t *testing.T) {
+	geo := memarch.Default()
+	s, ctl := newResilientSched(t, geo, fault.Config{Seed: 17, SenseFlipRate: 1})
+	rng := rand.New(rand.NewSource(4))
+	const bits = 4096
+	w := bitvec.WordsFor(bits)
+	rows := make([]memarch.RowAddr, 128)
+	for i := range rows {
+		rows[i] = memarch.RowAddr{Subarray: 3, Row: i}
+	}
+	fillRows(t, ctl, rows, w, rng)
+	dst := memarch.RowAddr{Subarray: 3, Row: 900}
+	res, err := s.OR(rows, bits, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expanded trace must be strictly longer than the one plain
+	// request the zero-fault path would have issued, and must include
+	// opaque verification segments.
+	if len(res.Trace) < 3 {
+		t.Fatalf("heavy-fault trace has only %d segments", len(res.Trace))
+	}
+	opaque := 0
+	for _, seg := range res.Trace {
+		if seg.Cmds == nil {
+			if seg.Seconds <= 0 {
+				t.Fatalf("opaque segment without latency: %+v", seg)
+			}
+			opaque++
+		}
+	}
+	if opaque == 0 {
+		t.Fatal("no verification segments in a verified schedule")
+	}
+	tech := nvm.Get(nvm.PCM)
+	got := traceSeconds(res.Trace, tech.Timing, ctl.Bus())
+	if math.Abs(got-res.Cost.Seconds) > res.Cost.Seconds*1e-12 {
+		t.Errorf("trace seconds %g != cost %g", got, res.Cost.Seconds)
+	}
+}

@@ -192,19 +192,6 @@ type ResilienceConfig struct {
 	// it with any other mode is a configuration error.
 	ECCWordBits int
 
-	// Disable turns verification off even with faults injected.
-	//
-	// Deprecated: set Verify to VerifyOff. Kept working for existing
-	// callers; combining it with a non-auto Verify (or with AlwaysVerify)
-	// is a configuration error.
-	Disable bool
-	// AlwaysVerify enables verification even with no faults configured.
-	//
-	// Deprecated: set Verify to VerifyReadback. Kept working for existing
-	// callers; combining it with a non-auto Verify (or with Disable) is a
-	// configuration error.
-	AlwaysVerify bool
-
 	// MaxRetries bounds re-executions per ladder rung (0 = default 3).
 	MaxRetries int
 	// MinSplitDepth floors the depth-reduction rung (0 = default 2).
@@ -214,27 +201,12 @@ type ResilienceConfig struct {
 	DisableHostFallback bool
 }
 
-// mode resolves the configured mode, folding the deprecated bool pair in
-// and rejecting contradictions.
+// mode validates and returns the configured mode.
 func (rc ResilienceConfig) mode() (VerifyMode, error) {
 	if rc.Verify < VerifyAuto || rc.Verify > VerifyECC {
 		return 0, fmt.Errorf("pinatubo: unknown VerifyMode %d", int(rc.Verify))
 	}
-	if rc.Disable && rc.AlwaysVerify {
-		return 0, errors.New("pinatubo: Resilience.Disable and AlwaysVerify both set")
-	}
-	if rc.Verify != VerifyAuto && (rc.Disable || rc.AlwaysVerify) {
-		return 0, fmt.Errorf("pinatubo: Resilience.Verify=%v conflicts with the deprecated Disable/AlwaysVerify booleans", rc.Verify)
-	}
-	switch rc.Verify {
-	case VerifyAuto:
-		switch {
-		case rc.Disable:
-			return VerifyOff, nil
-		case rc.AlwaysVerify:
-			return VerifyReadback, nil
-		}
-	case VerifyECC:
+	if rc.Verify == VerifyECC {
 		switch rc.ECCWordBits {
 		case 0, 8, 16, 32, 64:
 		default:
@@ -504,14 +476,19 @@ func (s *System) Free(b *BitVector) error {
 
 // Result reports one logical operation's cost.
 type Result struct {
-	// Class is the dominant placement class ("intra-subarray", ...).
-	Class string
+	// Class is the dominant placement class. Its String() form ("intra-
+	// subarray", ...) matches the pre-enum API, so %s formatting and JSON
+	// output are unchanged.
+	Class PlacementClass
 	// Requests is the number of hardware requests the runtime issued.
 	Requests int
 	// Latency is the simulated time on the memory channel.
 	Latency time.Duration
 	// EnergyJoules is the simulated energy.
 	EnergyJoules float64
+	// Count is the population count for OpPopcount results; nil for every
+	// other operation.
+	Count *int
 
 	// Resilience outcome — all zero unless faults were injected and the
 	// verify-and-retry layer had to intervene.
@@ -525,8 +502,8 @@ type Result struct {
 	BitsCorrected int64
 }
 
-func (s *System) account(class string, requests int, seconds, joules float64) Result {
-	s.stats.Ops[class]++
+func (s *System) account(class PlacementClass, requests int, seconds, joules float64) Result {
+	s.stats.Ops[class.String()]++
 	s.stats.Requests += int64(requests)
 	s.stats.BusySeconds += seconds
 	s.stats.EnergyJoules += joules
@@ -570,7 +547,7 @@ func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
 		seconds += sec
 		joules += j
 	}
-	return s.account("host-write", len(b.rows), seconds, joules), nil
+	return s.account(PlaceHostWrite, len(b.rows), seconds, joules), nil
 }
 
 // writeRow programs one row from the host. With resilience on, the stored
@@ -681,7 +658,7 @@ func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
 		joules += j
 	}
 	words = words[:bitvec.WordsFor(b.bits)]
-	return words, s.account("host-read", len(b.rows), seconds, joules), nil
+	return words, s.account(PlaceHostRead, len(b.rows), seconds, joules), nil
 }
 
 // readRow bursts one row to the host. With resilience on, the sensed words
@@ -768,6 +745,10 @@ const (
 	OpNot
 	// OpCopy copies exactly 1 operand (read/write-back pass).
 	OpCopy
+	// OpPopcount counts the set bits of dst on the host CPU (no sources —
+	// Pinatubo has no in-memory reduction; the vector is burst over the
+	// bus and counted there). The count lands in Result.Count.
+	OpPopcount
 )
 
 // String names the operation.
@@ -783,6 +764,8 @@ func (o Op) String() string {
 		return "not"
 	case OpCopy:
 		return "copy"
+	case OpPopcount:
+		return "popcount"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -801,6 +784,8 @@ func (o Op) internal() (sense.Op, error) {
 		return sense.OpINV, nil
 	case OpCopy:
 		return sense.OpRead, nil
+	case OpPopcount:
+		return 0, fmt.Errorf("pinatubo: %v runs on the host, not the sense amplifiers", o)
 	default:
 		return 0, fmt.Errorf("pinatubo: unknown Op %d", int(o))
 	}
@@ -813,32 +798,92 @@ func (o Op) arity() (min, max int) {
 		return 1, -1
 	case OpNot, OpCopy:
 		return 1, 1
+	case OpPopcount:
+		return 0, 0
 	default:
 		return 2, 2
 	}
 }
 
-// classRank orders placement classes from fastest to slowest path.
-var classRank = map[string]int{"intra-subarray": 1, "inter-subarray": 2, "inter-bank": 3}
+// PlacementClass identifies the data path a completed operation took,
+// ordered from host traffic through the in-memory classes fastest to
+// slowest — comparing two classes with < / > ranks them, and the worst
+// (largest) in-memory class is the one that bounds a batched operation.
+type PlacementClass int
+
+const (
+	// PlaceNone is the zero value: no class established yet.
+	PlaceNone PlacementClass = iota
+	// PlaceHostRead is a host-interface read (DDR burst to the CPU).
+	PlaceHostRead
+	// PlaceHostWrite is a host-interface write (DDR burst + programming).
+	PlaceHostWrite
+	// PlaceIntraSubarray: all operand rows share a subarray; one-step
+	// multi-row sensing.
+	PlaceIntraSubarray
+	// PlaceInterSubarray: operands share a bank but not a subarray.
+	PlaceInterSubarray
+	// PlaceInterBank: operands share a rank but not a bank.
+	PlaceInterBank
+)
+
+// String names the class exactly as the pre-enum string API spelled it, so
+// text and JSON output are unchanged.
+func (c PlacementClass) String() string {
+	switch c {
+	case PlaceNone:
+		return ""
+	case PlaceHostRead:
+		return "host-read"
+	case PlaceHostWrite:
+		return "host-write"
+	case PlaceIntraSubarray:
+		return "intra-subarray"
+	case PlaceInterSubarray:
+		return "inter-subarray"
+	case PlaceInterBank:
+		return "inter-bank"
+	default:
+		return fmt.Sprintf("PlacementClass(%d)", int(c))
+	}
+}
+
+// MarshalJSON encodes the class as its name, keeping JSON output identical
+// to the former string-typed field.
+func (c PlacementClass) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", c.String())), nil
+}
 
 // worseClass folds per-batch placement classes into the dominant (slowest)
 // one, so a multi-row vector reports the class that actually bounds it.
-func worseClass(a, b string) string {
-	if classRank[b] > classRank[a] {
+func worseClass(a, b PlacementClass) PlacementClass {
+	if b > a {
 		return b
 	}
 	return a
 }
 
-// placementClass names the class string of an operand placement.
-func placementClass(p workload.Placement) string {
+// placementClass maps an operand placement onto the public class.
+func placementClass(p workload.Placement) PlacementClass {
 	switch p {
 	case workload.PlaceInterBank:
-		return "inter-bank"
+		return PlaceInterBank
 	case workload.PlaceInterSub:
-		return "inter-subarray"
+		return PlaceInterSubarray
 	default:
-		return "intra-subarray"
+		return PlaceIntraSubarray
+	}
+}
+
+// classFromPim maps the controller's class onto the public one.
+func classFromPim(c pim.Class) PlacementClass {
+	switch c {
+	case pim.ClassInterBank:
+		return PlaceInterBank
+	case pim.ClassInterSub:
+		return PlaceInterSubarray
+	default:
+		return PlaceIntraSubarray
 	}
 }
 
@@ -848,6 +893,20 @@ func placementClass(p workload.Placement) string {
 // (the native path of the operands, even when a batch was degraded to a
 // slower one by the resilience layer).
 func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error) {
+	if op == OpPopcount {
+		// Host-side reduction over dst itself: read the vector out and
+		// count there; the cost is exactly the host read.
+		if len(srcs) != 0 {
+			return Result{}, fmt.Errorf("pinatubo: %v takes no source operands, got %d", op, len(srcs))
+		}
+		words, res, err := s.Read(dst)
+		if err != nil {
+			return Result{}, err
+		}
+		n := bitvec.FromWords(dst.bits, words).Popcount()
+		res.Count = &n
+		return res, nil
+	}
 	sop, err := op.internal()
 	if err != nil {
 		return Result{}, err
@@ -866,7 +925,7 @@ func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error
 	}
 	var seconds, joules float64
 	requests := 0
-	class := ""
+	class := PlaceNone
 	var resil resilienceTally
 	for batch := 0; batch < len(dst.rows); batch++ {
 		rows := make([]memarch.RowAddr, len(srcs))
@@ -904,14 +963,14 @@ func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error
 			seconds += res.Seconds
 			joules += res.Energy.Total()
 			requests++
-			class = worseClass(class, res.Class.String())
+			class = worseClass(class, classFromPim(res.Class))
 			continue
 		}
 		cl, err := s.ctl.Classify(rows)
 		if err != nil {
 			return Result{}, err
 		}
-		class = worseClass(class, cl.String())
+		class = worseClass(class, classFromPim(cl))
 		res, err := s.sched.Execute(sop, rows, bitsHere, dst.rows[batch])
 		if err != nil {
 			return Result{}, err
@@ -987,14 +1046,14 @@ func (s *System) Copy(dst, a *BitVector) (Result, error) {
 
 // Popcount reads the vector to the host and counts set bits, charging the
 // host-read cost (Pinatubo has no in-memory popcount; the paper leaves
-// reduction operations to the CPU).
+// reduction operations to the CPU). It is a thin wrapper over
+// Apply(OpPopcount, b): the count also lands in Result.Count.
 func (s *System) Popcount(b *BitVector) (int, Result, error) {
-	words, res, err := s.Read(b)
+	res, err := s.Apply(OpPopcount, b)
 	if err != nil {
 		return 0, Result{}, err
 	}
-	v := bitvec.FromWords(b.bits, words)
-	return v.Popcount(), res, nil
+	return *res.Count, res, nil
 }
 
 // HardwareCounters mirrors the memory controller's lifetime activity

@@ -157,7 +157,7 @@ func TestGroupOrOneStep(t *testing.T) {
 	if res.Requests != 1 {
 		t.Errorf("requests=%d want 1 (one-step 64-row OR)", res.Requests)
 	}
-	if res.Class != "intra-subarray" {
+	if res.Class != PlaceIntraSubarray {
 		t.Errorf("class=%q", res.Class)
 	}
 	got, _, err := s.Read(dst)
@@ -311,6 +311,36 @@ func TestPopcount(t *testing.T) {
 	if res.Latency <= 0 {
 		t.Error("popcount should charge a host read")
 	}
+	if res.Count == nil || *res.Count != 6 {
+		t.Errorf("Result.Count=%v want 6", res.Count)
+	}
+}
+
+func TestApplyPopcount(t *testing.T) {
+	s := newSys(t)
+	b, _ := s.Alloc(128)
+	if _, err := s.Write(b, []uint64{0xFF, 0x1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Apply(OpPopcount, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == nil || *res.Count != 9 {
+		t.Errorf("Apply(OpPopcount) Count=%v want 9", res.Count)
+	}
+	if res.Class != PlaceHostRead {
+		t.Errorf("popcount class %v want %v", res.Class, PlaceHostRead)
+	}
+	if _, err := s.Apply(OpPopcount, b, b); err == nil {
+		t.Error("popcount with a source operand accepted")
+	}
+	other, _ := s.Alloc(128)
+	if ores, err := s.Or(b, other); err != nil {
+		t.Fatal(err)
+	} else if ores.Count != nil {
+		t.Error("non-popcount result carries a Count")
+	}
 }
 
 func TestStatsAccumulate(t *testing.T) {
@@ -362,7 +392,7 @@ func TestInterSubarrayClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Class != "inter-subarray" {
+	if res.Class != PlaceInterSubarray {
 		t.Errorf("class=%q want inter-subarray", res.Class)
 	}
 }

@@ -1,0 +1,257 @@
+package pinatubo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pinatubo/internal/chansim"
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/pimrt"
+)
+
+// planFrac is the marginal-gain threshold of the saturation rule — the
+// same 5%-per-added-request cutoff chansim.SaturationPoint applies, so the
+// zero-fault plan reproduces its answer exactly.
+const planFrac = 0.05
+
+// planReplications is the Monte Carlo sample count when faults make
+// traces stochastic. The zero-fault path is deterministic and samples
+// once.
+const planReplications = 3
+
+// LatencyStats summarises per-operation completion times with
+// nearest-rank percentiles.
+type LatencyStats struct {
+	P50  time.Duration
+	P99  time.Duration
+	Mean time.Duration
+	Max  time.Duration
+}
+
+// PlanPoint is one concurrency level of a plan: the throughput the channel
+// sustains with k operations in flight and the completion-time spread of
+// those operations (pooled across Monte Carlo replications).
+type PlanPoint struct {
+	// Concurrency is the number of in-flight operations (k).
+	Concurrency int
+	// Throughput is logical operations per second, averaged across
+	// replications.
+	Throughput float64
+	// Latency pools every operation's completion time across
+	// replications.
+	Latency LatencyStats
+	// BusUtilisation is the mean command-bus occupancy fraction.
+	BusUtilisation float64
+}
+
+// PlanReport answers "how many of these should I keep in flight?" for one
+// operation shape under a hypothetical fault rate.
+type PlanReport struct {
+	// Op is the planned operation.
+	Op Op
+	// FaultRate is the sense-flip rate the plan assumed.
+	FaultRate float64
+	// Concurrency is the largest k the plan explored.
+	Concurrency int
+	// Replications is how many independent trace samples were scheduled
+	// per point (1 when FaultRate is 0 — the trace is deterministic).
+	Replications int
+	// Points is the concurrency sweep, ascending in k.
+	Points []PlanPoint
+	// SaturationPoint is the smallest k beyond which adding another
+	// in-flight operation improves throughput by less than 5% per added
+	// request — the concurrency worth provisioning for.
+	SaturationPoint int
+	// Headroom is the throughput multiple available between one in-flight
+	// operation and the saturation point: how much per-channel
+	// concurrency actually pays under this fault rate.
+	Headroom float64
+}
+
+// Plan measures how the configured system's throughput scales with
+// in-flight operations of the given shape, under a hypothetical sense-flip
+// rate, and returns the saturation point, headroom, and per-point p50/p99
+// latencies.
+//
+// The plan runs on sandboxed copies of this system's configuration
+// (technology, geometry, resilience policy — with the fault model replaced
+// by faultRate alone), so planning never disturbs the live system's
+// memory, allocator or statistics. Operand vectors are row-resident and
+// maximally deep: OpOr plans a MaxORRows-operand one-step OR, the
+// fixed-arity ops their natural operand count, each over a full row.
+// Command traces are captured through the resilience ladder — retries,
+// depth splits, verification passes and ECC reprograms all widen the
+// trace — and replayed through the event-driven channel scheduler. With
+// faultRate 0 the traces are deterministic and the result reproduces
+// chansim.SaturationPoint bit-identically; with faults the plan Monte
+// Carlo samples independent seeded traces.
+//
+// OpPopcount is not plannable: it is host-bus traffic, not a channel
+// operation.
+func (s *System) Plan(op Op, concurrency int, faultRate float64) (PlanReport, error) {
+	if concurrency < 1 {
+		return PlanReport{}, fmt.Errorf("pinatubo: planning concurrency %d", concurrency)
+	}
+	if faultRate < 0 || faultRate > 1 {
+		return PlanReport{}, fmt.Errorf("pinatubo: fault rate %g outside 0..1", faultRate)
+	}
+	if op == OpPopcount {
+		return PlanReport{}, fmt.Errorf("pinatubo: %v is host traffic, not a channel operation", op)
+	}
+	if _, err := op.internal(); err != nil {
+		return PlanReport{}, err
+	}
+
+	reps := planReplications
+	if faultRate == 0 {
+		reps = 1
+	}
+	// One trace set per replication: `concurrency` independently sampled
+	// operation traces, each copy's banks offset into its own resource
+	// range.
+	traceSets := make([][]chansim.Request, reps)
+	for rep := 0; rep < reps; rep++ {
+		set, err := s.sampleTraces(op, concurrency, faultRate, rep)
+		if err != nil {
+			return PlanReport{}, err
+		}
+		traceSets[rep] = set
+	}
+
+	ks := planKs(concurrency)
+	report := PlanReport{
+		Op:           op,
+		FaultRate:    faultRate,
+		Concurrency:  concurrency,
+		Replications: reps,
+	}
+	curve := make([]float64, len(ks))
+	for i, k := range ks {
+		mc, err := chansim.MonteCarlo(
+			chansim.MCConfig{Seed: s.cfg.Fault.Seed, Replications: reps, Arb: chansim.ArbFIFO},
+			func(_ *rand.Rand, rep int) ([]chansim.Request, error) {
+				return traceSets[rep][:k], nil
+			})
+		if err != nil {
+			return PlanReport{}, err
+		}
+		curve[i] = mc.Throughput.Mean
+		report.Points = append(report.Points, PlanPoint{
+			Concurrency: k,
+			Throughput:  mc.Throughput.Mean,
+			Latency: LatencyStats{
+				P50:  seconds(mc.Latency.P50),
+				P99:  seconds(mc.Latency.P99),
+				Mean: seconds(mc.Latency.Mean),
+				Max:  seconds(mc.Latency.Max),
+			},
+			BusUtilisation: mc.BusUtilisation.Mean,
+		})
+	}
+	report.SaturationPoint = chansim.SaturationOf(ks, curve, planFrac)
+	for i, k := range ks {
+		if k == report.SaturationPoint && curve[0] > 0 {
+			report.Headroom = curve[i] / curve[0]
+		}
+	}
+	return report, nil
+}
+
+// planKs returns the concurrency levels to explore: powers of two up to
+// the cap, plus the cap itself.
+func planKs(concurrency int) []int {
+	var ks []int
+	for k := 1; k < concurrency; k *= 2 {
+		ks = append(ks, k)
+	}
+	return append(ks, concurrency)
+}
+
+// seconds converts a simulated-seconds sample to a Duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// sampleTraces builds a sandboxed system with the plan's fault rate and
+// captures the command traces of `concurrency` executions of the planned
+// operation, converted to schedulable requests with per-copy bank offsets.
+func (s *System) sampleTraces(op Op, concurrency int, faultRate float64, rep int) ([]chansim.Request, error) {
+	cfg := s.cfg
+	cfg.Fault = FaultConfig{Seed: s.cfg.Fault.Seed + int64(rep), SenseFlipRate: faultRate}
+	sb, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nsrc := 1
+	switch op {
+	case OpOr:
+		nsrc = sb.MaxORRows()
+	case OpAnd, OpXor:
+		nsrc = 2
+	}
+	rows, err := sb.alloc.AllocGroupRows(nsrc)
+	if err != nil {
+		return nil, err
+	}
+	geo := sb.mem.Geometry()
+	dst := pimrt.ScratchRow(geo, rows[0])
+	bits := sb.RowBits()
+	timing := sb.mem.Tech().Timing
+	bus := sb.ctl.Bus()
+	banks := geo.BanksPerChip
+
+	reqs := make([]chansim.Request, concurrency)
+	for i := 0; i < concurrency; i++ {
+		var sr *pimrt.ScheduleResult
+		if op == OpOr && nsrc > 1 {
+			sr, err = sb.sched.OR(rows, bits, dst)
+		} else {
+			sop, ierr := op.internal()
+			if ierr != nil {
+				return nil, ierr
+			}
+			sr, err = sb.sched.Execute(sop, rows, bits, dst)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pinatubo: sampling plan trace %d: %w", i, err)
+		}
+		dst = sr.FinalDst
+		reqs[i] = traceRequest(fmt.Sprintf("%v#%d", op, i), sr.Trace, timing, bus, banks)
+	}
+	// Offset each copy into its own bank range with one uniform stride so
+	// in-flight operations never collide on a resource ID. In the
+	// zero-fault case every copy is identical, so the stride equals the
+	// single template's — exactly what chansim.Replicate uses.
+	stride := 1
+	for _, r := range reqs {
+		if st := r.ResourceStride(); st > stride {
+			stride = st
+		}
+	}
+	for i := range reqs {
+		reqs[i] = reqs[i].WithResourceOffset(i * stride)
+	}
+	return reqs, nil
+}
+
+// traceRequest lowers a scheduler trace into a schedulable request:
+// command segments through FromDDR's per-command pricing, opaque
+// verification segments as one issue slot plus a bank-busy interval.
+func traceRequest(name string, trace []pimrt.TraceSegment, timing nvm.Timing, bus ddr.BusParams, banks int) chansim.Request {
+	req := chansim.Request{Name: name}
+	for _, seg := range trace {
+		if seg.Cmds != nil {
+			part := chansim.FromDDR(name, seg.Cmds, timing, bus, banks)
+			req.Cmds = append(req.Cmds, part.Cmds...)
+			continue
+		}
+		req.Cmds = append(req.Cmds, chansim.Cmd{
+			Issue:    timing.TCMD,
+			Exec:     seg.Seconds,
+			Resource: chansim.BankResource(seg.Addr, banks),
+		})
+	}
+	return req
+}
