@@ -44,6 +44,7 @@ func main() {
 	drift := flag.Float64("drift", 0, "seconds of resistance drift before sensing (0 = fresh cells)")
 	verify := flag.String("verify", "auto", "verification mode: auto, off, readback, ecc")
 	plan := flag.Int("plan", 0, "plan concurrency headroom for -op at -faultrate with up to this many in-flight operations, instead of executing")
+	arb := flag.String("arb", "fifo", "channel arbitration policy for -plan: fifo, oldest-ready")
 	flag.Parse()
 
 	fc := pinatubo.FaultConfig{
@@ -66,7 +67,7 @@ func main() {
 		return
 	}
 	if *plan > 0 {
-		if err := runPlan(*op, *plan, *tech, fc, *verify); err != nil {
+		if err := runPlan(*op, *plan, *tech, fc, *verify, *arb); err != nil {
 			fmt.Fprintln(os.Stderr, "pinatubo:", err)
 			os.Exit(1)
 		}
@@ -228,7 +229,7 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 // public planning API: the op's command traces (including any resilience
 // expansions at the requested fault rate) replayed through the channel
 // scheduler at increasing concurrency.
-func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultConfig, verifyName string) error {
+func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultConfig, verifyName, arbName string) error {
 	cfg := pinatubo.DefaultConfig()
 	cfg.Fault = fc
 	mode, err := parseVerify(verifyName)
@@ -259,16 +260,25 @@ func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultC
 	default:
 		return fmt.Errorf("unknown op %q", opName)
 	}
+	var arb pinatubo.Arbiter
+	switch strings.ToLower(arbName) {
+	case "fifo":
+		arb = pinatubo.ArbFIFO
+	case "oldest-ready", "oldestready":
+		arb = pinatubo.ArbOldestReady
+	default:
+		return fmt.Errorf("unknown arbiter %q", arbName)
+	}
 	sys, err := pinatubo.New(cfg)
 	if err != nil {
 		return err
 	}
-	rep, err := sys.Plan(op, concurrency, fc.SenseFlipRate)
+	rep, err := sys.PlanWith(op, concurrency, fc.SenseFlipRate, arb)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan: %v on %v at fault rate %g (%d replication(s))\n",
-		rep.Op, cfg.Tech, rep.FaultRate, rep.Replications)
+	fmt.Printf("plan: %v on %v at fault rate %g under %v arbitration (%d replication(s))\n",
+		rep.Op, cfg.Tech, rep.FaultRate, rep.Arb, rep.Replications)
 	fmt.Printf("  %-6s %14s %12s %12s %8s\n", "k", "ops/s", "p50", "p99", "bus")
 	for _, p := range rep.Points {
 		marker := ""

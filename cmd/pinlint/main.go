@@ -1,0 +1,129 @@
+// Command pinlint is the project's invariant checker: a multichecker over
+// the internal/lint analyzer suite, built on the standard library alone so
+// the repo stays dependency-free. It machine-checks the conventions the
+// simulator's bit-exactness claims rest on — seeded randomness only, no
+// wall clock, no map-iteration order in results, no exact float comparison
+// in cost math, %w-wrapped sentinels, exhaustive enum switches, and
+// trace/cost pairing.
+//
+// Usage:
+//
+//	go run ./cmd/pinlint ./...            # lint the whole module
+//	go run ./cmd/pinlint -list            # describe the analyzers
+//	go run ./cmd/pinlint -only detrand,floateq ./internal/...
+//
+// Findings print as file:line:col: analyzer: message and make the exit
+// status 1. A finding can be acknowledged in place with
+// `//pinlint:ignore <analyzer> <reason>` on or above the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pinatubo/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pinlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	analyzers, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	dirs, err := loader.Expand(patterns, cwd)
+	if err != nil {
+		return err
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return err
+		}
+		for _, a := range analyzers {
+			diags, err := lint.Run(a, pkg)
+			if err != nil {
+				return err
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "pinlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// selectAnalyzers filters the suite by the -only / -disable flags.
+func selectAnalyzers(only, disable string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return nil, fmt.Errorf("pinlint: unknown analyzer %q", name)
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	}
+	skip := map[string]bool{}
+	for _, name := range strings.Split(disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("pinlint: unknown analyzer %q", name)
+			}
+			skip[name] = true
+		}
+	}
+	for _, a := range lint.All() {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}

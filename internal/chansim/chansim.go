@@ -273,7 +273,11 @@ func ScheduleWith(reqs []Request, arb Arbiter) (Result, error) {
 					best, bestStart = i, start
 				}
 			case ArbOldestReady:
+				// The tie-break compares event times for exact equality on
+				// purpose: both are copies of the same computed value, and an
+				// epsilon here would make arbitration depend on magnitudes.
 				if best == -1 || st.prevDone < bestReady ||
+					//pinlint:ignore floateq exact tie-break on identical event times keeps arbitration deterministic
 					(st.prevDone == bestReady && start < bestStart) {
 					best, bestStart, bestReady = i, start, st.prevDone
 				}

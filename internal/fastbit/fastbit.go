@@ -78,8 +78,11 @@ func (c *Column) Value(row int) float64 { return c.values[row] }
 
 // BinOf returns the bin index of value v (clamped to the edge bins).
 func (c *Column) BinOf(v float64) int {
-	// First edge whose value exceeds v, minus one.
+	// First edge whose value exceeds v, minus one. The comparison below is
+	// an exact membership probe against stored (assigned, never computed)
+	// bin edges — FastBit's closed-open bin boundary semantics.
 	i := sort.SearchFloat64s(c.edges, v)
+	//pinlint:ignore floateq exact probe against stored bin edges, not computed floats
 	if i < len(c.edges) && c.edges[i] == v {
 		i++
 	}

@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"pinatubo/internal/bitvec"
 )
@@ -49,10 +50,22 @@ func (g *Graph) AdjacencyBitmap(v int) *bitvec.Vector {
 }
 
 // newGraph builds a Graph from an edge set, deduplicating and dropping
-// self-loops.
+// self-loops. Edges are sorted before the adjacency lists are built so the
+// lists (and everything downstream: host BFS traversal order, frontier
+// construction) do not inherit map iteration order.
 func newGraph(n int, edges map[[2]int32]bool) *Graph {
 	g := &Graph{n: n, adj: make([][]int32, n)}
+	list := make([][2]int32, 0, len(edges))
 	for e := range edges {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i][0] != list[j][0] {
+			return list[i][0] < list[j][0]
+		}
+		return list[i][1] < list[j][1]
+	})
+	for _, e := range list {
 		u, v := e[0], e[1]
 		g.adj[u] = append(g.adj[u], v)
 		g.adj[v] = append(g.adj[v], u)

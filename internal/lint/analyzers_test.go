@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinatubo/internal/lint"
+	"pinatubo/internal/lint/linttest"
+)
+
+// Each fixture package holds at least one positive (a line carrying a
+// `// want "re"` expectation) and at least one negative (clean code the
+// analyzer must stay silent on); linttest fails on both unmet expectations
+// and unexpected diagnostics, so the negatives are genuinely asserted.
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, lint.DetRand, "testdata/src/detrand")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/src/maporder")
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "testdata/src/floateq")
+}
+
+func TestWrapErr(t *testing.T) {
+	linttest.Run(t, lint.WrapErr, "testdata/src/wraperr")
+}
+
+func TestEnumSwitch(t *testing.T) {
+	linttest.Run(t, lint.EnumSwitch, "testdata/src/enumswitch")
+}
+
+func TestCostPair(t *testing.T) {
+	linttest.Run(t, lint.CostPair, "testdata/src/costpair")
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CostPair guards the invariant behind "trace segments sum exactly to
+// Cost.Seconds": any function that emits channel-schedulable trace segments
+// (appends a TraceSegment, or calls the addOpaque helper) must also touch
+// the paired Cost accounting in the same body — otherwise the command trace
+// replayed through chansim diverges from the cost the operation reported,
+// and the planning API's saturation numbers quietly stop being real.
+//
+// Detection is type-name driven: an append whose element type is named
+// TraceSegment, paired with a selector of a field or value named Cost (or a
+// call to Cost.Add). A helper whose whole job is the trace side of the pair
+// documents that with a pinlint:ignore directive at its declaration.
+var CostPair = &Analyzer{
+	Name: "costpair",
+	Doc: "functions emitting TraceSegments must touch Cost accounting in the same body " +
+		"(trace segments must sum to Cost.Seconds)",
+	Run: runCostPair,
+}
+
+func runCostPair(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			emit, emitPos := emitsTrace(pass, fd.Body)
+			if !emit {
+				continue
+			}
+			if touchesCost(pass, fd.Body) {
+				continue
+			}
+			pass.Reportf(emitPos,
+				"%s emits TraceSegments without touching Cost accounting; pair the trace append with Cost.Add",
+				fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// emitsTrace reports whether the body appends TraceSegment values or calls
+// the trace-only helper addOpaque.
+func emitsTrace(pass *Pass, body *ast.BlockStmt) (bool, token.Pos) {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "append" {
+				if len(call.Args) > 0 && sliceOfTraceSegments(pass, call.Args[0]) {
+					found = n
+					return false
+				}
+			}
+			if fun.Name == "addOpaque" {
+				found = n
+				return false
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "addOpaque" {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return false, token.NoPos
+	}
+	return true, found.Pos()
+}
+
+func sliceOfTraceSegments(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(slice.Elem()).(*types.Named)
+	return ok && named.Obj().Name() == "TraceSegment"
+}
+
+// touchesCost reports whether the body references cost accounting: a
+// selector named Cost (field read, method value, or Cost.Add receiver).
+func touchesCost(pass *Pass, body *ast.BlockStmt) bool {
+	touched := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Cost" {
+			touched = true
+			return false
+		}
+		return true
+	})
+	return touched
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandGlobals are the math/rand (and v2) package-level functions that
+// draw from the process-global, time-seeded source. Constructors taking an
+// explicit seed or source (New, NewSource, NewPCG, NewChaCha8, NewZipf) are
+// deliberately absent: seeded generators are exactly what the simulator
+// wants, and internal/fault and internal/chansim already route all
+// randomness through config-provided seeds.
+var detrandGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// detrandClock are the time functions that read the wall clock. Anything
+// built on them (time-seeded RNG, timestamped results) breaks replay.
+var detrandClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// DetRand forbids nondeterministic inputs in simulator code: the global
+// math/rand functions (whose shared source is randomly seeded) and the wall
+// clock (time.Now / Since / Until). Every Pinatubo result must be a pure
+// function of configuration and seeds, or the bit-exactness pins on the ECC
+// and scheduler paths stop meaning anything.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand functions and wall-clock reads in simulator code; " +
+		"randomness must flow from config-provided seeds",
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method call, e.g. (*rand.Rand).Intn — seeded, fine
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if detrandGlobals[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global %s.%s draws from the shared, unseeded source; use a seeded *rand.Rand from config",
+						fn.Pkg().Path(), fn.Name())
+				}
+			case "time":
+				if detrandClock[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock; simulated results must not depend on real time",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

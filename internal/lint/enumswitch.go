@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSwitch requires switches over the module's integer enum types
+// (pinatubo.Op, VerifyMode, PlacementClass, sense.Op, chansim.Arbiter, …)
+// to either carry a default clause or cover every declared constant of the
+// type. Without this, adding a new Op silently falls through the Apply /
+// resilience-ladder dispatch paths instead of failing loudly.
+//
+// A type counts as an enum when it is a named integer type declared in this
+// module with at least two package-level constants of exactly that type.
+// Switches containing non-constant case expressions are skipped (coverage
+// cannot be proven either way).
+var EnumSwitch = &Analyzer{
+	Name: "enumswitch",
+	Doc: "require switches over module enum types to be exhaustive or carry a default, " +
+		"so new enum values cannot silently fall through",
+	Run: runEnumSwitch,
+}
+
+func runEnumSwitch(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkEnumSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !sameModule(pkg.Path(), pass.Pkg.Path()) {
+		return
+	}
+
+	// Declared constants of exactly this type, grouped by value (aliased
+	// constants with equal values cover each other).
+	declared := map[string]string{} // value key -> representative name
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if _, seen := declared[key]; !seen {
+			declared[key] = name
+		}
+	}
+	if len(declared) < 2 {
+		return // not an enum
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: new values cannot fall through silently
+		}
+		for _, expr := range clause.List {
+			etv, ok := pass.TypesInfo.Types[expr]
+			if !ok || etv.Value == nil {
+				return // non-constant case: coverage unprovable, skip switch
+			}
+			covered[canonicalConst(etv.Value)] = true
+		}
+	}
+
+	var missing []string
+	for key, name := range declared {
+		if !covered[key] {
+			missing = append(missing, fmt.Sprintf("%s (%s)", name, key))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s has no default and misses %s; cover every constant or add a default",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// canonicalConst normalises a constant value the way declared keys are
+// built, so int-typed and untyped representations of the same value match.
+func canonicalConst(v constant.Value) string {
+	if i, ok := constant.Int64Val(v); ok {
+		return constant.MakeInt64(i).ExactString()
+	}
+	return v.ExactString()
+}
+
+// sameModule approximates module membership: two import paths belong to the
+// same module when they share their first path element (the module path's
+// root — "pinatubo" for this repo). Standard-library enums (reflect.Kind,
+// token.Token, …) therefore never qualify.
+func sameModule(a, b string) bool {
+	return firstSegment(a) == firstSegment(b)
+}
+
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Cost, energy and
+// latency arithmetic accumulates rounding, so exact comparison silently
+// couples behaviour to evaluation order and compiler fusion; compare with
+// an epsilon or carry integer picoseconds instead. Comparison against the
+// exact constant 0 is allowed — the simulator's configs use 0 as the
+// "feature off" sentinel, which is assigned, never computed.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on float operands (except the constant-0 sentinel); " +
+		"use an epsilon or integer picoseconds",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(pass, bin.X) || !isFloatOperand(pass, bin.Y) {
+				return true
+			}
+			if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"exact float comparison %s %s %s; use an epsilon or integer picoseconds",
+				types.ExprString(bin.X), bin.Op, types.ExprString(bin.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatOperand(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether the expression is a compile-time constant
+// equal to zero.
+func isExactZero(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

@@ -1,0 +1,108 @@
+// Package linttest drives lint analyzers over fixture packages, mirroring
+// golang.org/x/tools/go/analysis/analysistest: fixture files mark expected
+// findings with trailing
+//
+//	// want "regexp"    (or a backquoted regexp)
+//
+// comments, and the harness fails the test on any unmatched expectation or
+// unexpected diagnostic. Fixture packages live under testdata/src/<name>
+// and must type-check (they may import the standard library and any package
+// of this module).
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"pinatubo/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*$")
+
+// expectation is one `// want "re"` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the fixture package at dir, applies the analyzer, and compares
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	expects := parseWants(t, pkg)
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if e.met || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// parseWants re-parses each fixture file for trailing want comments.
+func parseWants(t *testing.T, pkg *lint.Package) []expectation {
+	t.Helper()
+	var out []expectation
+	fset := token.NewFileSet()
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		parsed, err := parser.ParseFile(fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", filename, err)
+		}
+		for _, cg := range parsed.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", filename, m[1], err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", filename, pattern, err)
+				}
+				out = append(out, expectation{
+					file: filename,
+					line: fset.Position(c.Pos()).Line,
+					re:   re,
+				})
+			}
+		}
+	}
+	return out
+}

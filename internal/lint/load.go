@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the package's import path ("pinatubo/internal/pimrt").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages of the current module without any
+// dependency on golang.org/x/tools: module-internal imports are resolved
+// recursively from source, everything else (the standard library) goes
+// through go/importer's source importer.
+type Loader struct {
+	Fset *token.FileSet
+
+	modulePath string
+	moduleRoot string
+	std        types.ImporterFrom
+	pkgs       map[string]*Package // keyed by directory
+	byPath     map[string]*Package // keyed by import path
+	loading    map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer is not an ImporterFrom")
+	}
+	return &Loader{
+		Fset:       fset,
+		modulePath: modPath,
+		moduleRoot: root,
+		std:        src,
+		pkgs:       map[string]*Package{},
+		byPath:     map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleRoot returns the directory holding the module's go.mod.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// importPathFor maps a directory inside the module onto its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.moduleRoot)
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load parses and type-checks the package in dir (non-test files only,
+// filtered through the usual build constraints). Results are cached, so a
+// package shared by many lint targets is checked once.
+func (l *Loader) Load(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[dir]; ok {
+		return p, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	importPath, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var checkErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { checkErrs = append(checkErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(checkErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, checkErrs[0])
+	}
+	p := &Package{
+		Path:      importPath,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[dir] = p
+	l.byPath[importPath] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom resolves module-internal imports from source and delegates the
+// rest to the standard library's source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		if p, ok := l.byPath[path]; ok {
+			return p.Types, nil
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		p, err := l.Load(filepath.Join(l.moduleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Expand resolves command-line package patterns ("./...", "dir", "dir/...")
+// into package directories, skipping testdata, vendor, hidden directories
+// and directories without Go files.
+func (l *Loader) Expand(patterns []string, cwd string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." {
+			pat = cwd
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(cwd, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map-range loops whose iteration order can leak into
+// results: appending to a slice that is never sorted afterwards, emitting
+// output directly from the loop, or accumulating floating-point sums
+// (float addition is not associative, so a different iteration order gives
+// a different bit pattern). The accepted idiom is collect-keys-then-sort,
+// which the analyzer recognises: an append target that is later passed to a
+// sort.* / slices.Sort* call in the same block is not reported.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map-range loops that let iteration order reach results " +
+		"(unsorted appends, direct output, float accumulation)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			if stmts == nil {
+				return true
+			}
+			for i, stmt := range stmts {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rng) {
+					continue
+				}
+				checkMapRange(pass, rng, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node carries, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range loop body for order-sensitive sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if target := appendTarget(pass, n); target != nil {
+				if declaredWithin(pass, target, rng) {
+					return true
+				}
+				if sortedLater(pass, target, rest) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"append to %s inside a map-range loop leaks iteration order; sort it afterwards or iterate sorted keys",
+					types.ExprString(target))
+				return true
+			}
+			if isFloatAccumulation(pass, n) && !lhsDeclaredWithin(pass, n, rng) {
+				pass.Reportf(n.Pos(),
+					"float accumulation into %s inside a map-range loop is order-dependent (float addition is not associative); iterate sorted keys",
+					types.ExprString(n.Lhs[0]))
+			}
+		case *ast.CallExpr:
+			if fn := calledFunc(pass, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				pass.Reportf(n.Pos(),
+					"fmt.%s inside a map-range loop emits output in iteration order; iterate sorted keys",
+					fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the expression being appended to when the statement
+// is the canonical x = append(x, ...) form.
+func appendTarget(pass *Pass, assign *ast.AssignStmt) ast.Expr {
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin || ident.Name != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// declaredWithin reports whether the expression's root object is declared
+// inside the range statement (a loop-local accumulator is harmless: its
+// final order cannot escape unless it is itself appended outwards, which a
+// second loop-level check would catch).
+func declaredWithin(pass *Pass, expr ast.Expr, rng *ast.RangeStmt) bool {
+	root := expr
+	for {
+		switch e := root.(type) {
+		case *ast.SelectorExpr:
+			root = e.X
+		case *ast.IndexExpr:
+			root = e.X
+		case *ast.ParenExpr:
+			root = e.X
+		default:
+			ident, ok := root.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := pass.TypesInfo.Uses[ident]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[ident]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+		}
+	}
+}
+
+func lhsDeclaredWithin(pass *Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) bool {
+	return len(assign.Lhs) == 1 && declaredWithin(pass, assign.Lhs[0], rng)
+}
+
+// isFloatAccumulation reports compound float assignment (+=, -=, *=, /=).
+func isFloatAccumulation(pass *Pass, assign *ast.AssignStmt) bool {
+	switch assign.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+	default:
+		return false
+	}
+	if len(assign.Lhs) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[assign.Lhs[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// sortedLater reports whether a later statement in the same block passes
+// the append target to a sort call.
+func sortedLater(pass *Pass, target ast.Expr, rest []ast.Stmt) bool {
+	want := types.ExprString(target)
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !isSortFunc(fn) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == want {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortFunc recognises the sort and slices entry points that establish a
+// deterministic order.
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// calledFunc resolves the package-level function or method a call targets.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

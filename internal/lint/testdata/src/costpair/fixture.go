@@ -1,0 +1,60 @@
+// Package costpairtest exercises the costpair analyzer: emitting trace
+// segments without touching Cost accounting is a positive; the paired form
+// and the directive-acknowledged trace-only helper are negatives.
+package costpairtest
+
+// TraceSegment mirrors pimrt.TraceSegment for the analyzer's type-name
+// driven detection.
+type TraceSegment struct {
+	Seconds float64
+}
+
+// Cost mirrors workload.Cost.
+type Cost struct {
+	Seconds float64
+	Joules  float64
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.Seconds += o.Seconds
+	c.Joules += o.Joules
+}
+
+type result struct {
+	Cost  Cost
+	Trace []TraceSegment
+}
+
+func bad(res *result, sec float64) {
+	res.Trace = append(res.Trace, TraceSegment{Seconds: sec}) // want `bad emits TraceSegments without touching Cost`
+}
+
+func badCaller(res *result, sec float64) {
+	res.addOpaque(sec) // want `badCaller emits TraceSegments without touching Cost`
+}
+
+func good(res *result, sec float64) {
+	res.Cost.Add(Cost{Seconds: sec})
+	res.Trace = append(res.Trace, TraceSegment{Seconds: sec})
+}
+
+func goodCaller(res *result, sec float64) {
+	res.Cost.Add(Cost{Seconds: sec})
+	res.addOpaque(sec)
+}
+
+// addOpaque is the trace-only half of the pair; its callers own the cost
+// side, which the directive records.
+//
+//pinlint:ignore costpair trace-only helper, callers pair with Cost.Add
+func (r *result) addOpaque(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	r.Trace = append(r.Trace, TraceSegment{Seconds: sec})
+}
+
+func goodUnrelatedAppend(xs []float64, x float64) []float64 {
+	return append(xs, x) // not a TraceSegment slice
+}

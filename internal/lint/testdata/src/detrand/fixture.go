@@ -1,0 +1,33 @@
+// Package detrandtest exercises the detrand analyzer: global math/rand and
+// wall-clock reads are positives; seeded generators and monotonic-free time
+// construction are negatives.
+package detrandtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int {
+	n := rand.Intn(10)                 // want `global math/rand\.Intn draws from the shared, unseeded source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	_ = time.Now()                     // want `time\.Now reads the wall clock`
+	return n
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded: allowed
+	return r.Intn(10)                   // method on *rand.Rand: allowed
+}
+
+func goodTime() time.Time {
+	return time.Unix(0, 0) // fixed instant: allowed
+}
+
+func suppressed() int {
+	return rand.Intn(3) //pinlint:ignore detrand fixture demonstrates the directive
+}

@@ -1,0 +1,41 @@
+// Package floateqtest exercises the floateq analyzer: exact comparison of
+// computed floats is a positive; the constant-0 sentinel, epsilon
+// comparison, and integer equality are negatives.
+package floateqtest
+
+func bad(a, b float64) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func badNeq(lat float32) bool {
+	return lat != 1.5 // want `exact float comparison lat != 1\.5`
+}
+
+func badSum(seconds []float64, total float64) bool {
+	var sum float64
+	for _, s := range seconds {
+		sum += s
+	}
+	return sum == total // want `exact float comparison sum == total`
+}
+
+func goodZero(rate float64) bool {
+	return rate == 0 // assigned sentinel, never computed: allowed
+}
+
+func goodZeroLeft(rate float64) bool {
+	return 0.0 != rate // constant zero on either side: allowed
+}
+
+func goodEpsilon(a, b float64) bool {
+	const eps = 1e-12
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+func goodInt(a, b int) bool {
+	return a == b
+}

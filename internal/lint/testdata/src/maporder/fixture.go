@@ -1,0 +1,74 @@
+// Package mapordertest exercises the maporder analyzer: unsorted appends,
+// direct output and float accumulation inside map-range loops are
+// positives; the collect-then-sort idiom and order-independent map writes
+// are negatives.
+package mapordertest
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map-range loop`
+	}
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map-range loop`
+	}
+}
+
+func badFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodMapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map write: order-independent
+	}
+	return out
+}
+
+func goodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is associative
+	}
+	return total
+}
+
+func goodSliceRange(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // slice iteration is ordered
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+// Package wraperrtest exercises the wraperr analyzer: sentinels formatted
+// with %v/%s are positives; %w wraps, non-sentinel arguments and plain
+// formats are negatives.
+package wraperrtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is a package sentinel callers match with errors.Is.
+var ErrExhausted = errors.New("exhausted")
+
+// ErrWorn is a second sentinel.
+var ErrWorn = errors.New("worn out")
+
+func bad(n int) error {
+	return fmt.Errorf("op %d failed: %v", n, ErrExhausted) // want `sentinel ErrExhausted formatted with %v`
+}
+
+func badString(n int) error {
+	return fmt.Errorf("row %d: %s", n, ErrWorn) // want `sentinel ErrWorn formatted with %s`
+}
+
+func badSecond(n int) error {
+	return fmt.Errorf("op %d: %w after %v", n, ErrExhausted, ErrWorn) // want `sentinel ErrWorn formatted with %v`
+}
+
+func good(n int) error {
+	return fmt.Errorf("op %d failed: %w", n, ErrExhausted)
+}
+
+func goodDouble(n int) error {
+	return fmt.Errorf("op %d: %w (%w)", n, ErrExhausted, ErrWorn)
+}
+
+func goodPlain(n int) error {
+	return fmt.Errorf("op %d failed", n)
+}
+
+func goodLocal(err error) error {
+	// A non-sentinel error variable is outside this analyzer's contract
+	// (go vet's printf check already encourages %w for those).
+	return fmt.Errorf("wrapped: %v", err)
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// WrapErr requires %w whenever a fmt.Errorf format references a package
+// sentinel error (a package-level `Err*` variable, like
+// ErrResilienceExhausted or ErrUncorrectable). A sentinel formatted with %v
+// or %s flattens into text: callers matching with errors.Is silently stop
+// seeing it, which is exactly the contract the resilience layer's tests
+// rely on.
+var WrapErr = &Analyzer{
+	Name: "wraperr",
+	Doc:  "require %w when fmt.Errorf formats a package sentinel error, so errors.Is keeps matching",
+	Run:  runWrapErr,
+}
+
+func runWrapErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true // non-literal format: nothing to prove
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs, ok := formatVerbs(format)
+			if !ok {
+				return true // indexed or starred verbs: out of scope
+			}
+			for i, verb := range verbs {
+				argIdx := 1 + i
+				if argIdx >= len(call.Args) {
+					break
+				}
+				if verb == 'w' {
+					continue
+				}
+				if name, isSentinel := sentinelError(pass, call.Args[argIdx]); isSentinel {
+					pass.Reportf(call.Args[argIdx].Pos(),
+						"sentinel %s formatted with %%%c; use %%w so errors.Is matches through the wrap",
+						name, verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs returns the verb rune for each argument-consuming verb of a
+// Printf format string, in argument order. It reports !ok for explicit
+// argument indexes (%[1]d) and starred widths (%*d), which break the simple
+// 1:1 verb-to-argument mapping.
+func formatVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '*', '[':
+			return nil, false
+		default:
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs, true
+}
+
+// sentinelError reports whether the expression denotes a package-level
+// error variable whose name starts with Err.
+func sentinelError(pass *Pass, expr ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return "", false
+	}
+	if !implementsError(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+func implementsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

@@ -152,6 +152,9 @@ func (c *Controller) tally(class Class, cmds []ddr.Cmd) {
 			c.counters.SenseSteps++
 		case ddr.CmdWBack, ddr.CmdWr:
 			c.counters.Writebacks++
+		default:
+			// MRS, precharge, moves and reads don't feed these counters
+			// (reads are tallied as BusBits below).
 		}
 		if cmd.Kind == ddr.CmdRd || cmd.Kind == ddr.CmdWr {
 			c.counters.BusBits += int64(cmd.Bits)

@@ -140,6 +140,8 @@ func (res *ScheduleResult) addExec(r *pim.Result) {
 // addOpaque records a lump-sum latency pass (verify, ECC decode/reprogram)
 // that occupies addr's bank without an explicit command sequence. Zero-cost
 // passes leave no scheduling footprint.
+//
+//pinlint:ignore costpair trace-only half of the pair, every caller adds the matching Cost
 func (res *ScheduleResult) addOpaque(seconds float64, addr memarch.RowAddr) {
 	if seconds <= 0 {
 		return

@@ -21,6 +21,46 @@ const planFrac = 0.05
 // once.
 const planReplications = 3
 
+// Arbiter selects the channel arbitration policy the planner schedules
+// under, mirroring the event-driven scheduler's policies.
+type Arbiter int
+
+const (
+	// ArbFIFO issues the command that can start earliest — the
+	// deterministic legacy policy of a simple in-order controller.
+	ArbFIFO Arbiter = iota
+	// ArbOldestReady issues for the request that has been ready longest,
+	// trading a little peak throughput for fairness: a request stalled
+	// behind a busy bank cannot be starved by a stream of short newcomers.
+	// Under load this narrows the completion-time tail (p99) relative to
+	// FIFO.
+	ArbOldestReady
+)
+
+// String names the arbiter as the CLI -arb flag spells it.
+func (a Arbiter) String() string {
+	switch a {
+	case ArbFIFO:
+		return "fifo"
+	case ArbOldestReady:
+		return "oldest-ready"
+	default:
+		return fmt.Sprintf("Arbiter(%d)", int(a))
+	}
+}
+
+// internal maps the public arbiter onto the channel scheduler's.
+func (a Arbiter) internal() (chansim.Arbiter, error) {
+	switch a {
+	case ArbFIFO:
+		return chansim.ArbFIFO, nil
+	case ArbOldestReady:
+		return chansim.ArbOldestReady, nil
+	default:
+		return 0, fmt.Errorf("pinatubo: unknown Arbiter %d", int(a))
+	}
+}
+
 // LatencyStats summarises per-operation completion times with
 // nearest-rank percentiles.
 type LatencyStats struct {
@@ -53,6 +93,8 @@ type PlanReport struct {
 	Op Op
 	// FaultRate is the sense-flip rate the plan assumed.
 	FaultRate float64
+	// Arb is the arbitration policy the plan scheduled under.
+	Arb Arbiter
 	// Concurrency is the largest k the plan explored.
 	Concurrency int
 	// Replications is how many independent trace samples were scheduled
@@ -90,7 +132,16 @@ type PlanReport struct {
 //
 // OpPopcount is not plannable: it is host-bus traffic, not a channel
 // operation.
+//
+// Plan schedules under FIFO arbitration — the legacy policy; PlanWith
+// additionally exposes ArbOldestReady for quantifying the tail-latency gap
+// between arbiters.
 func (s *System) Plan(op Op, concurrency int, faultRate float64) (PlanReport, error) {
+	return s.PlanWith(op, concurrency, faultRate, ArbFIFO)
+}
+
+// PlanWith is Plan under an explicit channel arbitration policy.
+func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter) (PlanReport, error) {
 	if concurrency < 1 {
 		return PlanReport{}, fmt.Errorf("pinatubo: planning concurrency %d", concurrency)
 	}
@@ -101,6 +152,10 @@ func (s *System) Plan(op Op, concurrency int, faultRate float64) (PlanReport, er
 		return PlanReport{}, fmt.Errorf("pinatubo: %v is host traffic, not a channel operation", op)
 	}
 	if _, err := op.internal(); err != nil {
+		return PlanReport{}, err
+	}
+	carb, err := arb.internal()
+	if err != nil {
 		return PlanReport{}, err
 	}
 
@@ -124,13 +179,14 @@ func (s *System) Plan(op Op, concurrency int, faultRate float64) (PlanReport, er
 	report := PlanReport{
 		Op:           op,
 		FaultRate:    faultRate,
+		Arb:          arb,
 		Concurrency:  concurrency,
 		Replications: reps,
 	}
 	curve := make([]float64, len(ks))
 	for i, k := range ks {
 		mc, err := chansim.MonteCarlo(
-			chansim.MCConfig{Seed: s.cfg.Fault.Seed, Replications: reps, Arb: chansim.ArbFIFO},
+			chansim.MCConfig{Seed: s.cfg.Fault.Seed, Replications: reps, Arb: carb},
 			func(_ *rand.Rand, rep int) ([]chansim.Request, error) {
 				return traceSets[rep][:k], nil
 			})
@@ -190,6 +246,14 @@ func (s *System) sampleTraces(op Op, concurrency int, faultRate float64, rep int
 		nsrc = sb.MaxORRows()
 	case OpAnd, OpXor:
 		nsrc = 2
+	case OpNot, OpCopy:
+		nsrc = 1
+	case OpPopcount:
+		// Plan rejects OpPopcount before sampling; guard anyway so a future
+		// caller cannot reach the scheduler with a host-only op.
+		return nil, fmt.Errorf("pinatubo: %v is host traffic, not a channel operation", op)
+	default:
+		return nil, fmt.Errorf("pinatubo: unknown Op %d", int(op))
 	}
 	rows, err := sb.alloc.AllocGroupRows(nsrc)
 	if err != nil {

@@ -116,6 +116,56 @@ func TestPlanFaultySanity(t *testing.T) {
 	}
 }
 
+// TestPlanArbitersDivergeUnderLoad pins the reason PlanWith exists: under
+// load the arbitration policy is visible in the completion-time tail.
+// FIFO issues for whichever request can start earliest, oldest-ready for
+// whichever has waited longest, and with 16 operations contending for one
+// channel those choices produce different p99s (and throughputs). If a
+// refactor made the arbiters collapse into one policy, this test catches
+// it.
+func TestPlanArbitersDivergeUnderLoad(t *testing.T) {
+	const concurrency = 16
+	sys := newSys(t)
+	fifo, err := sys.PlanWith(OpOr, concurrency, 0, ArbFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest, err := sys.PlanWith(OpOr, concurrency, 0, ArbOldestReady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Arb != ArbFIFO || oldest.Arb != ArbOldestReady {
+		t.Errorf("reports record Arb %v and %v, want %v and %v",
+			fifo.Arb, oldest.Arb, ArbFIFO, ArbOldestReady)
+	}
+	fp := fifo.Points[len(fifo.Points)-1]
+	op := oldest.Points[len(oldest.Points)-1]
+	if fp.Latency.P99 == op.Latency.P99 {
+		t.Errorf("fifo and oldest-ready p99 identical at k=%d: %v", concurrency, fp.Latency.P99)
+	}
+	if fp.Throughput == op.Throughput {
+		t.Errorf("fifo and oldest-ready throughput identical at k=%d: %v", concurrency, fp.Throughput)
+	}
+
+	// Plan is PlanWith under FIFO: identical reports, field for field.
+	plain, err := sys.Plan(OpOr, concurrency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, fifo) {
+		t.Errorf("Plan != PlanWith(ArbFIFO):\n%+v\n%+v", plain, fifo)
+	}
+}
+
+func TestArbiterString(t *testing.T) {
+	if s := ArbFIFO.String(); s != "fifo" {
+		t.Errorf("ArbFIFO.String() = %q", s)
+	}
+	if s := ArbOldestReady.String(); s != "oldest-ready" {
+		t.Errorf("ArbOldestReady.String() = %q", s)
+	}
+}
+
 func TestPlanRejectsBadInputs(t *testing.T) {
 	s := newSys(t)
 	if _, err := s.Plan(OpOr, 0, 0); err == nil {
@@ -129,5 +179,8 @@ func TestPlanRejectsBadInputs(t *testing.T) {
 	}
 	if _, err := s.Plan(OpPopcount, 4, 0); err == nil {
 		t.Error("OpPopcount accepted as a channel operation")
+	}
+	if _, err := s.PlanWith(OpOr, 4, 0, Arbiter(99)); err == nil {
+		t.Error("unknown arbiter accepted")
 	}
 }
