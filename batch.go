@@ -1,0 +1,354 @@
+package pinatubo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pinatubo/internal/chansim"
+	"pinatubo/internal/cmdstream"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/pimrt"
+)
+
+// BatchOp is one operation of a batch: Dst = Op(Srcs...). The operand
+// rules are exactly Apply's (OpPopcount takes no sources and counts Dst).
+type BatchOp struct {
+	Op   Op
+	Dst  *BitVector
+	Srcs []*BitVector
+}
+
+// BatchResult reports a batch execution: the per-op results Apply would
+// have returned, plus the channel-level schedule of the whole batch.
+type BatchResult struct {
+	// Results[i] is op i's outcome, identical to what a sequential
+	// Apply(ops[i]) at the same point would have returned (bit-identical
+	// at fault rate 0; see Batch).
+	Results []Result
+	// Makespan is the scheduled end-to-end time of the batch on the
+	// memory channels, with per-bank contention resolved by the
+	// event-driven scheduler. At fault rate 0 it is bit-identical to the
+	// PlanPoint.Makespan PlanWith predicts for the same op mix under the
+	// same arbiter.
+	Makespan time.Duration
+	// Completion[i] is op i's finish time within the schedule.
+	Completion []time.Duration
+	// Sequential is the back-to-back time of the same requests with no
+	// overlap — the baseline the batch's concurrency is measured against.
+	Sequential time.Duration
+	// Speedup is Sequential / Makespan.
+	Speedup float64
+	// Shards is how many isolated memory shards the data-side effects
+	// executed across (1 means the batch ran sequentially on the live
+	// system — single shard, or a fault injector pinned execution to one
+	// goroutine).
+	Shards int
+	// Arb is the arbitration policy the schedule used.
+	Arb Arbiter
+}
+
+// Batch executes a set of operations as one scheduled batch under FIFO
+// arbitration. See BatchWith.
+func (s *System) Batch(ops []BatchOp) (BatchResult, error) {
+	return s.BatchWith(ops, ArbFIFO)
+}
+
+// BatchWith executes a set of operations as one scheduled batch:
+//
+//  1. lower — every op is executed through the normal pipeline and its
+//     full cmdstream program (requests, verification passes) captured;
+//  2. schedule — the programs are converted to per-bank-resource requests
+//     and run through the event-driven channel scheduler under arb;
+//  3. execute — the data-side effects run concurrently across independent
+//     shards: ops whose footprints (rows, scratch rows, global row
+//     buffers, I/O buffers) are disjoint execute on isolated shard
+//     memories in parallel, then merge deterministically.
+//
+// Results are indistinguishable from issuing the same ops sequentially
+// through Apply: memory contents, per-op Results, Stats/FaultStats and
+// hardware counters all match (integer counters exactly; summed float
+// totals may differ from the sequential order by ULPs when more than one
+// shard ran). When a fault injector is attached the injector's stream is
+// inherently ordered, so execution stays on the live system in op order —
+// the schedule is still computed from the captured programs.
+//
+// Ops whose operands span ranks are rejected: the paper's datapaths stop
+// at the rank's I/O buffer, and Apply would reject them too. On error the
+// batch's memory effects may be partial, exactly as a sequence of Apply
+// calls stopped at the failing op.
+func (s *System) BatchWith(ops []BatchOp, arb Arbiter) (BatchResult, error) {
+	carb, err := arb.internal()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if len(ops) == 0 {
+		return BatchResult{}, fmt.Errorf("pinatubo: empty batch")
+	}
+	footprints := make([][]fpKey, len(ops))
+	for i, op := range ops {
+		if err := s.validateOp(op.Op, op.Dst, op.Srcs); err != nil {
+			return BatchResult{}, fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
+		}
+		fp, err := s.opFootprint(op)
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
+		}
+		footprints[i] = fp
+	}
+	shards := shardOps(footprints)
+
+	results := make([]Result, len(ops))
+	progs := make([]cmdstream.Program, len(ops))
+	nshards := len(shards)
+	if s.ctl.Injector() != nil || nshards == 1 {
+		nshards = 1
+		for i, op := range ops {
+			res, err := s.apply(op.Op, op.Dst, op.Srcs, &progs[i])
+			if err != nil {
+				return BatchResult{}, fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
+			}
+			results[i] = res
+		}
+	} else if err := s.runSharded(ops, footprints, shards, results, progs); err != nil {
+		return BatchResult{}, err
+	}
+
+	timing := s.mem.Tech().Timing
+	bus := s.ctl.Bus()
+	banks := s.mem.Geometry().BanksPerChip
+	reqs := make([]chansim.Request, len(ops))
+	var back float64
+	for i := range ops {
+		reqs[i] = progs[i].Request(fmt.Sprintf("%v#%d", ops[i].Op, i), timing, bus, banks)
+		back += reqs[i].Duration()
+	}
+	sched, err := chansim.ScheduleWith(reqs, carb)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	out := BatchResult{
+		Results:    results,
+		Makespan:   seconds(sched.Makespan),
+		Completion: make([]time.Duration, len(ops)),
+		Sequential: seconds(back),
+		Shards:     nshards,
+		Arb:        arb,
+	}
+	for i, c := range sched.Completion {
+		out.Completion[i] = seconds(c)
+	}
+	if sched.Makespan > 0 {
+		out.Speedup = back / sched.Makespan
+	}
+	return out, nil
+}
+
+// fpKey names one exclusive hardware resource an op's data path may touch:
+// a row, a bank's global row buffer, or a rank's I/O buffer. Ops whose key
+// sets intersect must execute in program order; disjoint ops commute.
+type fpKey struct {
+	kind byte // 'r' row, 'g' global row buffer, 'i' I/O buffer
+	addr memarch.RowAddr
+}
+
+// opFootprint computes the key set of one op, conservatively: every
+// operand and destination row, the scratch row of every multi-row OR
+// group, and — whenever the rows leave a single subarray — the global row
+// buffer of every touched bank plus, across banks, the rank's I/O buffer.
+// Over-approximation only costs concurrency, never correctness.
+func (s *System) opFootprint(op BatchOp) ([]fpKey, error) {
+	var keys []fpKey
+	if op.Op == OpPopcount {
+		for _, r := range op.Dst.rows {
+			keys = append(keys, fpKey{kind: 'r', addr: r})
+		}
+		return keys, nil
+	}
+	geo := s.mem.Geometry()
+	for batch := range op.Dst.rows {
+		all := make([]memarch.RowAddr, 0, len(op.Srcs)+1)
+		for _, src := range op.Srcs {
+			all = append(all, src.rows[batch])
+		}
+		srcRows := all
+		all = append(all, op.Dst.rows[batch])
+		if !memarch.SameRank(all...) {
+			return nil, fmt.Errorf("operands span ranks; split the batch at the rank boundary")
+		}
+		for _, r := range all {
+			keys = append(keys, fpKey{kind: 'r', addr: r})
+		}
+		if op.Op == OpOr {
+			for _, g := range pimrt.GroupBySubarray(srcRows) {
+				if len(g) > 1 {
+					keys = append(keys, fpKey{kind: 'r', addr: pimrt.ScratchRow(geo, g[0])})
+				}
+			}
+		}
+		if memarch.SameSubarray(all...) {
+			continue
+		}
+		banks := make(map[[3]int]bool)
+		for _, r := range all {
+			b := [3]int{r.Channel, r.Rank, r.Bank}
+			if banks[b] {
+				continue
+			}
+			banks[b] = true
+			keys = append(keys, fpKey{kind: 'g',
+				addr: memarch.RowAddr{Channel: r.Channel, Rank: r.Rank, Bank: r.Bank}})
+		}
+		if len(banks) > 1 {
+			keys = append(keys, fpKey{kind: 'i',
+				addr: memarch.RowAddr{Channel: all[0].Channel, Rank: all[0].Rank}})
+		}
+	}
+	return keys, nil
+}
+
+// shardOps unions ops that share any footprint key and returns the
+// resulting shards as op-index lists, each ascending, ordered by first op.
+func shardOps(footprints [][]fpKey) [][]int {
+	parent := make([]int, len(footprints))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := make(map[fpKey]int)
+	for i, fp := range footprints {
+		for _, k := range fp {
+			if j, ok := owner[k]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				owner[k] = i
+			}
+		}
+	}
+	index := make(map[int]int)
+	var shards [][]int
+	for i := range footprints {
+		root := find(i)
+		si, ok := index[root]
+		if !ok {
+			si = len(shards)
+			index[root] = si
+			shards = append(shards, nil)
+		}
+		shards[si] = append(shards[si], i)
+	}
+	return shards
+}
+
+// runSharded executes the batch's data-side effects concurrently: each
+// shard gets a sandboxed System seeded with the shard's footprint rows and
+// ECC state, runs its ops in op order on its own goroutine, and is merged
+// back — rows, ECC entries, wear/hardware/fault counters and stats — in
+// shard order on the caller's goroutine. The merge is exact for every
+// integer counter; float totals are summed in shard order, which can
+// differ from the sequential op order by ULPs.
+func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int, results []Result, progs []cmdstream.Program) error {
+	type shardState struct {
+		sys  *System
+		vecs map[*BitVector]*BitVector
+	}
+	states := make([]shardState, len(shards))
+	for si, shard := range shards {
+		sh, err := New(s.cfg)
+		if err != nil {
+			return err
+		}
+		for _, i := range shard {
+			for _, k := range footprints[i] {
+				if k.kind != 'r' {
+					continue
+				}
+				copy(sh.mem.PeekRow(k.addr), s.mem.PeekRow(k.addr))
+				if bits, words, ok := s.ctl.ECCState(k.addr); ok {
+					sh.ctl.SetECCState(k.addr, bits, words)
+				}
+			}
+		}
+		vecs := make(map[*BitVector]*BitVector)
+		mirror := func(b *BitVector) *BitVector {
+			v, ok := vecs[b]
+			if !ok {
+				v = &BitVector{sys: sh, bits: b.bits,
+					rows: append([]memarch.RowAddr(nil), b.rows...)}
+				vecs[b] = v
+			}
+			return v
+		}
+		for _, i := range shard {
+			mirror(ops[i].Dst)
+			for _, src := range ops[i].Srcs {
+				mirror(src)
+			}
+		}
+		states[si] = shardState{sys: sh, vecs: vecs}
+	}
+
+	errs := make([]error, len(ops))
+	var wg sync.WaitGroup
+	for si, shard := range shards {
+		wg.Add(1)
+		go func(st shardState, idx []int) {
+			defer wg.Done()
+			for _, i := range idx {
+				srcs := make([]*BitVector, len(ops[i].Srcs))
+				for j, src := range ops[i].Srcs {
+					srcs[j] = st.vecs[src]
+				}
+				res, err := st.sys.apply(ops[i].Op, st.vecs[ops[i].Dst], srcs, &progs[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = res
+			}
+		}(states[si], shard)
+	}
+	wg.Wait()
+
+	for si := range shards {
+		sh := states[si].sys
+		for _, a := range sh.mem.MaterializedAddrs() {
+			copy(s.mem.PeekRow(a), sh.mem.PeekRow(a))
+		}
+		sh.ctl.ECCEntries(func(a memarch.RowAddr, bits int, words []uint64) {
+			s.ctl.SetECCState(a, bits, words)
+		})
+		s.mem.AbsorbCounters(sh.mem)
+		s.ctl.AbsorbCounters(sh.ctl.Counters())
+		s.sched.AbsorbStats(sh.sched.FaultStats())
+		for k, v := range sh.stats.Ops {
+			s.stats.Ops[k] += v
+		}
+		s.stats.Requests += sh.stats.Requests
+		s.stats.BusySeconds += sh.stats.BusySeconds
+		s.stats.EnergyJoules += sh.stats.EnergyJoules
+		s.hostVerifies += sh.hostVerifies
+		s.hostRetries += sh.hostRetries
+		s.hostRowsRetired += sh.hostRowsRetired
+		s.hostBitsCorrected += sh.hostBitsCorrected
+		s.hostEccDecodes += sh.hostEccDecodes
+		s.hostEccCorrected += sh.hostEccCorrected
+		s.hostEccUncorrectable += sh.hostEccUncorrectable
+		for live, mirror := range states[si].vecs {
+			copy(live.rows, mirror.rows)
+		}
+	}
+	for i := range ops {
+		if errs[i] != nil {
+			return fmt.Errorf("pinatubo: batch op %d (%v): %w", i, ops[i].Op, errs[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+package pinatubo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pinatubo/internal/memarch"
+)
+
+// spreadGeometry is a single-channel, single-rank organisation with one
+// subarray per bank, so successive operand groups land in successive banks
+// and a batch's ops are bank-disjoint — the layout the batch scheduler's
+// concurrency (and its bit-identity with the planner) is easiest to see in.
+func spreadGeometry() memarch.Geometry {
+	return memarch.Geometry{
+		Channels:         1,
+		RanksPerChannel:  1,
+		ChipsPerRank:     8,
+		BanksPerChip:     16,
+		SubarraysPerBank: 1,
+		MatsPerSubarray:  16,
+		RowsPerSubarray:  256,
+		MatRowBits:       4096,
+		MuxRatio:         32,
+	}
+}
+
+// buildBatchOps allocates and seeds one op of every public kind on s, each
+// in its own operand group (its own bank under spreadGeometry), with data
+// drawn from a fixed seed — calling it on two identically configured
+// systems produces bit-identical twins.
+func buildBatchOps(t *testing.T, s *System, bits int) []BatchOp {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	words := (bits + 63) / 64
+	seed := func(v *BitVector) {
+		data := make([]uint64, words)
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		if _, err := s.Write(v, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ops []BatchOp
+	add := func(op Op, nsrc int) {
+		g, err := s.AllocGroup(nsrc+1, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range g {
+			seed(v)
+		}
+		ops = append(ops, BatchOp{Op: op, Dst: g[nsrc], Srcs: g[:nsrc]})
+	}
+	add(OpOr, 4) // 4 operands: chained past STT-MRAM's 2-row depth limit
+	add(OpAnd, 2)
+	add(OpXor, 2)
+	add(OpNot, 1)
+	add(OpCopy, 1)
+	add(OpPopcount, 0)
+	return ops
+}
+
+// TestBatchDifferential checks the batch executor against the sequential
+// path it must be indistinguishable from: for every technology and verify
+// mode, Batch of N ops on one system and N Apply calls on an identically
+// seeded twin produce bit-identical per-op Results, memory contents, and
+// statistics ledgers.
+func TestBatchDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"pcm", Config{Tech: PCM, Geometry: spreadGeometry()}},
+		{"stt-mram", Config{Tech: STTMRAM, Geometry: spreadGeometry()}},
+		{"reram", Config{Tech: ReRAM, Geometry: spreadGeometry()}},
+		{"pcm-readback", Config{Tech: PCM, Geometry: spreadGeometry(),
+			Resilience: ResilienceConfig{Verify: VerifyReadback}}},
+		{"pcm-ecc", Config{Tech: PCM, Geometry: spreadGeometry(),
+			Resilience: ResilienceConfig{Verify: VerifyECC}}},
+		{"pcm-faulty", Config{Tech: PCM, Geometry: spreadGeometry(),
+			Fault: FaultConfig{Seed: 3, SenseFlipRate: 1e-4, ActivationFailRate: 1e-4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batched, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const bits = 4096
+			opsA := buildBatchOps(t, batched, bits)
+			opsB := buildBatchOps(t, serial, bits)
+
+			want := make([]Result, len(opsB))
+			for i, op := range opsB {
+				res, err := serial.Apply(op.Op, op.Dst, op.Srcs...)
+				if err != nil {
+					t.Fatalf("sequential op %d (%v): %v", i, op.Op, err)
+				}
+				want[i] = res
+			}
+			br, err := batched.Batch(opsA)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i := range opsA {
+				if !reflect.DeepEqual(br.Results[i], want[i]) {
+					t.Errorf("op %d (%v): batch result %+v != sequential %+v",
+						i, opsA[i].Op, br.Results[i], want[i])
+				}
+			}
+			faulty := tc.cfg.Fault != (FaultConfig{})
+			if faulty {
+				// A fault injector's stream is ordered, so the batch pins
+				// execution to one shard — and stays bit-identical even
+				// mid-fault.
+				if br.Shards != 1 {
+					t.Errorf("faulty batch ran on %d shards, want 1", br.Shards)
+				}
+			} else if br.Shards != len(opsA) {
+				t.Errorf("Shards=%d, want %d (bank-disjoint ops)", br.Shards, len(opsA))
+			}
+			if br.Makespan <= 0 || br.Makespan > br.Sequential {
+				t.Errorf("Makespan=%v outside (0, Sequential=%v]", br.Makespan, br.Sequential)
+			}
+			if len(br.Completion) != len(opsA) {
+				t.Errorf("Completion has %d entries, want %d", len(br.Completion), len(opsA))
+			}
+
+			// Ledgers. Every counter is integer except BusySeconds and
+			// EnergyJoules, and with one op per shard even those merge in
+			// op order — so the comparison is fully bit-identical.
+			if a, b := batched.Stats(), serial.Stats(); !reflect.DeepEqual(a, b) {
+				t.Errorf("Stats diverge: batch %+v, sequential %+v", a, b)
+			}
+			if a, b := batched.HardwareCounters(), serial.HardwareCounters(); !reflect.DeepEqual(a, b) {
+				t.Errorf("HardwareCounters diverge: batch %+v, sequential %+v", a, b)
+			}
+			if a, b := batched.FaultStats(), serial.FaultStats(); a != b {
+				t.Errorf("FaultStats diverge: batch %+v, sequential %+v", a, b)
+			}
+			if tc.cfg.Resilience.Verify == VerifyECC && batched.FaultStats().EccDecodes == 0 {
+				t.Error("VerifyECC batch recorded no ECC decodes — batch path dropped counters")
+			}
+
+			// Memory contents, vector by vector (sources included: the
+			// batch must not corrupt what it only reads).
+			for i := range opsA {
+				vecsA := append([]*BitVector{opsA[i].Dst}, opsA[i].Srcs...)
+				vecsB := append([]*BitVector{opsB[i].Dst}, opsB[i].Srcs...)
+				for j := range vecsA {
+					wa, _, err := batched.Read(vecsA[j])
+					if err != nil {
+						t.Fatal(err)
+					}
+					wb, _, err := serial.Read(vecsB[j])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(wa, wb) {
+						t.Errorf("op %d (%v) vector %d: batch contents diverge from sequential",
+							i, opsA[i].Op, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMakespanMatchesPlan pins the tentpole acceptance criterion: at
+// fault rate 0, Batch of k bank-disjoint ORs reports exactly the makespan
+// PlanWith predicts for k in-flight ORs — bit-identical, both arbiters.
+// Planner and executor lower through the same cmdstream programs and
+// schedule through the same engine, so the planner's model is checked
+// against execution, not estimated.
+func TestBatchMakespanMatchesPlan(t *testing.T) {
+	const k = 8
+	for _, arb := range []Arbiter{ArbFIFO, ArbOldestReady} {
+		t.Run(arb.String(), func(t *testing.T) {
+			sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := make([]BatchOp, k)
+			for i := range ops {
+				srcs, err := sys.AllocGroup(sys.MaxORRows(), sys.RowBits())
+				if err != nil {
+					t.Fatal(err)
+				}
+				dst, err := sys.Alloc(sys.RowBits())
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The layout the identity depends on: op i wholly in bank i,
+				// mirroring the planner's template-in-bank-0 offset by i.
+				if b := srcs[0].rows[0].Bank; b != i || dst.rows[0].Bank != i {
+					t.Fatalf("op %d landed in banks %d/%d, want %d — allocator layout changed",
+						i, b, dst.rows[0].Bank, i)
+				}
+				ops[i] = BatchOp{Op: OpOr, Dst: dst, Srcs: srcs}
+			}
+			rep, err := sys.PlanWith(OpOr, k, 0, arb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br, err := sys.BatchWith(ops, arb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := rep.Points[len(rep.Points)-1]
+			if last.Concurrency != k {
+				t.Fatalf("plan's last point is k=%d, want %d", last.Concurrency, k)
+			}
+			if br.Makespan != last.Makespan {
+				t.Errorf("batch makespan %v != planned makespan %v (must be bit-identical at fault 0)",
+					br.Makespan, last.Makespan)
+			}
+			if br.Speedup <= 1 {
+				t.Errorf("bank-disjoint batch speedup %v, want > 1", br.Speedup)
+			}
+			if br.Shards != k {
+				t.Errorf("Shards=%d want %d", br.Shards, k)
+			}
+		})
+	}
+}
+
+// TestBatchSharedVectors checks sequential semantics under data
+// dependencies: an op reading another op's destination must see the
+// earlier op's output, exactly as consecutive Apply calls would.
+func TestBatchSharedVectors(t *testing.T) {
+	cfg := Config{Tech: PCM, Geometry: spreadGeometry()}
+	batched, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bits = 2048
+	mk := func(s *System) []BatchOp {
+		g, err := s.AllocGroup(5, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for _, v := range g[:3] {
+			data := make([]uint64, bits/64)
+			for i := range data {
+				data[i] = rng.Uint64()
+			}
+			if _, err := s.Write(v, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, b, c, d1, d2 := g[0], g[1], g[2], g[3], g[4]
+		return []BatchOp{
+			{Op: OpOr, Dst: d1, Srcs: []*BitVector{a, b}},
+			{Op: OpAnd, Dst: d2, Srcs: []*BitVector{d1, c}}, // reads op 0's output
+		}
+	}
+	opsA, opsB := mk(batched), mk(serial)
+	var want []Result
+	for _, op := range opsB {
+		res, err := serial.Apply(op.Op, op.Dst, op.Srcs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	br, err := batched.Batch(opsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Shards != 1 {
+		t.Errorf("dependent ops ran on %d shards, want 1 (shared footprint)", br.Shards)
+	}
+	for i := range opsA {
+		if !reflect.DeepEqual(br.Results[i], want[i]) {
+			t.Errorf("op %d: %+v != sequential %+v", i, br.Results[i], want[i])
+		}
+	}
+	wa, _, err := batched.Read(opsA[1].Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _, err := serial.Read(opsB[1].Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wa, wb) {
+		t.Error("dependent op's destination diverges from sequential execution")
+	}
+}
+
+// TestBatchStatsNoDropNoDouble checks the satellite guarantee directly:
+// the lifetime Stats deltas of a batch equal the sum of its per-op Results
+// — nothing dropped by the shard merge, nothing double-counted.
+func TestBatchStatsNoDropNoDouble(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := buildBatchOps(t, sys, 4096)
+	before := sys.Stats()
+	br, err := sys.Batch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Stats()
+
+	var wantReq int64
+	var wantJoules float64
+	for _, r := range br.Results {
+		wantReq += int64(r.Requests)
+		wantJoules += r.EnergyJoules
+	}
+	if got := after.Requests - before.Requests; got != wantReq {
+		t.Errorf("Requests delta %d != summed per-op requests %d", got, wantReq)
+	}
+	var opsDelta int64
+	for k, v := range after.Ops {
+		opsDelta += v - before.Ops[k]
+	}
+	if opsDelta != int64(len(ops)) {
+		t.Errorf("Ops delta %d != %d batch ops", opsDelta, len(ops))
+	}
+	gotJoules := after.EnergyJoules - before.EnergyJoules
+	if math.Abs(gotJoules-wantJoules) > 1e-12*wantJoules {
+		t.Errorf("EnergyJoules delta %g != summed per-op energy %g", gotJoules, wantJoules)
+	}
+}
+
+// TestBatchRejects covers the validation surface: empty batches, unknown
+// arbiters, arity violations, freed vectors and cross-rank operand sets
+// all fail up front, before any memory effect.
+func TestBatchRejects(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Batch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	g, err := sys.AllocGroup(3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []BatchOp{{Op: OpAnd, Dst: g[2], Srcs: []*BitVector{g[0], g[1]}}}
+	if _, err := sys.BatchWith(ok, Arbiter(9)); err == nil {
+		t.Error("unknown arbiter accepted")
+	}
+	if _, err := sys.Batch([]BatchOp{{Op: OpAnd, Dst: g[2], Srcs: []*BitVector{g[0]}}}); err == nil {
+		t.Error("arity violation accepted")
+	}
+	if _, err := sys.Batch([]BatchOp{{Op: OpPopcount, Dst: g[2], Srcs: []*BitVector{g[0]}}}); err == nil {
+		t.Error("popcount with sources accepted")
+	}
+	freed, err := sys.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Free(freed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Batch([]BatchOp{{Op: OpNot, Dst: g[2], Srcs: []*BitVector{freed}}}); err == nil {
+		t.Error("freed vector accepted")
+	}
+
+	// Cross-rank: exhaust rank 0 so the next vector lands in rank 1.
+	small := memarch.Geometry{
+		Channels: 1, RanksPerChannel: 2, ChipsPerRank: 1, BanksPerChip: 1,
+		SubarraysPerBank: 1, MatsPerSubarray: 1, RowsPerSubarray: 4,
+		MatRowBits: 2048, MuxRatio: 32,
+	}
+	tiny, err := New(Config{Tech: PCM, Geometry: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *BitVector
+	for last == nil || last.rows[0].Rank == 0 {
+		v, err := tiny.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != nil && v.rows[0].Rank == 1 {
+			src := last
+			_, err := tiny.Batch([]BatchOp{{Op: OpCopy, Dst: v, Srcs: []*BitVector{src}}})
+			if err == nil || !strings.Contains(err.Error(), "span ranks") {
+				t.Errorf("cross-rank op error = %v, want span-ranks rejection", err)
+			}
+			return
+		}
+		last = v
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	figures            # everything
-//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, ecc
+//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, ecc, batch
+//	figures -fig batch -benchout BENCH_batch.json   # batch sweep + CI benchmark artifact
 package main
 
 import (
@@ -20,17 +21,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, ecc, headroom, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, ecc, headroom, batch, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
+	benchOut := flag.String("benchout", "", "also write the batch smoke benchmark JSON to this file")
 	flag.Parse()
 
-	if err := run(*fig, *csvOut); err != nil {
+	if err := run(*fig, *csvOut, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, csvOut bool) error {
+func run(fig string, csvOut bool, benchOut string) error {
 	want := func(name string) bool { return fig == "all" || fig == name }
 	printed := false
 
@@ -162,8 +164,30 @@ func run(fig string, csvOut bool) error {
 		fmt.Println(figures.FormatHeadroom(rows))
 		printed = true
 	}
+	if want("batch") {
+		rows, err := figures.BatchSweep(figures.DefaultBatchKs)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteBatchCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatBatch(rows))
+		printed = true
+	}
 	if !printed {
 		return fmt.Errorf("unknown figure %q", fig)
+	}
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := figures.WriteBatchBenchJSON(f); err != nil {
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

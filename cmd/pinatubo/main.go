@@ -7,6 +7,7 @@
 //
 //	pinatubo -op or -rows 128 -bits 524288
 //	pinatubo -op xor -bits 4096 -tech stt
+//	pinatubo -batch 8 -op or -rows 128   # schedule 8 deep ORs as one batch
 //	pinatubo -inspect            # print geometry and technology tables
 //	pinatubo -showcmds -rows 4   # dump the DDR command sequence of the op
 //	pinatubo -waveform           # render the CSA sensing transient (Fig. 6)
@@ -44,7 +45,8 @@ func main() {
 	drift := flag.Float64("drift", 0, "seconds of resistance drift before sensing (0 = fresh cells)")
 	verify := flag.String("verify", "auto", "verification mode: auto, off, readback, ecc")
 	plan := flag.Int("plan", 0, "plan concurrency headroom for -op at -faultrate with up to this many in-flight operations, instead of executing")
-	arb := flag.String("arb", "fifo", "channel arbitration policy for -plan: fifo, oldest-ready")
+	arb := flag.String("arb", "fifo", "channel arbitration policy for -plan and -batch: fifo, oldest-ready")
+	batch := flag.Int("batch", 0, "execute this many -op operations as one scheduled batch on a bank-spread geometry, instead of one at a time")
 	flag.Parse()
 
 	fc := pinatubo.FaultConfig{
@@ -68,6 +70,13 @@ func main() {
 	}
 	if *plan > 0 {
 		if err := runPlan(*op, *plan, *tech, fc, *verify, *arb); err != nil {
+			fmt.Fprintln(os.Stderr, "pinatubo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *batch > 0 {
+		if err := runBatch(*op, *rows, *batch, *tech, *seed, fc, *verify, *arb); err != nil {
 			fmt.Fprintln(os.Stderr, "pinatubo:", err)
 			os.Exit(1)
 		}
@@ -108,15 +117,9 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 		return err
 	}
 	cfg.Resilience.Verify = mode
-	switch strings.ToLower(techName) {
-	case "pcm":
-		cfg.Tech = pinatubo.PCM
-	case "stt", "stt-mram":
-		cfg.Tech = pinatubo.STTMRAM
-	case "reram":
-		cfg.Tech = pinatubo.ReRAM
-	default:
-		return fmt.Errorf("unknown technology %q", techName)
+	cfg.Tech, err = parseTech(techName)
+	if err != nil {
+		return err
 	}
 	sys, err := pinatubo.New(cfg)
 	if err != nil {
@@ -225,6 +228,48 @@ func run(opName string, rows, bits int, techName string, inspect bool, seed int6
 	return nil
 }
 
+// parseTech maps the -tech flag onto the public technology enum.
+func parseTech(name string) (pinatubo.Tech, error) {
+	switch strings.ToLower(name) {
+	case "pcm":
+		return pinatubo.PCM, nil
+	case "stt", "stt-mram":
+		return pinatubo.STTMRAM, nil
+	case "reram":
+		return pinatubo.ReRAM, nil
+	default:
+		return 0, fmt.Errorf("unknown technology %q", name)
+	}
+}
+
+// parseOp maps the -op flag onto the public operation enum.
+func parseOp(name string) (pinatubo.Op, error) {
+	switch strings.ToLower(name) {
+	case "or":
+		return pinatubo.OpOr, nil
+	case "and":
+		return pinatubo.OpAnd, nil
+	case "xor":
+		return pinatubo.OpXor, nil
+	case "not":
+		return pinatubo.OpNot, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q", name)
+	}
+}
+
+// parseArb maps the -arb flag onto the public arbitration enum.
+func parseArb(name string) (pinatubo.Arbiter, error) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return pinatubo.ArbFIFO, nil
+	case "oldest-ready", "oldestready":
+		return pinatubo.ArbOldestReady, nil
+	default:
+		return 0, fmt.Errorf("unknown arbiter %q", name)
+	}
+}
+
 // runPlan answers "how many of these should I keep in flight?" through the
 // public planning API: the op's command traces (including any resilience
 // expansions at the requested fault rate) replayed through the channel
@@ -237,37 +282,17 @@ func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultC
 		return err
 	}
 	cfg.Resilience.Verify = mode
-	switch strings.ToLower(techName) {
-	case "pcm":
-		cfg.Tech = pinatubo.PCM
-	case "stt", "stt-mram":
-		cfg.Tech = pinatubo.STTMRAM
-	case "reram":
-		cfg.Tech = pinatubo.ReRAM
-	default:
-		return fmt.Errorf("unknown technology %q", techName)
+	cfg.Tech, err = parseTech(techName)
+	if err != nil {
+		return err
 	}
-	var op pinatubo.Op
-	switch strings.ToLower(opName) {
-	case "or":
-		op = pinatubo.OpOr
-	case "and":
-		op = pinatubo.OpAnd
-	case "xor":
-		op = pinatubo.OpXor
-	case "not":
-		op = pinatubo.OpNot
-	default:
-		return fmt.Errorf("unknown op %q", opName)
+	op, err := parseOp(opName)
+	if err != nil {
+		return err
 	}
-	var arb pinatubo.Arbiter
-	switch strings.ToLower(arbName) {
-	case "fifo":
-		arb = pinatubo.ArbFIFO
-	case "oldest-ready", "oldestready":
-		arb = pinatubo.ArbOldestReady
-	default:
-		return fmt.Errorf("unknown arbiter %q", arbName)
+	arb, err := parseArb(arbName)
+	if err != nil {
+		return err
 	}
 	sys, err := pinatubo.New(cfg)
 	if err != nil {
@@ -291,6 +316,109 @@ func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultC
 	}
 	fmt.Printf("  saturates at %d in flight, headroom %.2fx over one at a time\n",
 		rep.SaturationPoint, rep.Headroom)
+	return nil
+}
+
+// runBatch executes n operations of the requested shape as one scheduled
+// batch through the public System.Batch API, on a single-channel geometry
+// with one subarray per bank so each operation's rows land in their own
+// bank and the event-driven scheduler can overlap them.
+func runBatch(opName string, rows, n int, techName string, seed int64, fc pinatubo.FaultConfig, verifyName, arbName string) error {
+	cfg := pinatubo.DefaultConfig()
+	cfg.Fault = fc
+	mode, err := parseVerify(verifyName)
+	if err != nil {
+		return err
+	}
+	cfg.Resilience.Verify = mode
+	cfg.Tech, err = parseTech(techName)
+	if err != nil {
+		return err
+	}
+	op, err := parseOp(opName)
+	if err != nil {
+		return err
+	}
+	arb, err := parseArb(arbName)
+	if err != nil {
+		return err
+	}
+	cfg.Geometry = memarch.Geometry{
+		Channels:         1,
+		RanksPerChannel:  1,
+		ChipsPerRank:     8,
+		BanksPerChip:     16,
+		SubarraysPerBank: 1,
+		MatsPerSubarray:  16,
+		RowsPerSubarray:  256,
+		MatRowBits:       4096,
+		MuxRatio:         32,
+	}
+	sys, err := pinatubo.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	nsrc := rows
+	switch op {
+	case pinatubo.OpAnd, pinatubo.OpXor:
+		nsrc = 2
+	case pinatubo.OpNot:
+		nsrc = 1
+	default:
+		if nsrc < 1 {
+			return fmt.Errorf("or needs at least 1 row")
+		}
+		if nsrc > sys.MaxORRows() {
+			nsrc = sys.MaxORRows()
+		}
+	}
+
+	bits := sys.RowBits()
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]uint64, (bits+63)/64)
+	ops := make([]pinatubo.BatchOp, n)
+	for i := range ops {
+		srcs, err := sys.AllocGroup(nsrc, bits)
+		if err != nil {
+			return fmt.Errorf("allocating op %d (the spread geometry holds 16 one-op banks): %w", i, err)
+		}
+		for _, v := range srcs {
+			for j := range words {
+				words[j] = rng.Uint64()
+			}
+			if _, err := sys.Write(v, words); err != nil {
+				return err
+			}
+		}
+		dst, err := sys.Alloc(bits)
+		if err != nil {
+			return err
+		}
+		ops[i] = pinatubo.BatchOp{Op: op, Dst: dst, Srcs: srcs}
+		// Pad out the rest of the subarray (its last row is scratch) so the
+		// next op's rows land in the next bank instead of packing behind
+		// this op and serialising on its bank resource.
+		usable := cfg.Geometry.RowsPerSubarray - 1
+		if pad := usable - (nsrc + 1); pad > 0 && i < n-1 {
+			if _, err := sys.AllocGroup(pad, bits); err != nil {
+				return err
+			}
+		}
+	}
+
+	br, err := sys.BatchWith(ops, arb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch: %d × %v over %d row(s) of %d bits on %v, %v arbitration\n",
+		n, op, nsrc, bits, cfg.Tech, br.Arb)
+	for i, r := range br.Results {
+		fmt.Printf("  op %-3d class %-14s latency %10v  done at %10v\n",
+			i, r.Class, r.Latency, br.Completion[i])
+	}
+	fmt.Printf("  sequential %v, makespan %v, speedup %.2fx, %d shard(s)\n",
+		br.Sequential, br.Makespan, br.Speedup, br.Shards)
 	return nil
 }
 

@@ -71,7 +71,8 @@ func ParallelR(rs ...float64) float64 {
 
 // BLResistance returns the nominal bitline equivalent resistance when
 // `ones` cells in the low-resistance state and `zeros` cells in the
-// high-resistance state are activated together.
+// high-resistance state are activated together. Panics on negative or
+// all-zero cell counts — callers derive them from validated row sets.
 func BLResistance(c nvm.CellParams, ones, zeros int) float64 {
 	if ones < 0 || zeros < 0 || ones+zeros == 0 {
 		panic(fmt.Sprintf("analog: bad cell counts ones=%d zeros=%d", ones, zeros))
@@ -111,7 +112,8 @@ func RefRead(c nvm.CellParams) float64 { return math.Sqrt(c.RLow * c.RHigh) }
 // RefOR returns the reference resistance for an n-row OR (Fig. 5b's
 // Rref-or generalised): the geometric midpoint between the weakest "1"
 // pattern (one low cell, n-1 high cells) and the strongest "0" pattern
-// (n high cells).
+// (n high cells). Panics for n < 2 — a multi-row reference is meaningless
+// below two operands.
 func RefOR(c nvm.CellParams, n int) float64 {
 	if n < 2 {
 		panic(fmt.Sprintf("analog: RefOR needs n>=2, got %d", n))
@@ -123,7 +125,7 @@ func RefOR(c nvm.CellParams, n int) float64 {
 
 // RefAND returns the reference resistance for an n-row AND: the geometric
 // midpoint between the all-ones pattern and the strongest not-all-ones
-// pattern (n-1 low cells, one high cell).
+// pattern (n-1 low cells, one high cell). Panics for n < 2, like RefOR.
 func RefAND(c nvm.CellParams, n int) float64 {
 	if n < 2 {
 		panic(fmt.Sprintf("analog: RefAND needs n>=2, got %d", n))
@@ -137,6 +139,7 @@ func RefAND(c nvm.CellParams, n int) float64 {
 // the gap between the weakest "1" (one low-resistance cell among n-1 high)
 // and the strongest "0" (all n high), after process variation. A margin
 // below cfg.OffsetTol means the SA cannot resolve the operation reliably.
+// Panics for n < 2, like RefOR.
 func ORMargin(cfg SenseConfig, c nvm.CellParams, n int) float64 {
 	if n < 2 {
 		panic(fmt.Sprintf("analog: ORMargin needs n>=2, got %d", n))
@@ -147,7 +150,8 @@ func ORMargin(cfg SenseConfig, c nvm.CellParams, n int) float64 {
 }
 
 // ANDMargin returns the worst-case relative current margin of an n-row AND:
-// the gap between all-ones and (n-1) ones + one zero.
+// the gap between all-ones and (n-1) ones + one zero. Panics for n < 2,
+// like RefOR.
 func ANDMargin(cfg SenseConfig, c nvm.CellParams, n int) float64 {
 	if n < 2 {
 		panic(fmt.Sprintf("analog: ANDMargin needs n>=2, got %d", n))
@@ -199,6 +203,7 @@ func MaxANDRows(cfg SenseConfig, p nvm.Params, limit int) (int, error) {
 // SenseOR resolves an n-row OR for the given cell values through the
 // current comparison (not through boolean logic): it draws the nominal
 // bitline current for the pattern and compares it against the OR reference.
+// Panics on fewer than 2 cells.
 func SenseOR(cfg SenseConfig, c nvm.CellParams, cells []bool) bool {
 	ones, zeros := countCells(cells)
 	if ones+zeros < 2 {
@@ -209,7 +214,8 @@ func SenseOR(cfg SenseConfig, c nvm.CellParams, cells []bool) bool {
 	return iBL > iRef
 }
 
-// SenseAND resolves an n-row AND through the current comparison.
+// SenseAND resolves an n-row AND through the current comparison. Panics on
+// fewer than 2 cells, like SenseOR.
 func SenseAND(cfg SenseConfig, c nvm.CellParams, cells []bool) bool {
 	ones, zeros := countCells(cells)
 	if ones+zeros < 2 {
@@ -269,6 +275,9 @@ func MonteCarloAND(cfg SenseConfig, c nvm.CellParams, n, trials int, rng *rand.R
 	return monteCarlo(cfg, c, n, trials, rng, false)
 }
 
+// monteCarlo samples per-cell resistance variation and counts sensing
+// failures. Panics for n < 2 — the exported wrappers share RefOR's
+// two-operand floor.
 func monteCarlo(cfg SenseConfig, c nvm.CellParams, n, trials int, rng *rand.Rand, isOR bool) MonteCarloResult {
 	if n < 2 {
 		panic("analog: monte carlo needs n>=2")

@@ -81,7 +81,9 @@ type Hierarchy struct {
 }
 
 // NewHierarchy builds the paper's Haswell-class hierarchy: 32 KB 8-way L1,
-// 256 KB 8-way L2, 6 MB 12-way L3, 64 B lines.
+// 256 KB 8-way L2, 6 MB 12-way L3, 64 B lines. Panics only if NewCache
+// rejects these built-in parameters — impossible unless its validation
+// changes out from under the constants.
 func NewHierarchy() *Hierarchy {
 	l1, err := NewCache(32<<10, 8, 64)
 	if err != nil {

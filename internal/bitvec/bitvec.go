@@ -92,6 +92,8 @@ func (v *Vector) clearTail() {
 	}
 }
 
+// checkIndex panics if i is outside [0, nbits) — the API's index contract,
+// like a slice bounds check.
 func (v *Vector) checkIndex(i int) {
 	if i < 0 || i >= v.nbits {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.nbits))
@@ -150,6 +152,8 @@ func (v *Vector) CopyFrom(src *Vector) {
 	copy(v.words, src.words)
 }
 
+// mustMatch panics on an operand length mismatch — a caller bug, never a
+// data condition.
 func (v *Vector) mustMatch(o *Vector) {
 	if v.nbits != o.nbits {
 		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.nbits, o.nbits))
@@ -337,6 +341,8 @@ func (v *Vector) ClearRange(lo, hi int) {
 	v.rangeOp(lo, hi, func(i int, mask uint64) { v.words[i] &^= mask })
 }
 
+// rangeOp applies a masked word operation over bits [lo, hi). Panics on a
+// bad range, mirroring slice-expression semantics.
 func (v *Vector) rangeOp(lo, hi int, apply func(i int, mask uint64)) {
 	if lo < 0 || hi > v.nbits || lo > hi {
 		panic(fmt.Sprintf("bitvec: bad range [%d,%d) for length %d", lo, hi, v.nbits))
@@ -358,7 +364,8 @@ func (v *Vector) rangeOp(lo, hi int, apply func(i int, mask uint64)) {
 	apply(hiW, hiMask)
 }
 
-// CountRange returns the number of set bits in [lo, hi).
+// CountRange returns the number of set bits in [lo, hi). Panics on a bad
+// range, mirroring slice-expression semantics.
 func (v *Vector) CountRange(lo, hi int) int {
 	if lo < 0 || hi > v.nbits || lo > hi {
 		panic(fmt.Sprintf("bitvec: bad range [%d,%d) for length %d", lo, hi, v.nbits))

@@ -1,9 +1,10 @@
-package chansim
+package chansim_test
 
 import (
 	"math"
 	"testing"
 
+	"pinatubo/internal/chansim"
 	"pinatubo/internal/ddr"
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/nvm"
@@ -14,12 +15,12 @@ import (
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestSingleRequestMatchesDuration(t *testing.T) {
-	r := Request{Name: "one", Cmds: []Cmd{
+	r := chansim.Request{Name: "one", Cmds: []chansim.Cmd{
 		{Issue: 1, Exec: 10, Resource: 0},
 		{Issue: 1, Exec: 5, Resource: 0},
 		{Issue: 1, Exec: 0, Resource: -1},
 	}}
-	res, err := Schedule([]Request{r})
+	res, err := chansim.Schedule([]chansim.Request{r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,13 +35,13 @@ func TestSingleRequestMatchesDuration(t *testing.T) {
 func TestTwoBanksOverlap(t *testing.T) {
 	// Two requests on different banks overlap almost fully: the makespan
 	// approaches one request's duration plus the issue-slot skew.
-	mk := func(bank int) Request {
-		return Request{Cmds: []Cmd{
+	mk := func(bank int) chansim.Request {
+		return chansim.Request{Cmds: []chansim.Cmd{
 			{Issue: 1, Exec: 100, Resource: bank},
 			{Issue: 1, Exec: 100, Resource: bank},
 		}}
 	}
-	res, err := Schedule([]Request{mk(0), mk(1)})
+	res, err := chansim.Schedule([]chansim.Request{mk(0), mk(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,10 +54,10 @@ func TestTwoBanksOverlap(t *testing.T) {
 }
 
 func TestSameBankSerialises(t *testing.T) {
-	mk := func() Request {
-		return Request{Cmds: []Cmd{{Issue: 1, Exec: 100, Resource: 7}}}
+	mk := func() chansim.Request {
+		return chansim.Request{Cmds: []chansim.Cmd{{Issue: 1, Exec: 100, Resource: 7}}}
 	}
-	res, err := Schedule([]Request{mk(), mk()})
+	res, err := chansim.Schedule([]chansim.Request{mk(), mk()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,10 +68,10 @@ func TestSameBankSerialises(t *testing.T) {
 
 func TestBusSerialisesIssue(t *testing.T) {
 	// Pure bus commands cannot overlap at all.
-	mk := func() Request {
-		return Request{Cmds: []Cmd{{Issue: 10, Exec: 0, Resource: -1}}}
+	mk := func() chansim.Request {
+		return chansim.Request{Cmds: []chansim.Cmd{{Issue: 10, Exec: 0, Resource: -1}}}
 	}
-	res, err := Schedule([]Request{mk(), mk(), mk()})
+	res, err := chansim.Schedule([]chansim.Request{mk(), mk(), mk()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,13 +84,13 @@ func TestBusSerialisesIssue(t *testing.T) {
 }
 
 func TestNegativeTimesRejected(t *testing.T) {
-	if _, err := Schedule([]Request{{Cmds: []Cmd{{Issue: -1}}}}); err == nil {
+	if _, err := chansim.Schedule([]chansim.Request{{Cmds: []chansim.Cmd{{Issue: -1}}}}); err == nil {
 		t.Error("negative issue accepted")
 	}
 }
 
 func TestEmptySchedule(t *testing.T) {
-	res, err := Schedule(nil)
+	res, err := chansim.Schedule(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,12 +100,12 @@ func TestEmptySchedule(t *testing.T) {
 }
 
 func TestThroughputCurveMonotone(t *testing.T) {
-	template := Request{Cmds: []Cmd{
+	template := chansim.Request{Cmds: []chansim.Cmd{
 		{Issue: 1, Exec: 50, Resource: 0},
 		{Issue: 1, Exec: 150, Resource: 0},
 	}}
 	ks := []int{1, 2, 4, 8}
-	curve, err := ThroughputCurve(template, ks)
+	curve, err := chansim.ThroughputCurve(template, ks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestThroughputCurveMonotone(t *testing.T) {
 	if curve[3] < 7*curve[0] {
 		t.Errorf("k=8 speedup only %.1fx", curve[3]/curve[0])
 	}
-	if _, err := ThroughputCurve(template, []int{0}); err == nil {
+	if _, err := chansim.ThroughputCurve(template, []int{0}); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
@@ -126,8 +127,8 @@ func TestThroughputCurveMonotone(t *testing.T) {
 func TestSaturationPoint(t *testing.T) {
 	// Bus-bound template: issue dominates, so extra in-flight requests add
 	// nothing — saturation at k=1.
-	busBound := Request{Cmds: []Cmd{{Issue: 100, Exec: 100, Resource: 0}}}
-	k, err := SaturationPoint(busBound, []int{1, 2, 4}, 0.05)
+	busBound := chansim.Request{Cmds: []chansim.Cmd{{Issue: 100, Exec: 100, Resource: 0}}}
+	k, err := chansim.SaturationPoint(busBound, []int{1, 2, 4}, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,8 +136,8 @@ func TestSaturationPoint(t *testing.T) {
 		t.Errorf("bus-bound saturation at k=%d want 1", k)
 	}
 	// Bank-bound template: scales far beyond 4.
-	bankBound := Request{Cmds: []Cmd{{Issue: 1, Exec: 1000, Resource: 0}}}
-	k, err = SaturationPoint(bankBound, []int{1, 2, 4, 8}, 0.05)
+	bankBound := chansim.Request{Cmds: []chansim.Cmd{{Issue: 1, Exec: 1000, Resource: 0}}}
+	k, err = chansim.SaturationPoint(bankBound, []int{1, 2, 4, 8}, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,14 +166,14 @@ func TestPinatuboOpConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 	tech := nvm.Get(nvm.PCM)
-	req := FromDDR("or2", res.Commands, tech.Timing, ddr.DefaultBus(), 8)
+	req := chansim.FromDDR("or2", res.Commands, tech.Timing, ddr.DefaultBus(), 8)
 
 	// Standalone duration must agree with the controller's own pricing.
 	if !approx(req.Duration(), res.Seconds, res.Seconds*0.05) {
 		t.Errorf("chansim duration %.4g vs controller %.4g", req.Duration(), res.Seconds)
 	}
 
-	curve, err := ThroughputCurve(req, []int{1, 4, 8})
+	curve, err := chansim.ThroughputCurve(req, []int{1, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestFromDDRMapsResources(t *testing.T) {
 		{Kind: ddr.CmdAct, Addr: memarch.RowAddr{Bank: 3}},
 		{Kind: ddr.CmdRd, Bits: 8192},
 	}
-	req := FromDDR("x", cmds, tech.Timing, ddr.DefaultBus(), 8)
+	req := chansim.FromDDR("x", cmds, tech.Timing, ddr.DefaultBus(), 8)
 	if req.Cmds[0].Resource != -1 {
 		t.Error("MRS should be bus-only")
 	}

@@ -7,6 +7,8 @@ import (
 	"testing"
 )
 
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
 // legacySchedule is the original fixed-sequence single-channel greedy
 // scheduler, kept verbatim as the reference the event-driven engine must
 // reproduce bit-identically under ArbFIFO.

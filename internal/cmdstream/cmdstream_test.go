@@ -1,0 +1,108 @@
+package cmdstream
+
+import (
+	"testing"
+
+	"pinatubo/internal/chansim"
+	"pinatubo/internal/ddr"
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
+	"pinatubo/internal/workload"
+)
+
+func TestKindString(t *testing.T) {
+	if KindRequest.String() != "request" || KindVerify.String() != "verify" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Errorf("unknown kind = %q", Kind(7).String())
+	}
+	if Kind(-3).String() != "Kind(-3)" {
+		t.Errorf("negative kind = %q", Kind(-3).String())
+	}
+}
+
+func TestProgramFold(t *testing.T) {
+	var p Program
+	p.Emit(Instr{Kind: KindRequest, Seconds: 1e-7, Joules: 3e-9})
+	p.Emit(Instr{Kind: KindVerify, Seconds: 2e-7, Joules: 5e-9})
+	var q Program
+	q.Emit(Instr{Kind: KindRequest, Seconds: 4e-7, Joules: 7e-9})
+	p.Append(q)
+
+	if p.Len() != 3 {
+		t.Fatalf("Len=%d want 3", p.Len())
+	}
+	if p.Requests() != 2 {
+		t.Errorf("Requests=%d want 2 (verify passes are not requests)", p.Requests())
+	}
+	// The fold must replay the exact float-addition order of the live
+	// accounting it replaced.
+	var want workload.Cost
+	for _, in := range p.Instrs {
+		want.Add(workload.Cost{Seconds: in.Seconds, Joules: in.Joules})
+	}
+	if got := p.Cost(); got != want {
+		t.Errorf("Cost=%+v want %+v", got, want)
+	}
+}
+
+func TestProgramChannel(t *testing.T) {
+	var empty Program
+	if empty.Channel() != 0 {
+		t.Error("empty program channel != 0")
+	}
+	// MRS commands carry no bank address; the first addressed command wins.
+	var p Program
+	p.Emit(Instr{Kind: KindRequest, Cmds: []ddr.Cmd{
+		{Kind: ddr.CmdMRS},
+		{Kind: ddr.CmdAct, Addr: memarch.RowAddr{Channel: 2, Bank: 5}},
+	}})
+	if p.Channel() != 2 {
+		t.Errorf("Channel=%d want 2", p.Channel())
+	}
+	var v Program
+	v.Emit(Instr{Kind: KindVerify, Addr: memarch.RowAddr{Channel: 3}, Seconds: 1e-8})
+	if v.Channel() != 3 {
+		t.Errorf("verify-only Channel=%d want 3", v.Channel())
+	}
+}
+
+func TestProgramRequestLowering(t *testing.T) {
+	timing := nvm.Get(nvm.PCM).Timing
+	bus := ddr.DefaultBus()
+	const banks = 8
+	cmds := []ddr.Cmd{
+		{Kind: ddr.CmdMRS},
+		{Kind: ddr.CmdAct, Addr: memarch.RowAddr{Bank: 3}},
+		{Kind: ddr.CmdPre, Addr: memarch.RowAddr{Bank: 3}},
+	}
+	var p Program
+	p.Emit(Instr{Kind: KindRequest, Cmds: cmds, Seconds: 1e-7})
+	p.Emit(Instr{Kind: KindVerify, Addr: memarch.RowAddr{Bank: 3}, Seconds: 5e-8})
+	p.Emit(Instr{Kind: KindVerify, Addr: memarch.RowAddr{Bank: 3}, Seconds: 0, Joules: 1e-9})
+
+	req := p.Request("op", timing, bus, banks)
+	if req.Name != "op" || req.Channel != 0 {
+		t.Errorf("req name/channel = %q/%d", req.Name, req.Channel)
+	}
+	ref := chansim.FromDDR("op", cmds, timing, bus, banks)
+	if len(req.Cmds) != len(ref.Cmds)+1 {
+		t.Fatalf("lowered %d cmds, want %d FromDDR cmds + 1 verify slot (zero-second verify must be skipped)",
+			len(req.Cmds), len(ref.Cmds))
+	}
+	for i, c := range ref.Cmds {
+		if req.Cmds[i] != c {
+			t.Errorf("cmd %d = %+v, FromDDR prices %+v", i, req.Cmds[i], c)
+		}
+	}
+	last := req.Cmds[len(req.Cmds)-1]
+	want := chansim.Cmd{
+		Issue:    timing.TCMD,
+		Exec:     5e-8,
+		Resource: chansim.BankResource(memarch.RowAddr{Bank: 3}, banks),
+	}
+	if last != want {
+		t.Errorf("verify slot = %+v want %+v", last, want)
+	}
+}

@@ -107,7 +107,8 @@ func Duration(cmds []Cmd, t nvm.Timing, bus BusParams) float64 {
 }
 
 // CmdTime prices a single command (the execution time its target resource
-// is busy for).
+// is busy for). Panics on an unknown command kind — an exhaustiveness bug
+// when the command set grows, never a data condition.
 func CmdTime(c Cmd, t nvm.Timing, bus BusParams) float64 {
 	switch c.Kind {
 	case CmdMRS, CmdActLatch, CmdPre:

@@ -75,7 +75,9 @@ func New(dataBits int) (*Codec, error) {
 	return c, nil
 }
 
-// Default returns the (72,64) codec used by the controller.
+// Default returns the (72,64) codec used by the controller. Panics only if
+// New rejects the built-in width — impossible unless New's validation
+// changes out from under this constant.
 func Default() *Codec {
 	c, err := New(64)
 	if err != nil {

@@ -55,8 +55,9 @@ type Meter struct {
 	joules [numComponents]float64
 }
 
-// Add charges j joules to component c. Negative charges panic: they always
-// indicate a sign error in a model, never a meaningful event.
+// Add charges j joules to component c. Negative charges and unknown
+// components panic: they always indicate a sign or enum error in a model,
+// never a meaningful event.
 func (m *Meter) Add(c Component, j float64) {
 	if j < 0 {
 		panic(fmt.Sprintf("energy: negative charge %g J to %v", j, c))

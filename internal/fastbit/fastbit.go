@@ -143,6 +143,9 @@ func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
 
 // bitmapID returns the logical PIM bit-vector ID of (column, bin): columns'
 // bitmap sets are allocated back to back by pim_malloc.
+// bitmapID flattens (column, bin) to a dense bitmap index. Panics on an
+// unknown column name — the schema is fixed at table construction, so a
+// miss is a harness bug.
 func (t *Table) bitmapID(col string, bin int) int {
 	base := 0
 	for _, name := range t.order {

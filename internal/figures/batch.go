@@ -1,0 +1,203 @@
+package figures
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"pinatubo"
+	"pinatubo/internal/memarch"
+)
+
+// This file holds the batch-execution sweep: System.Batch exercised over a
+// widening op mix on a geometry that spreads operations across banks, so
+// the event-driven scheduler can overlap them. Each point is cross-checked
+// against the planner: at fault rate 0 the batch makespan must reproduce
+// PlanWith's prediction bit-identically — the two share one lowering path
+// through the cmdstream IR, so a mismatch is a scheduler bug, not noise.
+
+// DefaultBatchKs is the batch-size sweep cmd/figures runs.
+var DefaultBatchKs = []int{1, 2, 4, 8, 16}
+
+// BatchRow is one batch-size point of the sweep.
+type BatchRow struct {
+	// K is the number of deep-OR operations in the batch.
+	K int
+	// Shards is how many isolated memory shards the data effects ran on.
+	Shards int
+	// Sequential is the back-to-back time of the K requests with no
+	// overlap.
+	Sequential time.Duration
+	// Makespan is the scheduled end-to-end time of the batch.
+	Makespan time.Duration
+	// Speedup is Sequential / Makespan.
+	Speedup float64
+	// PlanMakespan is what PlanWith predicted for K in-flight ops of this
+	// shape, and PlanMatch whether the batch reproduced it bit-identically.
+	PlanMakespan time.Duration
+	PlanMatch    bool
+}
+
+// batchSpreadGeometry is a single-channel, single-rank organisation with
+// one subarray per bank, so consecutive full-row allocation groups land in
+// consecutive banks and a K-op batch exercises K independent bank
+// resources.
+func batchSpreadGeometry() memarch.Geometry {
+	return memarch.Geometry{
+		Channels:         1,
+		RanksPerChannel:  1,
+		ChipsPerRank:     8,
+		BanksPerChip:     16,
+		SubarraysPerBank: 1,
+		MatsPerSubarray:  16,
+		RowsPerSubarray:  256,
+		MatRowBits:       4096,
+		MuxRatio:         32,
+	}
+}
+
+// batchDeepORs allocates k maximally-deep full-row OR operations, one per
+// bank, on a fresh spread-geometry system.
+func batchDeepORs(k int) (*pinatubo.System, []pinatubo.BatchOp, error) {
+	cfg := pinatubo.DefaultConfig()
+	cfg.Geometry = batchSpreadGeometry()
+	sys, err := pinatubo.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := make([]pinatubo.BatchOp, k)
+	for i := range ops {
+		srcs, err := sys.AllocGroup(sys.MaxORRows(), sys.RowBits())
+		if err != nil {
+			return nil, nil, err
+		}
+		dst, err := sys.Alloc(sys.RowBits())
+		if err != nil {
+			return nil, nil, err
+		}
+		ops[i] = pinatubo.BatchOp{Op: pinatubo.OpOr, Dst: dst, Srcs: srcs}
+	}
+	return sys, ops, nil
+}
+
+// BatchSweep runs a K-deep-OR batch at each batch size and cross-checks
+// every makespan against the planner's prediction.
+func BatchSweep(ks []int) ([]BatchRow, error) {
+	var out []BatchRow
+	for _, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("figures: batch size %d", k)
+		}
+		sys, ops, err := batchDeepORs(k)
+		if err != nil {
+			return nil, err
+		}
+		br, err := sys.BatchWith(ops, pinatubo.ArbFIFO)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.PlanWith(pinatubo.OpOr, k, 0, pinatubo.ArbFIFO)
+		if err != nil {
+			return nil, err
+		}
+		plan := rep.Points[len(rep.Points)-1].Makespan
+		out = append(out, BatchRow{
+			K:            k,
+			Shards:       br.Shards,
+			Sequential:   br.Sequential,
+			Makespan:     br.Makespan,
+			Speedup:      br.Speedup,
+			PlanMakespan: plan,
+			PlanMatch:    br.Makespan == plan,
+		})
+	}
+	return out, nil
+}
+
+// FormatBatch renders the sweep as an aligned text table.
+func FormatBatch(rows []BatchRow) string {
+	var sb strings.Builder
+	sb.WriteString("Batch execution — K deep ORs spread across banks, one scheduled batch\n")
+	sb.WriteString("  (makespan cross-checked bit-identically against PlanWith at every K)\n")
+	for _, r := range rows {
+		match := "plan match"
+		if !r.PlanMatch {
+			match = fmt.Sprintf("PLAN MISMATCH (plan %v)", r.PlanMakespan)
+		}
+		fmt.Fprintf(&sb, "  k=%-3d shards %-3d sequential %10v  makespan %10v  speedup %5.2fx  %s\n",
+			r.K, r.Shards, r.Sequential, r.Makespan, r.Speedup, match)
+	}
+	return sb.String()
+}
+
+// WriteBatchCSV emits: k, shards, sequential_s, makespan_s, speedup,
+// plan_match.
+func WriteBatchCSV(w io.Writer, rows []BatchRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"k", "shards", "sequential_s", "makespan_s", "speedup", "plan_match"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.K),
+			strconv.Itoa(r.Shards),
+			strconv.FormatFloat(r.Sequential.Seconds(), 'e', 6, 64),
+			strconv.FormatFloat(r.Makespan.Seconds(), 'e', 6, 64),
+			strconv.FormatFloat(r.Speedup, 'f', 3, 64),
+			strconv.FormatBool(r.PlanMatch),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BatchBenchResult is the CI smoke benchmark: simulated-time throughput of
+// the largest sweep point, sequential vs batched.
+type BatchBenchResult struct {
+	K                   int     `json:"k"`
+	SequentialOpsPerSec float64 `json:"sequential_ops_per_sec"`
+	BatchedOpsPerSec    float64 `json:"batched_ops_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// BatchBench runs the largest default sweep point and reports ops/s in
+// simulated time for the back-to-back and batched schedules.
+func BatchBench() (BatchBenchResult, error) {
+	k := DefaultBatchKs[len(DefaultBatchKs)-1]
+	sys, ops, err := batchDeepORs(k)
+	if err != nil {
+		return BatchBenchResult{}, err
+	}
+	br, err := sys.BatchWith(ops, pinatubo.ArbFIFO)
+	if err != nil {
+		return BatchBenchResult{}, err
+	}
+	res := BatchBenchResult{K: k, Speedup: br.Speedup}
+	if s := br.Sequential.Seconds(); s > 0 {
+		res.SequentialOpsPerSec = float64(k) / s
+	}
+	if m := br.Makespan.Seconds(); m > 0 {
+		res.BatchedOpsPerSec = float64(k) / m
+	}
+	return res, nil
+}
+
+// WriteBatchBenchJSON runs BatchBench and writes its JSON to w (the CI
+// BENCH_batch.json artifact).
+func WriteBatchBenchJSON(w io.Writer) error {
+	res, err := BatchBench()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

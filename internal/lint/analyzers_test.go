@@ -35,3 +35,11 @@ func TestEnumSwitch(t *testing.T) {
 func TestCostPair(t *testing.T) {
 	linttest.Run(t, lint.CostPair, "testdata/src/costpair")
 }
+
+func TestPanicFree(t *testing.T) {
+	linttest.Run(t, lint.PanicFree, "testdata/src/panicfree")
+}
+
+func TestIgnoreReason(t *testing.T) {
+	linttest.Run(t, lint.IgnoreReason, "testdata/src/ignorereason")
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"strings"
+)
+
+// IgnoreReason requires every `//pinlint:ignore` directive to name the
+// analyzers it acknowledges and to carry a non-empty reason. A directive is
+// a reviewed claim that flagged code is deliberate; a bare one is
+// indistinguishable from a silenced warning nobody looked at. Uniquely,
+// this analyzer's findings cannot themselves be suppressed by a directive —
+// otherwise a reasonless `//pinlint:ignore ignorereason` would silence the
+// very check that demands the reason.
+var IgnoreReason = &Analyzer{
+	Name: "ignorereason",
+	Doc: "require //pinlint:ignore directives to name an analyzer and carry a non-empty " +
+		"reason (directives cannot suppress this analyzer)",
+	Run: runIgnoreReason,
+}
+
+func runIgnoreReason(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue // prose mentioning the directive, not a directive
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				// A field opening a nested comment is not a real analyzer
+				// name or reason — it is where the directive's content ends
+				// (fixtures use this to attach expectations).
+				if len(fields) == 0 || strings.HasPrefix(fields[0], "//") {
+					pass.reportAlways(c.Pos(),
+						"bare //pinlint:ignore directive: name the acknowledged analyzer(s) and give a reason")
+					continue
+				}
+				reason := fields[1:]
+				if len(reason) == 0 || strings.HasPrefix(reason[0], "//") {
+					pass.reportAlways(c.Pos(),
+						"//pinlint:ignore %s has no reason; a directive is a reviewed claim — say why the finding is deliberate",
+						fields[0])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -7,18 +7,21 @@
 // scheduler bit-identical to the legacy loop — and the invariants that make
 // those claims hold (seeded RNG only, no wall clock, no map-iteration-order
 // leaking into results, no float == in cost math, %w-wrapped sentinels,
-// exhaustive enum switches, trace segments paired with cost accounting) are
-// what these analyzers machine-check. cmd/pinlint runs the suite over the
-// module; each analyzer has positive and negative fixtures under
-// testdata/src driven by the linttest harness.
+// exhaustive enum switches, trace segments paired with cost accounting,
+// no undocumented panics in library packages) are what these analyzers
+// machine-check. cmd/pinlint runs the suite over the module; each analyzer
+// has positive and negative fixtures under testdata/src driven by the
+// linttest harness.
 //
 // A finding can be acknowledged in place with a directive comment
 //
 //	//pinlint:ignore <analyzer> <reason>
 //
 // on the same line, the line above, or in the doc comment of the enclosing
-// function declaration. The reason is mandatory by convention: a directive
-// is a reviewed claim that the flagged code is deliberate.
+// function declaration. The reason is mandatory and machine-checked (the
+// ignorereason analyzer): a directive is a reviewed claim that the flagged
+// code is deliberate, and a bare one is indistinguishable from a silenced
+// warning nobody looked at.
 package lint
 
 import (
@@ -73,6 +76,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportAlways records a finding regardless of ignore directives. Only the
+// directive hygiene analyzer uses it: a directive must not be able to
+// suppress the check that validates directives.
+func (p *Pass) reportAlways(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -186,5 +200,7 @@ func All() []*Analyzer {
 		WrapErr,
 		EnumSwitch,
 		CostPair,
+		PanicFree,
+		IgnoreReason,
 	}
 }

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// panicsDoc matches the Go convention for a documented panicking contract:
+// a doc-comment sentence containing the word "panics" (as in "Panics if n
+// is negative." or "It panics when ..."). A function that declares its
+// panic this way has made the crash part of its API — a programmer-error
+// assertion like the stdlib's — and is exempt.
+var panicsDoc = regexp.MustCompile(`\b[Pp]anics?\b`)
+
+// PanicFree bans panic in library code under internal/: the simulator is
+// embedded by CLIs, figure harnesses and tests, and an undocumented panic
+// in a leaf package tears the whole process down instead of surfacing as
+// an error the resilience layer (or the caller) could handle. A panic is
+// legitimate only as a documented programmer-error assertion: either the
+// enclosing function's doc comment says "Panics ..." (the stdlib
+// convention), or the site carries a `//pinlint:ignore panicfree <reason>`
+// directive.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc: "ban panic in library packages under internal/; document the contract with a " +
+		"\"Panics ...\" doc sentence or return an error",
+	Run: runPanicFree,
+}
+
+func runPanicFree(pass *Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "/internal/") {
+		return nil // public API, commands, examples: not a library leaf
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && fd.Doc != nil && panicsDoc.MatchString(fd.Doc.Text()) {
+				continue // documented panicking contract
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+					return true // shadowed identifier, not the builtin
+				}
+				where := "package-level initialiser"
+				if isFunc {
+					where = fd.Name.Name
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library code (%s); return an error, or document the assertion "+
+						"with a \"Panics ...\" doc sentence", where)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package ignorereasontest exercises the ignorereason analyzer. The
+// positives embed their `// want` expectations inside the directive
+// comment itself: the nested `//` both ends the directive's content (so
+// the reason really is empty) and carries the expectation the harness
+// matches. The suppression-proof property is asserted the same way — a
+// reasonless directive naming ignorereason (or all) is still reported.
+package ignorereasontest
+
+func covered(a, b float64) bool {
+	//pinlint:ignore floateq tie-break on identical sampled times is deliberate
+	return a == b
+}
+
+func noReason(a, b float64) bool {
+	//pinlint:ignore floateq // want `has no reason`
+	return a == b
+}
+
+func selfSuppressing(a, b float64) bool {
+	//pinlint:ignore ignorereason // want `has no reason`
+	return a == b
+}
+
+func allSuppressing(a, b float64) bool {
+	//pinlint:ignore all // want `has no reason`
+	return a == b
+}
+
+// prose that merely mentions a pinlint:ignore directive is not one.
+func mentioned() {}

@@ -1,0 +1,52 @@
+// Package panicfreetest exercises the panicfree analyzer: an undocumented
+// panic in a library function is a positive; a "Panics ..." doc sentence,
+// an acknowledged directive, and a shadowed panic identifier are negatives.
+// The fixture's import path sits under internal/, so the analyzer's
+// library-path gate admits it.
+package panicfreetest
+
+import "fmt"
+
+func bad(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic in library code \(bad\)`
+	}
+	return n
+}
+
+func badFormatted(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // want `panic in library code \(badFormatted\)`
+	}
+	return n
+}
+
+// goodDocumented clamps its input. Panics if n is negative — callers must
+// validate, exactly like the stdlib's make with a negative length.
+func goodDocumented(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+func goodAcknowledged(n int) int {
+	if n < 0 {
+		//pinlint:ignore panicfree unreachable: every caller validates n at the API boundary
+		panic("negative")
+	}
+	return n
+}
+
+func goodShadowed(n int) int {
+	panic := func(string) {}
+	panic("not the builtin")
+	return n
+}
+
+func goodErroring(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative %d", n)
+	}
+	return n, nil
+}

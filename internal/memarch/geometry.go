@@ -135,7 +135,9 @@ func (g Geometry) Valid(a RowAddr) bool {
 		a.Row >= 0 && a.Row < g.RowsPerSubarray
 }
 
-// Encode flattens a RowAddr to a dense index in [0, TotalRows).
+// Encode flattens a RowAddr to a dense index in [0, TotalRows). Panics on
+// an address outside the geometry — addresses are validated at the API
+// boundary, so an invalid one here is a simulator bug.
 func (g Geometry) Encode(a RowAddr) uint64 {
 	if !g.Valid(a) {
 		panic(fmt.Sprintf("memarch: invalid address %v for geometry", a))
@@ -148,7 +150,8 @@ func (g Geometry) Encode(a RowAddr) uint64 {
 	return idx
 }
 
-// Decode expands a dense row index back to a RowAddr.
+// Decode expands a dense row index back to a RowAddr. Panics on an index
+// outside [0, TotalRows) — the inverse of Encode's contract.
 func (g Geometry) Decode(idx uint64) RowAddr {
 	if idx >= uint64(g.TotalRows()) {
 		panic(fmt.Sprintf("memarch: row index %d out of range", idx))

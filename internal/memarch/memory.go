@@ -2,6 +2,7 @@ package memarch
 
 import (
 	"fmt"
+	"sort"
 
 	"pinatubo/internal/nvm"
 )
@@ -103,6 +104,36 @@ func (m *Memory) WriteRow(addr RowAddr, words []uint64) error {
 
 // MaterializedRows reports how many rows have backing storage (testing aid).
 func (m *Memory) MaterializedRows() int { return len(m.rows) }
+
+// MaterializedAddrs returns the addresses of every row with backing
+// storage, in ascending row-key order (deterministic regardless of map
+// iteration order). The batch executor uses it to copy a shard memory's
+// touched rows back into the live memory.
+func (m *Memory) MaterializedAddrs() []RowAddr {
+	keys := make([]uint64, 0, len(m.rows))
+	for k := range m.rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]RowAddr, len(keys))
+	for i, k := range keys {
+		out[i] = m.geo.Decode(k)
+	}
+	return out
+}
+
+// AbsorbCounters folds another memory's access counters into this one.
+// Shard memories of the batch executor count reads, writes and per-row
+// programs while running concurrently; merging them here (in shard order,
+// after all shards join) keeps the live memory's wear ledger exact — the
+// adds are integer, so no count is dropped or double-applied.
+func (m *Memory) AbsorbCounters(o *Memory) {
+	m.rowReads += o.rowReads
+	m.rowWrites += o.rowWrites
+	for k, v := range o.writeCounts {
+		m.writeCounts[k] += v
+	}
+}
 
 // RowWriteCount returns how many times addr has been programmed.
 func (m *Memory) RowWriteCount(addr RowAddr) int64 {

@@ -131,6 +131,22 @@ func (c *Controller) AttachInjector(in *fault.Injector) { c.inj = in }
 // Injector returns the attached fault injector (nil when none).
 func (c *Controller) Injector() *fault.Injector { return c.inj }
 
+// AbsorbCounters folds another controller's accumulated hardware activity
+// into this one (integer adds — exact under any merge order). The batch
+// executor merges per-shard controller counters through here.
+func (c *Controller) AbsorbCounters(o Counters) {
+	for k, v := range o.Ops {
+		if c.counters.Ops == nil {
+			c.counters.Ops = make(map[Class]int64)
+		}
+		c.counters.Ops[k] += v
+	}
+	c.counters.Activations += o.Activations
+	c.counters.SenseSteps += o.SenseSteps
+	c.counters.Writebacks += o.Writebacks
+	c.counters.BusBits += o.BusBits
+}
+
 // Counters returns a snapshot of the accumulated hardware activity.
 func (c *Controller) Counters() Counters {
 	out := c.counters
@@ -174,6 +190,8 @@ func (c *Controller) Bus() ddr.BusParams { return c.bus }
 func (c *Controller) MaxORRows() int { return c.sa.MaxORRows() }
 
 // ModeRegister returns the current value of the PIM configuration register.
+// Panics only if the built-in PIMRegister index is rejected — a constants
+// bug, never a runtime condition.
 func (c *Controller) ModeRegister() ddr.MR4 {
 	v, err := c.mrs.Read(ddr.PIMRegister)
 	if err != nil {
@@ -251,6 +269,9 @@ func (c *Controller) ExecuteDigital(op sense.Op, srcs []memarch.RowAddr, bits in
 	return c.execute(op, srcs, bits, dst, true)
 }
 
+// execute lowers one operation to a DDR command sequence, prices it, and
+// applies its data effects. Panics if the sequence it built violates the
+// DDR protocol — a controller bug, never a caller error.
 func (c *Controller) execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, digital bool) (*Result, error) {
 	geo := c.mem.Geometry()
 	if bits < 1 || bits > geo.RowBits() {
@@ -299,7 +320,14 @@ func (c *Controller) execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst 
 		return nil, err
 	}
 
-	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdPre})
+	// Close the destination's row (or the computing subarray's when the
+	// result streamed to the host) so the precharge lands on the bank it
+	// occupies in the channel schedule.
+	preAddr := srcs[0]
+	if dst != nil {
+		preAddr = *dst
+	}
+	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdPre, Addr: preAddr})
 	if err := ddr.ValidateSequence(res.Commands); err != nil {
 		// A protocol violation is a controller bug, never a caller error.
 		panic(fmt.Sprintf("pim: invalid command sequence for %v/%v: %v", op, class, err))
@@ -437,7 +465,7 @@ func (c *Controller) execInter(op sense.Op, srcs []memarch.RowAddr, bits int, ds
 		res.Commands = append(res.Commands, ddr.Cmd{Kind: moveKind, Addr: s, Bits: bits})
 		// Close the operand's row before the next serial read (the data is
 		// safe in the accumulation buffer).
-		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdPre})
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdPre, Addr: s})
 		res.Energy.Add(energy.CellArray, fbits*e.ActPerBit)
 		res.Energy.Add(energy.LWLDriver, e.LWLPerAct)
 		res.Energy.Add(energy.SenseAmp, fbits*e.SensePerBit)
@@ -497,7 +525,7 @@ func (c *Controller) writeback(locus memarch.RowAddr, bits int, dst *memarch.Row
 	fbits := float64(bits)
 	if dst == nil {
 		// Burst to the host over the DDR bus.
-		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdRd, Bits: bits})
+		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdRd, Addr: locus, Bits: bits})
 		res.Energy.Add(energy.IOBus, fbits*e.IOBusPerBit)
 		return nil
 	}
@@ -533,7 +561,9 @@ func (c *Controller) ReadRow(addr memarch.RowAddr, bits int) (*Result, error) {
 }
 
 // WriteRowFromHost performs a conventional write of `bits` bits from the
-// host into a row, pricing the bus transfer and cell programming.
+// host into a row, pricing the bus transfer and cell programming. Panics if
+// the fixed ACT/WR/PRE sequence violates the DDR protocol — a controller
+// bug, never a caller error.
 func (c *Controller) WriteRowFromHost(addr memarch.RowAddr, words []uint64, bits int) (*Result, error) {
 	geo := c.mem.Geometry()
 	if bits < 1 || bits > geo.RowBits() {
@@ -549,7 +579,7 @@ func (c *Controller) WriteRowFromHost(addr memarch.RowAddr, words []uint64, bits
 	res.Commands = []ddr.Cmd{
 		{Kind: ddr.CmdAct, Addr: addr},
 		{Kind: ddr.CmdWr, Addr: addr, Bits: bits},
-		{Kind: ddr.CmdPre},
+		{Kind: ddr.CmdPre, Addr: addr},
 	}
 	if err := ddr.ValidateSequence(res.Commands); err != nil {
 		panic(fmt.Sprintf("pim: invalid host-write sequence: %v", err))

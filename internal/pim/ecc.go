@@ -32,6 +32,7 @@ package pim
 
 import (
 	"fmt"
+	"sort"
 
 	"pinatubo/internal/bitvec"
 	"pinatubo/internal/ecc"
@@ -62,6 +63,46 @@ func (c *Controller) ECCEnabled() bool { return c.codec != nil }
 
 // ECCCodec returns the attached codec (nil when ECC is off).
 func (c *Controller) ECCCodec() *ecc.Codec { return c.codec }
+
+// ECCState returns a copy of the stored check-bit entry for addr's row,
+// reporting ok=false when the row has never been ECC-programmed. The batch
+// executor uses it (with SetECCState) to carry spare-column state into and
+// out of per-shard controller stacks.
+func (c *Controller) ECCState(addr memarch.RowAddr) (bits int, words []uint64, ok bool) {
+	entry, ok := c.checks[c.eccSpareKey(addr)]
+	if !ok {
+		return 0, nil, false
+	}
+	cp := make([]uint64, len(entry.words))
+	copy(cp, entry.words)
+	return entry.bits, cp, true
+}
+
+// SetECCState installs (or replaces) the check-bit entry for addr's row,
+// copying words. A no-op when ECC is off.
+func (c *Controller) SetECCState(addr memarch.RowAddr, bits int, words []uint64) {
+	if c.codec == nil {
+		return
+	}
+	cp := make([]uint64, len(words))
+	copy(cp, words)
+	c.checks[c.eccSpareKey(addr)] = eccEntry{bits: bits, words: cp}
+}
+
+// ECCEntries calls fn for every stored check-bit entry in ascending
+// row-key order (deterministic regardless of map iteration order).
+func (c *Controller) ECCEntries(fn func(addr memarch.RowAddr, bits int, words []uint64)) {
+	keys := make([]uint64, 0, len(c.checks))
+	for k := range c.checks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	geo := c.mem.Geometry()
+	for _, k := range keys {
+		entry := c.checks[k]
+		fn(geo.Decode(k), entry.bits, entry.words)
+	}
+}
 
 // ECCCost is the latency/energy bill of one check-bit maintenance step.
 type ECCCost struct {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pinatubo/internal/cmdstream"
 	"pinatubo/internal/ddr"
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/pim"
@@ -281,10 +282,15 @@ type ScheduleResult struct {
 	Cost     workload.Cost
 	Words    []uint64
 
-	// Trace is the ordered command trace of everything this operation put
-	// on the channel, including resilience expansions (retries, depth
-	// splits, ECC reprograms and verification passes). Replaying it
-	// through internal/chansim reproduces the operation's scheduling
+	// Program is the operation's lowered cmdstream program: everything it
+	// put on the channel in execution order, including resilience
+	// expansions (retries, depth splits, ECC reprograms and verification
+	// passes). Requests, Cost and Trace are all derived from it by
+	// finalize — the program is the single source of truth.
+	Program cmdstream.Program
+
+	// Trace is the ordered command trace derived from Program. Replaying
+	// it through internal/chansim reproduces the operation's scheduling
 	// footprint; with resilience off it is exactly the plain controller
 	// command sequence.
 	Trace []TraceSegment
@@ -296,6 +302,30 @@ type ScheduleResult struct {
 	// FinalDst is where the result actually lives; it differs from the
 	// requested destination only when that row was retired mid-operation.
 	FinalDst memarch.RowAddr
+}
+
+// finalize derives the result's accounting — request count, accumulated
+// Cost, TraceSegments — from the lowered program. This is the only place
+// in the runtime that computes them. The cost fold replays the program's
+// annotations in emission order, so it is bit-identical to accumulating
+// during execution; zero-second verify instructions (the linear ECC fast
+// path) contribute energy but no trace segment.
+func (res *ScheduleResult) finalize() {
+	res.Requests = res.Program.Requests()
+	res.Cost = res.Program.Cost()
+	res.Trace = nil
+	for _, in := range res.Program.Instrs {
+		switch in.Kind {
+		case cmdstream.KindRequest:
+			res.Trace = append(res.Trace, TraceSegment{Cmds: in.Cmds})
+		case cmdstream.KindVerify:
+			if in.Seconds > 0 {
+				res.Trace = append(res.Trace, TraceSegment{Seconds: in.Seconds, Addr: in.Addr})
+			}
+		default:
+			// Unknown kinds carry no schedulable footprint.
+		}
+	}
 }
 
 // OR executes the logical OR of the operand rows into dst.
@@ -311,6 +341,7 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 			return nil, err
 		}
 		res.FinalDst = tgt
+		res.finalize()
 		return res, nil
 	}
 
@@ -334,6 +365,7 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 		}
 		if len(groups) == 1 {
 			res.FinalDst = target
+			res.finalize()
 			return res, nil
 		}
 		if target != orig {
@@ -353,6 +385,7 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 	if s.Release != nil && len(borrowed) > 0 {
 		s.Release(borrowed)
 	}
+	res.finalize()
 	return res, nil
 }
 
@@ -408,7 +441,9 @@ func NewMapper(geo memarch.Geometry) (Mapper, error) {
 	return Mapper{geo: geo, usable: geo.RowsPerSubarray - 1}, nil
 }
 
-// RowOf returns the row address of logical vector id.
+// RowOf returns the row address of logical vector id. Panics on a negative
+// id or one past the memory's capacity — ids come from the mapper's own
+// allocator, so either is a runtime bug.
 func (m Mapper) RowOf(id int) memarch.RowAddr {
 	if id < 0 {
 		panic(fmt.Sprintf("pimrt: negative vector id %d", id))

@@ -27,7 +27,6 @@ import (
 	"pinatubo/internal/memarch"
 	"pinatubo/internal/pim"
 	"pinatubo/internal/sense"
-	"pinatubo/internal/workload"
 )
 
 // ErrResilienceExhausted is returned when every rung of the degradation
@@ -91,6 +90,23 @@ type FaultStats struct {
 // FaultStats returns a snapshot of the accumulated resilience activity.
 func (s *Scheduler) FaultStats() FaultStats { return s.stats }
 
+// AbsorbStats folds another scheduler's accumulated resilience activity
+// into this one. The batch executor runs shards on private scheduler
+// stacks and merges their counters back through here, so concurrent
+// execution neither drops nor double-counts retries and corrections.
+func (s *Scheduler) AbsorbStats(o FaultStats) {
+	s.stats.Verifies += o.Verifies
+	s.stats.Retries += o.Retries
+	s.stats.DepthReductions += o.DepthReductions
+	s.stats.InterFallbacks += o.InterFallbacks
+	s.stats.HostFallbacks += o.HostFallbacks
+	s.stats.RowsRetired += o.RowsRetired
+	s.stats.BitsCorrected += o.BitsCorrected
+	s.stats.EccDecodes += o.EccDecodes
+	s.stats.EccCorrectedBits += o.EccCorrectedBits
+	s.stats.EccUncorrectables += o.EccUncorrectables
+}
+
 // Degradation rungs reported in ScheduleResult.Degraded (worst one wins).
 const (
 	DegradedDepthSplit = "depth-split"
@@ -126,27 +142,16 @@ func (s *Scheduler) Execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst m
 		return nil, err
 	}
 	res.FinalDst = tgt
+	res.finalize()
 	return res, nil
 }
 
-// addExec folds one executed controller request into the running result.
-func (res *ScheduleResult) addExec(r *pim.Result) {
-	res.Requests++
-	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
+// record lowers one executed controller request into the running program.
+// Requests, Cost and Trace are all derived from the program by finalize —
+// nothing is accounted by hand here.
+func (res *ScheduleResult) record(r *pim.Result) {
+	res.Program.Emit(r.Instr())
 	res.Words = r.Words
-	res.Trace = append(res.Trace, TraceSegment{Cmds: r.Commands})
-}
-
-// addOpaque records a lump-sum latency pass (verify, ECC decode/reprogram)
-// that occupies addr's bank without an explicit command sequence. Zero-cost
-// passes leave no scheduling footprint.
-//
-//pinlint:ignore costpair trace-only half of the pair, every caller adds the matching Cost
-func (res *ScheduleResult) addOpaque(seconds float64, addr memarch.RowAddr) {
-	if seconds <= 0 {
-		return
-	}
-	res.Trace = append(res.Trace, TraceSegment{Seconds: seconds, Addr: addr})
 }
 
 // request executes one hardware request (op over srcs into *target). With
@@ -162,7 +167,7 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 		if err != nil {
 			return nil, err
 		}
-		res.addExec(r)
+		res.record(r)
 		return r.Words, nil
 	}
 	golden, err := s.Ctl.Golden(op, srcs, bits)
@@ -197,8 +202,7 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 			if err != nil {
 				return nil, err
 			}
-			res.Cost.Add(workload.Cost{Seconds: cost.Seconds, Joules: cost.Energy.Total()})
-			res.addOpaque(cost.Seconds, *target)
+			res.Program.Emit(cost.Instr(*target))
 			return golden, nil
 		}
 		return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w (%w)",
@@ -276,21 +280,19 @@ func (s *Scheduler) eccAttempt(op sense.Op, srcs []memarch.RowAddr, bits int, ta
 			}
 			return false, err
 		}
-		res.addExec(r)
+		res.record(r)
 		*dirty = true
 		cost, err := s.Ctl.ECCProgram(*target, golden, bits, op, len(srcs))
 		if err != nil {
 			return false, err
 		}
-		res.Cost.Add(workload.Cost{Seconds: cost.Seconds, Joules: cost.Energy.Total()})
-		res.addOpaque(cost.Seconds, *target)
+		res.Program.Emit(cost.Instr(*target))
 		v, err := s.Ctl.CorrectOrEscalate(*target, bits, golden)
 		if err != nil {
 			return false, err
 		}
 		s.stats.EccDecodes++
-		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
-		res.addOpaque(v.Seconds, *target)
+		res.Program.Emit(v.Instr(*target))
 		s.stats.EccCorrectedBits += int64(v.CorrectedBits)
 		res.BitsCorrected += int64(v.CorrectedBits)
 		if v.OK {
@@ -334,15 +336,14 @@ func (s *Scheduler) attempt(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 			}
 			return false, err
 		}
-		res.addExec(r)
+		res.record(r)
 		*dirty = true
 		v, err := s.Ctl.VerifyAgainst(len(srcs), bits, *target, golden, r.Words)
 		if err != nil {
 			return false, err
 		}
 		s.stats.Verifies++
-		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
-		res.addOpaque(v.Seconds, *target)
+		res.Program.Emit(v.Instr(*target))
 		if v.OK {
 			res.Words = golden
 			return true, nil
@@ -414,7 +415,7 @@ func (s *Scheduler) hostAttempt(srcs []memarch.RowAddr, bits int, target *memarc
 		if err != nil {
 			return false, err
 		}
-		res.addExec(r)
+		res.record(r)
 	}
 	for try := 0; try <= s.Res.MaxRetries; try++ {
 		if try > 0 {
@@ -429,8 +430,7 @@ func (s *Scheduler) hostAttempt(srcs []memarch.RowAddr, bits int, target *memarc
 			return false, err
 		}
 		s.stats.Verifies++
-		res.Cost.Add(workload.Cost{Seconds: v.Seconds, Joules: v.Energy.Total()})
-		res.addOpaque(v.Seconds, *target)
+		res.Program.Emit(v.Instr(*target))
 		if v.OK {
 			res.Words = golden
 			return true, nil
@@ -450,9 +450,7 @@ func (s *Scheduler) hostWrite(addr memarch.RowAddr, words []uint64, bits int, re
 	if err != nil {
 		return err
 	}
-	res.Requests++
-	res.Cost.Add(workload.Cost{Seconds: r.Seconds, Joules: r.Energy.Total()})
-	res.Trace = append(res.Trace, TraceSegment{Cmds: r.Commands})
+	res.Program.Emit(r.Instr())
 	return nil
 }
 

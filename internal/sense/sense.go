@@ -105,7 +105,9 @@ func NewArray(p nvm.Params, cfg analog.SenseConfig, checkBits int) (*Array, erro
 }
 
 // MaxORRows returns the operand-row limit for OR on this array: the smaller
-// of the architectural cap and the analog sensing-margin depth.
+// of the architectural cap and the analog sensing-margin depth. Panics only
+// if the analog model rejects the technology — impossible, because NewArray
+// already refused non-resistive techs.
 func (a *Array) MaxORRows() int {
 	depth, err := analog.MaxORRows(a.cfg, a.params, a.params.MaxOpenRows)
 	if err != nil {
@@ -186,6 +188,8 @@ func (a *Array) ComputeWords(op Op, rows [][]uint64) ([]uint64, error) {
 }
 
 // analogCheck re-resolves sampled bit positions through the analog path.
+// Panics if the analog and digital results diverge — the cross-model
+// consistency assertion this sampling exists to enforce.
 func (a *Array) analogCheck(op Op, rows [][]uint64, out []uint64) {
 	totalBits := len(out) * 64
 	for k := 0; k < a.checkEvery; k++ {

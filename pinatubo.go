@@ -29,6 +29,7 @@ import (
 
 	"pinatubo/internal/analog"
 	"pinatubo/internal/bitvec"
+	"pinatubo/internal/cmdstream"
 	"pinatubo/internal/ecc"
 	"pinatubo/internal/fault"
 	"pinatubo/internal/memarch"
@@ -251,7 +252,11 @@ type System struct {
 // (VerifyAuto resolved against the fault configuration at New time).
 func (s *System) VerifyMode() VerifyMode { return s.verify }
 
-// Stats accumulates the system's lifetime activity.
+// Stats accumulates the system's lifetime activity. Batch execution feeds
+// the same ledger: after a Batch the counters equal what the same ops
+// issued sequentially through Apply would have left (integer counters
+// exactly; summed float totals can differ by ULPs when more than one shard
+// ran, because float addition is not associative).
 type Stats struct {
 	// Ops counts completed bulk operations by placement class name
 	// ("intra-subarray", "inter-subarray", "inter-bank").
@@ -639,6 +644,14 @@ func (s *System) writeRowECC(addr *memarch.RowAddr, chunk, golden []uint64, bits
 
 // Read returns the vector contents through the host interface.
 func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
+	return s.readInto(b, nil)
+}
+
+// readInto is Read with an optional program capture: when prog is non-nil
+// every controller request and verification pass of the read is lowered
+// into it, so the batch executor can schedule host reads (OpPopcount) on
+// the channel like any other operation.
+func (s *System) readInto(b *BitVector, prog *cmdstream.Program) ([]uint64, Result, error) {
 	if err := b.check(s); err != nil {
 		return nil, Result{}, err
 	}
@@ -649,7 +662,7 @@ func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
 		if i == len(b.rows)-1 {
 			bitsHere = b.bits - i*s.RowBits()
 		}
-		row, sec, j, err := s.readRow(addr, bitsHere)
+		row, sec, j, err := s.readRow(addr, bitsHere, prog)
 		if err != nil {
 			return nil, Result{}, err
 		}
@@ -665,12 +678,15 @@ func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
 // are checked against the row's true contents and the read reissued on a
 // flip (plain reads run at the full read margin, so this almost never
 // loops — but a wrong word never escapes).
-func (s *System) readRow(addr memarch.RowAddr, bitsHere int) ([]uint64, float64, float64, error) {
+func (s *System) readRow(addr memarch.RowAddr, bitsHere int, prog *cmdstream.Program) ([]uint64, float64, float64, error) {
 	var seconds, joules float64
 	for try := 0; ; try++ {
 		r, err := s.ctl.ReadRow(addr, bitsHere)
 		if err != nil {
 			return nil, seconds, joules, err
+		}
+		if prog != nil {
+			prog.Emit(r.Instr())
 		}
 		seconds += r.Seconds
 		joules += r.Energy.Total()
@@ -687,6 +703,9 @@ func (s *System) readRow(addr memarch.RowAddr, bitsHere int) ([]uint64, float64,
 			}
 			if v.Seconds > 0 { // a decode actually ran (row was encoded)
 				s.hostEccDecodes++
+			}
+			if prog != nil {
+				prog.Emit(v.Instr(addr))
 			}
 			seconds += v.Seconds
 			joules += v.Energy.Total()
@@ -887,19 +906,51 @@ func classFromPim(c pim.Class) PlacementClass {
 	}
 }
 
+// validateOp checks an operation's arity and operand handles/lengths — the
+// shared front door of Apply and Batch.
+func (s *System) validateOp(op Op, dst *BitVector, srcs []*BitVector) error {
+	if op == OpPopcount {
+		if len(srcs) != 0 {
+			return fmt.Errorf("pinatubo: %v takes no source operands, got %d", op, len(srcs))
+		}
+		return dst.check(s)
+	}
+	if _, err := op.internal(); err != nil {
+		return err
+	}
+	if lo, hi := op.arity(); len(srcs) < lo || (hi >= 0 && len(srcs) > hi) {
+		if lo == hi {
+			return fmt.Errorf("pinatubo: %v takes %d operand(s), got %d", op, lo, len(srcs))
+		}
+		return fmt.Errorf("pinatubo: %v takes at least %d operand(s), got %d", op, lo, len(srcs))
+	}
+	if err := b0check(s, dst, srcs); err != nil {
+		return err
+	}
+	return sameLength(dst, srcs...)
+}
+
 // Apply computes dst = op(srcs...) inside the memory. It validates the
 // operation's arity, runs every row batch of the vectors, and reports the
 // folded cost with Class set to the worst placement class any batch took
 // (the native path of the operands, even when a batch was degraded to a
 // slower one by the resilience layer).
 func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error) {
+	return s.apply(op, dst, srcs, nil)
+}
+
+// apply is Apply with an optional program capture: when prog is non-nil
+// the operation's full lowered cmdstream program (every controller request
+// and verification pass, in execution order) is appended to it. The batch
+// executor schedules those programs through chansim; Apply passes nil.
+func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream.Program) (Result, error) {
+	if err := s.validateOp(op, dst, srcs); err != nil {
+		return Result{}, err
+	}
 	if op == OpPopcount {
 		// Host-side reduction over dst itself: read the vector out and
 		// count there; the cost is exactly the host read.
-		if len(srcs) != 0 {
-			return Result{}, fmt.Errorf("pinatubo: %v takes no source operands, got %d", op, len(srcs))
-		}
-		words, res, err := s.Read(dst)
+		words, res, err := s.readInto(dst, prog)
 		if err != nil {
 			return Result{}, err
 		}
@@ -909,18 +960,6 @@ func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error
 	}
 	sop, err := op.internal()
 	if err != nil {
-		return Result{}, err
-	}
-	if lo, hi := op.arity(); len(srcs) < lo || (hi >= 0 && len(srcs) > hi) {
-		if lo == hi {
-			return Result{}, fmt.Errorf("pinatubo: %v takes %d operand(s), got %d", op, lo, len(srcs))
-		}
-		return Result{}, fmt.Errorf("pinatubo: %v takes at least %d operand(s), got %d", op, lo, len(srcs))
-	}
-	if err := b0check(s, dst, srcs); err != nil {
-		return Result{}, err
-	}
-	if err := sameLength(dst, srcs...); err != nil {
 		return Result{}, err
 	}
 	var seconds, joules float64
@@ -949,6 +988,9 @@ func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error
 				return Result{}, err
 			}
 			dst.rows[batch] = res.FinalDst
+			if prog != nil {
+				prog.Append(res.Program)
+			}
 			seconds += res.Cost.Seconds
 			joules += res.Cost.Joules
 			requests += res.Requests
@@ -959,6 +1001,9 @@ func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error
 			res, err := s.ctl.Execute(sop, rows, bitsHere, &dst.rows[batch])
 			if err != nil {
 				return Result{}, err
+			}
+			if prog != nil {
+				prog.Emit(res.Instr())
 			}
 			seconds += res.Seconds
 			joules += res.Energy.Total()
@@ -976,6 +1021,9 @@ func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error
 			return Result{}, err
 		}
 		dst.rows[batch] = res.FinalDst
+		if prog != nil {
+			prog.Append(res.Program)
+		}
 		seconds += res.Cost.Seconds
 		joules += res.Cost.Joules
 		requests += res.Requests
@@ -1087,7 +1135,9 @@ func (s *System) HardwareCounters() HardwareCounters {
 // FaultStats is the system's cumulative fault-and-resilience ledger: what
 // the injected fault model actually did to the hardware (ground truth) and
 // what the verify-and-retry layer did about it. All zero when Config.Fault
-// is zero.
+// is zero. Batch execution updates this ledger too: with an injector
+// attached a batch runs its ops in order on the live system, so the ledger
+// reads exactly as a sequence of Apply calls.
 type FaultStats struct {
 	// Ground truth from the injector.
 	SenseFlips       int64 // bits flipped on the sensing path

@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"pinatubo/internal/chansim"
-	"pinatubo/internal/ddr"
-	"pinatubo/internal/nvm"
 	"pinatubo/internal/pimrt"
 )
 
@@ -82,6 +80,12 @@ type PlanPoint struct {
 	// Latency pools every operation's completion time across
 	// replications.
 	Latency LatencyStats
+	// Makespan is the scheduled end-to-end time of the k in-flight
+	// operations, averaged across replications. At fault rate 0 (one
+	// deterministic replication) it is the exact schedule length, and
+	// System.Batch of the same op mix under the same arbiter reproduces
+	// it bit-identically — the planner's model is checked, not estimated.
+	Makespan time.Duration
 	// BusUtilisation is the mean command-bus occupancy fraction.
 	BusUtilisation float64
 }
@@ -203,6 +207,7 @@ func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter
 				Mean: seconds(mc.Latency.Mean),
 				Max:  seconds(mc.Latency.Max),
 			},
+			Makespan:       seconds(mc.Makespan.Mean),
 			BusUtilisation: mc.BusUtilisation.Mean,
 		})
 	}
@@ -282,7 +287,7 @@ func (s *System) sampleTraces(op Op, concurrency int, faultRate float64, rep int
 			return nil, fmt.Errorf("pinatubo: sampling plan trace %d: %w", i, err)
 		}
 		dst = sr.FinalDst
-		reqs[i] = traceRequest(fmt.Sprintf("%v#%d", op, i), sr.Trace, timing, bus, banks)
+		reqs[i] = sr.Program.Request(fmt.Sprintf("%v#%d", op, i), timing, bus, banks)
 	}
 	// Offset each copy into its own bank range with one uniform stride so
 	// in-flight operations never collide on a resource ID. In the
@@ -298,24 +303,4 @@ func (s *System) sampleTraces(op Op, concurrency int, faultRate float64, rep int
 		reqs[i] = reqs[i].WithResourceOffset(i * stride)
 	}
 	return reqs, nil
-}
-
-// traceRequest lowers a scheduler trace into a schedulable request:
-// command segments through FromDDR's per-command pricing, opaque
-// verification segments as one issue slot plus a bank-busy interval.
-func traceRequest(name string, trace []pimrt.TraceSegment, timing nvm.Timing, bus ddr.BusParams, banks int) chansim.Request {
-	req := chansim.Request{Name: name}
-	for _, seg := range trace {
-		if seg.Cmds != nil {
-			part := chansim.FromDDR(name, seg.Cmds, timing, bus, banks)
-			req.Cmds = append(req.Cmds, part.Cmds...)
-			continue
-		}
-		req.Cmds = append(req.Cmds, chansim.Cmd{
-			Issue:    timing.TCMD,
-			Exec:     seg.Seconds,
-			Resource: chansim.BankResource(seg.Addr, banks),
-		})
-	}
-	return req
 }
