@@ -41,8 +41,8 @@ type BatchResult struct {
 	Speedup float64
 	// Shards is how many isolated memory shards the data-side effects
 	// executed across (1 means the batch ran sequentially on the live
-	// system — single shard, or a fault injector pinned execution to one
-	// goroutine).
+	// system: single shard, or a fault-injected run that retired a row
+	// mid-batch and was deterministically replayed in op order).
 	Shards int
 	// Arb is the arbitration policy the schedule used.
 	Arb Arbiter
@@ -69,9 +69,14 @@ func (s *System) Batch(ops []BatchOp) (BatchResult, error) {
 // through Apply: memory contents, per-op Results, Stats/FaultStats and
 // hardware counters all match (integer counters exactly; summed float
 // totals may differ from the sequential order by ULPs when more than one
-// shard ran). When a fault injector is attached the injector's stream is
-// inherently ordered, so execution stays on the live system in op order —
-// the schedule is still computed from the captured programs.
+// shard ran). Fault injection shards too: the injector draws every op's
+// faults from a per-operation substream seeded by (Seed, op sequence
+// number), so each shard replays exactly the faults sequential execution
+// would have drawn, on a sandboxed copy of the injector's per-row state.
+// The one case that cannot be sandboxed is a mid-batch row retirement
+// (the remap must allocate from the live allocator); when a shard hits
+// one, the sandboxes are discarded and the batch deterministically
+// replays in op order on the live system (Shards reports 1).
 //
 // Ops whose operands span ranks are rejected: the paper's datapaths stop
 // at the rank's I/O buffer, and Apply would reject them too. On error the
@@ -101,17 +106,16 @@ func (s *System) BatchWith(ops []BatchOp, arb Arbiter) (BatchResult, error) {
 	results := make([]Result, len(ops))
 	progs := make([]cmdstream.Program, len(ops))
 	nshards := len(shards)
-	if s.ctl.Injector() != nil || nshards == 1 {
-		nshards = 1
-		for i, op := range ops {
-			res, err := s.apply(op.Op, op.Dst, op.Srcs, &progs[i])
-			if err != nil {
-				return BatchResult{}, fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
-			}
-			results[i] = res
+	if nshards == 1 {
+		if err := s.runSequential(ops, results, progs); err != nil {
+			return BatchResult{}, err
 		}
-	} else if err := s.runSharded(ops, footprints, shards, results, progs); err != nil {
-		return BatchResult{}, err
+	} else {
+		n, err := s.runSharded(ops, footprints, shards, results, progs)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		nshards = n
 	}
 
 	timing := s.mem.Tech().Timing
@@ -161,7 +165,7 @@ func (s *System) opFootprint(op BatchOp) ([]fpKey, error) {
 	var keys []fpKey
 	if op.Op == OpPopcount {
 		for _, r := range op.Dst.rows {
-			keys = append(keys, fpKey{kind: 'r', addr: r})
+			keys = s.appendRowKeys(keys, r)
 		}
 		return keys, nil
 	}
@@ -177,7 +181,7 @@ func (s *System) opFootprint(op BatchOp) ([]fpKey, error) {
 			return nil, fmt.Errorf("operands span ranks; split the batch at the rank boundary")
 		}
 		for _, r := range all {
-			keys = append(keys, fpKey{kind: 'r', addr: r})
+			keys = s.appendRowKeys(keys, r)
 		}
 		if op.Op == OpOr {
 			for _, g := range pimrt.GroupBySubarray(srcRows) {
@@ -205,6 +209,32 @@ func (s *System) opFootprint(op BatchOp) ([]fpKey, error) {
 		}
 	}
 	return keys, nil
+}
+
+// appendRowKeys adds one row's footprint key plus — with the replication
+// rung active — the keys of its replica copies: a voted activation senses
+// them and a verified result re-syncs them, so they are part of the op's
+// exclusive data path.
+func (s *System) appendRowKeys(keys []fpKey, r memarch.RowAddr) []fpKey {
+	keys = append(keys, fpKey{kind: 'r', addr: r})
+	for _, rep := range s.replicaRows(r) {
+		keys = append(keys, fpKey{kind: 'r', addr: rep})
+	}
+	return keys
+}
+
+// runSequential executes the batch's data-side effects in op order on the
+// live system, capturing each op's program.
+func (s *System) runSequential(ops []BatchOp, results []Result, progs []cmdstream.Program) error {
+	for i, op := range ops {
+		progs[i] = cmdstream.Program{}
+		res, err := s.apply(op.Op, op.Dst, op.Srcs, &progs[i])
+		if err != nil {
+			return fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
+		}
+		results[i] = res
+	}
+	return nil
 }
 
 // shardOps unions ops that share any footprint key and returns the
@@ -248,22 +278,38 @@ func shardOps(footprints [][]fpKey) [][]int {
 }
 
 // runSharded executes the batch's data-side effects concurrently: each
-// shard gets a sandboxed System seeded with the shard's footprint rows and
-// ECC state, runs its ops in op order on its own goroutine, and is merged
-// back — rows, ECC entries, wear/hardware/fault counters and stats — in
-// shard order on the caller's goroutine. The merge is exact for every
-// integer counter; float totals are summed in shard order, which can
-// differ from the sequential op order by ULPs.
-func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int, results []Result, progs []cmdstream.Program) error {
+// shard gets a sandboxed System seeded with the shard's footprint rows,
+// ECC state, replica registrations and per-row fault state, runs its ops
+// in op order on its own goroutine, and is merged back — rows, ECC
+// entries, wear/hardware/fault counters and stats — in shard order on the
+// caller's goroutine. The merge is exact for every integer counter; float
+// totals are summed in shard order, which can differ from the sequential
+// op order by ULPs.
+//
+// With a fault injector attached, each shard's sandbox injector is pinned
+// to the live injector's per-operation substream (op i draws substream
+// opSeqBase+i, exactly what sequential execution would have drawn), so
+// sharded faults are bit-identical to sequential ones. A shard that
+// retires a row cannot stay sandboxed — the remap must come from the live
+// allocator — so the sandboxes are discarded and the batch replays
+// sequentially; the replay is deterministic because the live state was
+// never touched. Returns the shard count actually used.
+func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int, results []Result, progs []cmdstream.Program) (int, error) {
 	type shardState struct {
 		sys  *System
 		vecs map[*BitVector]*BitVector
 	}
+	var opSeqBase int64
+	liveInj := s.ctl.Injector()
+	if liveInj != nil {
+		opSeqBase = liveInj.OpSeq()
+	}
+	geo := s.mem.Geometry()
 	states := make([]shardState, len(shards))
 	for si, shard := range shards {
 		sh, err := New(s.cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		for _, i := range shard {
 			for _, k := range footprints[i] {
@@ -273,6 +319,14 @@ func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int,
 				copy(sh.mem.PeekRow(k.addr), s.mem.PeekRow(k.addr))
 				if bits, words, ok := s.ctl.ECCState(k.addr); ok {
 					sh.ctl.SetECCState(k.addr, bits, words)
+				}
+				if reps := s.replicaRows(k.addr); reps != nil {
+					sh.registerReplicas(k.addr, reps)
+				}
+				if liveInj != nil {
+					if st, ok := liveInj.RowState(geo.Encode(k.addr)); ok {
+						sh.ctl.Injector().SetRowState(geo.Encode(k.addr), st)
+					}
 				}
 			}
 		}
@@ -301,7 +355,14 @@ func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int,
 		wg.Add(1)
 		go func(st shardState, idx []int) {
 			defer wg.Done()
+			inj := st.sys.ctl.Injector()
 			for _, i := range idx {
+				if inj != nil {
+					// Pin the sandbox to op i's substream: apply's beginOp
+					// advances it to opSeqBase+i+1, the exact stream the op
+					// would draw running sequentially on the live system.
+					inj.SetOpSeq(opSeqBase + int64(i))
+				}
 				srcs := make([]*BitVector, len(ops[i].Srcs))
 				for j, src := range ops[i].Srcs {
 					srcs[j] = st.vecs[src]
@@ -317,7 +378,37 @@ func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int,
 	}
 	wg.Wait()
 
-	for si := range shards {
+	if liveInj != nil {
+		// A sandbox that touched its allocator hit a row retirement (remap,
+		// replica teardown) or failed an op outright: its side effects
+		// cannot merge into the live allocator's address space. The live
+		// system was never touched, so replaying sequentially here yields
+		// exactly the sequential execution — same substreams, same faults,
+		// same remaps — at the cost of the concurrency.
+		replay := false
+		for i := range ops {
+			if errs[i] != nil {
+				replay = true
+			}
+		}
+		for si := range shards {
+			sh := states[si].sys
+			if sh.alloc.AllocatedRows() != 0 || sh.alloc.RetiredRows() != 0 {
+				replay = true
+			}
+		}
+		if replay {
+			for i := range results {
+				results[i] = Result{}
+			}
+			if err := s.runSequential(ops, results, progs); err != nil {
+				return 1, err
+			}
+			return 1, nil
+		}
+	}
+
+	for si, shard := range shards {
 		sh := states[si].sys
 		for _, a := range sh.mem.MaterializedAddrs() {
 			copy(s.mem.PeekRow(a), sh.mem.PeekRow(a))
@@ -328,6 +419,25 @@ func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int,
 		s.mem.AbsorbCounters(sh.mem)
 		s.ctl.AbsorbCounters(sh.ctl.Counters())
 		s.sched.AbsorbStats(sh.sched.FaultStats())
+		if liveInj != nil {
+			shInj := sh.ctl.Injector()
+			seen := make(map[uint64]bool)
+			for _, i := range shard {
+				for _, k := range footprints[i] {
+					if k.kind != 'r' {
+						continue
+					}
+					key := geo.Encode(k.addr)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					st, _ := shInj.RowState(key)
+					liveInj.SetRowState(key, st)
+				}
+			}
+			liveInj.AbsorbStats(shInj.Stats())
+		}
 		for k, v := range sh.stats.Ops {
 			s.stats.Ops[k] += v
 		}
@@ -345,10 +455,15 @@ func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int,
 			copy(live.rows, mirror.rows)
 		}
 	}
+	if liveInj != nil {
+		// Leave the live injector where sequential execution would have:
+		// the next public op begins substream opSeqBase+len(ops)+1.
+		liveInj.SetOpSeq(opSeqBase + int64(len(ops)))
+	}
 	for i := range ops {
 		if errs[i] != nil {
-			return fmt.Errorf("pinatubo: batch op %d (%v): %w", i, ops[i].Op, errs[i])
+			return len(shards), fmt.Errorf("pinatubo: batch op %d (%v): %w", i, ops[i].Op, errs[i])
 		}
 	}
-	return nil
+	return len(shards), nil
 }

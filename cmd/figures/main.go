@@ -6,7 +6,7 @@
 // Usage:
 //
 //	figures            # everything
-//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, ecc, batch
+//	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, replication, ecc, batch
 //	figures -fig batch -benchout BENCH_batch.json   # batch sweep + CI benchmark artifact
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, ecc, headroom, batch, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, replication, ecc, headroom, batch, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	benchOut := flag.String("benchout", "", "also write the batch smoke benchmark JSON to this file")
 	flag.Parse()
@@ -140,6 +140,17 @@ func run(fig string, csvOut bool, benchOut string) error {
 			return figures.WriteFaultSweepCSV(os.Stdout, rows)
 		}
 		fmt.Println(figures.FormatFaultSweep(rows))
+		printed = true
+	}
+	if want("replication") {
+		rows, err := figures.ReplicationSweep(figures.DefaultFaultRates)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteReplicationCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatReplicationSweep(rows))
 		printed = true
 	}
 	if want("ecc") {

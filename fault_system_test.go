@@ -252,4 +252,17 @@ func TestZeroFaultConfigIsBitIdentical(t *testing.T) {
 	if or1.Retries != 0 || or1.Degraded != "" || or1.BitsCorrected != 0 {
 		t.Fatalf("resilience fields set without faults: %+v", or1)
 	}
+
+	// Replicate without an active resilience layer (VerifyAuto at fault
+	// rate 0 resolves to VerifyOff) must be fully inert: same results,
+	// same totals, no replica rows allocated, no votes.
+	replicated := DefaultConfig()
+	replicated.Resilience.Replicate = 3
+	or3, and3, st3 := run(replicated)
+	if or1 != or3 || and1 != and3 {
+		t.Fatalf("inert Replicate=3 changed op results:\n%+v\n%+v", or1, or3)
+	}
+	if st1.BusySeconds != st3.BusySeconds || st1.EnergyJoules != st3.EnergyJoules {
+		t.Fatalf("inert Replicate=3 changed totals: %+v vs %+v", st1, st3)
+	}
 }

@@ -45,6 +45,15 @@ const (
 	// verify (the linear ECC fast path) carries energy only and leaves no
 	// scheduling footprint.
 	KindVerify
+	// KindVoted is a replicated controller request: the operand set is
+	// activated and sensed once per replica copy (R sequential
+	// LWL-reset/activate/sense groups inside one command sequence) and the
+	// sensed results majority-voted before write-back. It schedules and
+	// prices exactly like KindRequest — the Cmds carry the full R-group
+	// sequence — but stays distinguishable so vote accounting is derived
+	// from the program, not tracked beside it. Votes holds the replica
+	// count, Outvoted the disagreeing bit positions the vote overrode.
+	KindVoted
 )
 
 // String names the kind.
@@ -54,6 +63,8 @@ func (k Kind) String() string {
 		return "request"
 	case KindVerify:
 		return "verify"
+	case KindVoted:
+		return "voted"
 	default:
 		return "Kind(" + itoa(int(k)) + ")"
 	}
@@ -98,6 +109,12 @@ type Instr struct {
 	Seconds float64
 	// Joules is the instruction's simulated energy.
 	Joules float64
+	// Votes is the replica count of a KindVoted instruction (0 otherwise).
+	Votes int
+	// Outvoted is the number of bit positions where a KindVoted
+	// instruction's replicas disagreed and the majority overrode the
+	// minority (0 otherwise).
+	Outvoted int64
 }
 
 // Program is an ordered sequence of instructions — the lowered form of one
@@ -127,15 +144,29 @@ func (p Program) Cost() workload.Cost {
 	return c
 }
 
-// Requests counts the controller-executed hardware requests.
+// Requests counts the controller-executed hardware requests. A voted
+// request is one request: its replica groups share a single command
+// sequence on the channel.
 func (p Program) Requests() int {
 	n := 0
 	for _, in := range p.Instrs {
-		if in.Kind == KindRequest {
+		if in.Kind == KindRequest || in.Kind == KindVoted {
 			n++
 		}
 	}
 	return n
+}
+
+// Votes folds the program's majority-vote accounting: how many voted
+// requests ran and how many disagreeing bits their majorities overrode.
+func (p Program) Votes() (votes int, outvoted int64) {
+	for _, in := range p.Instrs {
+		if in.Kind == KindVoted {
+			votes++
+			outvoted += in.Outvoted
+		}
+	}
+	return votes, outvoted
 }
 
 // Channel returns the memory channel the program runs on: the channel of
@@ -145,7 +176,7 @@ func (p Program) Requests() int {
 func (p Program) Channel() int {
 	for _, in := range p.Instrs {
 		switch in.Kind {
-		case KindRequest:
+		case KindRequest, KindVoted:
 			for _, c := range in.Cmds {
 				if c.Kind != ddr.CmdMRS {
 					return c.Addr.Channel
@@ -167,7 +198,7 @@ func (p Program) Request(name string, t nvm.Timing, bus ddr.BusParams, banks int
 	req := chansim.Request{Name: name, Channel: p.Channel()}
 	for _, in := range p.Instrs {
 		switch in.Kind {
-		case KindRequest:
+		case KindRequest, KindVoted:
 			part := chansim.FromDDR(name, in.Cmds, t, bus, banks)
 			req.Cmds = append(req.Cmds, part.Cmds...)
 		case KindVerify:

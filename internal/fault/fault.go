@@ -112,10 +112,15 @@ type Injector struct {
 	cell    nvm.CellParams
 	rowBits int
 	rng     *rand.Rand
+	seq     int64
 	margins map[marginKey]float64
 	wear    map[uint64]int64
-	stuck   map[uint64][]stuckBit
-	stats   Stats
+	// wearFrac accumulates partial wear for rows written as one of R
+	// replicas of a logical row: each replicated program adds 1/R of a
+	// wear event, so replicated rows age R× slower per logical write.
+	wearFrac map[uint64]int64
+	stuck    map[uint64][]stuckBit
+	stats    Stats
 }
 
 type marginKey struct {
@@ -141,19 +146,51 @@ func New(cfg Config, p nvm.Params, scfg analog.SenseConfig, rowBits int) (*Injec
 		cell = drifted
 	}
 	return &Injector{
-		cfg:     cfg,
-		scfg:    scfg,
-		cell:    cell,
-		rowBits: rowBits,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		margins: make(map[marginKey]float64),
-		wear:    make(map[uint64]int64),
-		stuck:   make(map[uint64][]stuckBit),
+		cfg:      cfg,
+		scfg:     scfg,
+		cell:     cell,
+		rowBits:  rowBits,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		margins:  make(map[marginKey]float64),
+		wear:     make(map[uint64]int64),
+		wearFrac: make(map[uint64]int64),
+		stuck:    make(map[uint64][]stuckBit),
 	}, nil
 }
 
 // Stats returns a snapshot of the accumulated fault activity.
 func (in *Injector) Stats() Stats { return in.stats }
+
+// AbsorbStats folds another injector's accumulated activity into this one.
+// Batch execution runs sandboxed injectors per shard and merges their
+// ground truth back through here.
+func (in *Injector) AbsorbStats(s Stats) {
+	in.stats.SenseFlips += s.SenseFlips
+	in.stats.ActivationFaults += s.ActivationFaults
+	in.stats.StuckRows += s.StuckRows
+	in.stats.StuckBitsForced += s.StuckBitsForced
+	in.stats.RowWrites += s.RowWrites
+}
+
+// BeginOp reseeds the transient-fault stream (sense flips, activation
+// faults) from a per-operation substream derived from (Seed, sequence
+// number). Operations then draw faults independently of each other, which
+// is what lets Batch run fault-injected shards concurrently and still
+// reproduce the exact flips sequential execution would have drawn.
+// Wear and stuck-at state are keyed per row and unaffected.
+func (in *Injector) BeginOp() {
+	in.seq++
+	in.rng = rand.New(rand.NewSource(in.cfg.Seed ^ int64(splitmix64(uint64(in.seq)))))
+}
+
+// OpSeq returns the per-operation substream sequence number: the number of
+// BeginOp calls seen so far.
+func (in *Injector) OpSeq() int64 { return in.seq }
+
+// SetOpSeq positions the substream counter so the next BeginOp starts
+// operation seq+1. Batch sharding aligns sandbox injectors to the global
+// operation order with this.
+func (in *Injector) SetOpSeq(seq int64) { in.seq = seq }
 
 // margin returns the worst-case analog margin of one sensing step of op over
 // `rows` simultaneously-open rows, memoised (the analog math is pure).
@@ -248,9 +285,28 @@ func (in *Injector) ActivationFault(rows int) bool {
 // position and polarity derive from a hash of (seed, row, event) — the same
 // row always fails the same way, independent of operation order.
 func (in *Injector) RecordWrite(key uint64) {
+	in.RecordWriteShared(key, 1)
+}
+
+// RecordWriteShared records a program of a row that stores one of `share`
+// replicas of a logical row: the physical program counts in full toward
+// RowWrites, but only 1/share of a wear event accrues, so a row holding one
+// of R copies ages R× slower per logical write — the capacity spent on
+// replication is simultaneously wear levelling. share == 1 is RecordWrite.
+func (in *Injector) RecordWriteShared(key uint64, share int) {
 	in.stats.RowWrites++
 	if in.cfg.WearLimit == 0 {
 		return
+	}
+	if share < 1 {
+		share = 1
+	}
+	if share > 1 {
+		in.wearFrac[key]++
+		if in.wearFrac[key] < int64(share) {
+			return
+		}
+		in.wearFrac[key] = 0
 	}
 	in.wear[key]++
 	if in.wear[key]%in.cfg.WearLimit != 0 {
@@ -324,6 +380,65 @@ func (in *Injector) CorruptStoredOffset(key uint64, row []uint64, offsetBits int
 	}
 	in.stats.StuckBitsForced += int64(forced)
 	return forced
+}
+
+// StuckBit is the exported form of one permanently-failed cell: its bit
+// position within the row and the value it is stuck at.
+type StuckBit struct {
+	Pos int
+	Val bool
+}
+
+// RowState is the complete per-row state of the wear model for one row:
+// the program count, the fractional (replica-shared) wear accumulator, and
+// the minted stuck-at bits. Batch execution exports it from the live
+// injector to seed shard sandboxes, and imports the sandbox state back on
+// merge — the split/merge is lossless because faults are keyed per row.
+type RowState struct {
+	Wear     int64
+	WearFrac int64
+	Stuck    []StuckBit
+}
+
+// RowState snapshots the wear state of one row. The second return is false
+// when the injector holds no state for the row (a fresh row).
+func (in *Injector) RowState(key uint64) (RowState, bool) {
+	w, okW := in.wear[key]
+	f, okF := in.wearFrac[key]
+	s := in.stuck[key]
+	if !okW && !okF && len(s) == 0 {
+		return RowState{}, false
+	}
+	st := RowState{Wear: w, WearFrac: f, Stuck: make([]StuckBit, len(s))}
+	for i, b := range s {
+		st.Stuck[i] = StuckBit{Pos: b.pos, Val: b.val}
+	}
+	return st, true
+}
+
+// SetRowState installs per-row wear state, replacing whatever the injector
+// held for the row. It does not touch the activity statistics — imported
+// stuck bits are history, not new faults.
+func (in *Injector) SetRowState(key uint64, st RowState) {
+	if st.Wear == 0 {
+		delete(in.wear, key)
+	} else {
+		in.wear[key] = st.Wear
+	}
+	if st.WearFrac == 0 {
+		delete(in.wearFrac, key)
+	} else {
+		in.wearFrac[key] = st.WearFrac
+	}
+	if len(st.Stuck) == 0 {
+		delete(in.stuck, key)
+		return
+	}
+	bits := make([]stuckBit, len(st.Stuck))
+	for i, b := range st.Stuck {
+		bits[i] = stuckBit{pos: b.Pos, val: b.Val}
+	}
+	in.stuck[key] = bits
 }
 
 // splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash.

@@ -1,0 +1,218 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"pinatubo"
+	"pinatubo/internal/bitvec"
+)
+
+// This file holds the replication crossover: the reactive resilience
+// ladder (verify, retry, depth-split, fall back) against the proactive
+// replication rung (R copies per row, majority-voted sensing) across
+// injected sense-error rates. Replication pays a fixed tax everywhere —
+// R× capacity, R sequential activation groups per request, replica
+// refresh after every verified write — while the ladder pays nothing
+// until faults appear and then pays per incident. The sweep finds where
+// the curves cross: the rate above which the binomial vote tail
+// (p ≈ 1e-3 → ≈ 3e-6 for R = 3) converts almost every would-be
+// retry/degradation into a clean first-try result and the fixed tax wins.
+
+// ReplicationRow is one injected-error-rate point of the crossover sweep,
+// with both builds measured on identical workloads.
+type ReplicationRow struct {
+	// Rate is the configured sense-flip probability per bit at the margin
+	// floor (SenseFlipRate).
+	Rate float64
+
+	// The reactive baseline (Replicate = 0, read-back verification).
+	BaseGBps     float64
+	BaseRetries  int64
+	BaseSplits   int64
+	BaseHost     int64
+	BaseDegraded int64 // ops that left the native rung (splits + fallbacks)
+
+	// The replicated build (Replicate = 3, same verification).
+	RepGBps     float64
+	RepVotes    int64
+	RepOutvoted int64
+	RepRetries  int64
+	RepDegraded int64
+
+	// Speedup is RepGBps / BaseGBps: above 1, the proactive rung's fixed
+	// tax beats the reactive ladder's per-incident cost.
+	Speedup float64
+	// WrongWords counts result words either build got wrong — the
+	// resilience contract keeps this zero at every rate and both builds.
+	WrongWords int
+}
+
+// ReplicationSweep measures both builds at each rate on a bank of deep
+// 128-row ORs, checking every result against the host golden model.
+func ReplicationSweep(rates []float64) ([]ReplicationRow, error) {
+	const (
+		bits = 1 << 16
+		ops  = 4
+	)
+	var out []ReplicationRow
+	for _, rate := range rates {
+		row := ReplicationRow{Rate: rate}
+
+		base, err := runReplicationPoint(rate, 0, bits, ops)
+		if err != nil {
+			return nil, err
+		}
+		row.BaseGBps = base.gbps
+		row.BaseRetries = base.stats.Retries
+		row.BaseSplits = base.stats.DepthReductions
+		row.BaseHost = base.stats.HostFallbacks
+		row.BaseDegraded = base.stats.DepthReductions + base.stats.InterFallbacks + base.stats.HostFallbacks
+		row.WrongWords += base.wrongWords
+
+		rep, err := runReplicationPoint(rate, 3, bits, ops)
+		if err != nil {
+			return nil, err
+		}
+		row.RepGBps = rep.gbps
+		row.RepVotes = rep.stats.Votes
+		row.RepOutvoted = rep.stats.BitsOutvoted
+		row.RepRetries = rep.stats.Retries
+		row.RepDegraded = rep.stats.DepthReductions + rep.stats.InterFallbacks + rep.stats.HostFallbacks
+		row.WrongWords += rep.wrongWords
+
+		if row.BaseGBps > 0 {
+			row.Speedup = row.RepGBps / row.BaseGBps
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+type replicationPoint struct {
+	gbps       float64
+	stats      pinatubo.FaultStats
+	wrongWords int
+}
+
+// runReplicationPoint runs the sweep workload on one build: PCM, read-back
+// verification, the given replication factor, ops deep ORs over 128
+// operand rows. Verification is pinned on even at rate 0 so the fault-free
+// point prices the replicated build's fixed tax instead of short-circuiting
+// to the raw path.
+func runReplicationPoint(rate float64, replicate, bits, ops int) (replicationPoint, error) {
+	cfg := pinatubo.DefaultConfig()
+	cfg.Fault = pinatubo.FaultConfig{Seed: 1, SenseFlipRate: rate}
+	cfg.Resilience = pinatubo.ResilienceConfig{
+		Verify:    pinatubo.VerifyReadback,
+		Replicate: replicate,
+	}
+	sys, err := pinatubo.New(cfg)
+	if err != nil {
+		return replicationPoint{}, err
+	}
+	w := bitvec.WordsFor(bits)
+	srcs, err := sys.AllocGroup(128, bits)
+	if err != nil {
+		return replicationPoint{}, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	golden := make([]uint64, w)
+	words := make([]uint64, w)
+	for _, v := range srcs {
+		for j := range words {
+			words[j] = rng.Uint64()
+			golden[j] |= words[j]
+		}
+		if _, err := sys.Write(v, words); err != nil {
+			return replicationPoint{}, err
+		}
+	}
+	dst, err := sys.Alloc(bits)
+	if err != nil {
+		return replicationPoint{}, err
+	}
+
+	var pt replicationPoint
+	var seconds float64
+	for k := 0; k < ops; k++ {
+		res, err := sys.Or(dst, srcs...)
+		if err != nil {
+			return replicationPoint{}, err
+		}
+		seconds += res.Latency.Seconds()
+	}
+	got, _, err := sys.Read(dst)
+	if err != nil {
+		return replicationPoint{}, err
+	}
+	for j := range golden {
+		if got[j] != golden[j] {
+			pt.wrongWords++
+		}
+	}
+	pt.stats = sys.FaultStats()
+	pt.gbps = float64(ops) * 128 * float64(bits) / 8 / seconds / 1e9
+	return pt, nil
+}
+
+// FormatReplicationSweep renders the crossover as an aligned text table.
+func FormatReplicationSweep(rows []ReplicationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Replication crossover — reactive ladder vs R=3 majority voting, 128-row ORs\n")
+	sb.WriteString("  (read-back verification on in both builds; results checked against the host golden model)\n")
+	for _, r := range rows {
+		label := "fault-free"
+		if r.Rate > 0 {
+			label = fmt.Sprintf("rate %.0e", r.Rate)
+		}
+		status := "exact"
+		if r.WrongWords > 0 {
+			status = fmt.Sprintf("%d WRONG WORDS", r.WrongWords)
+		}
+		fmt.Fprintf(&sb, "  %-10s base %7.1f GBps (retries %-4d degraded %-3d)  R=3 %7.1f GBps (votes %-4d outvoted %-5d degraded %-3d)  %5.2fx  %s\n",
+			label, r.BaseGBps, r.BaseRetries, r.BaseDegraded,
+			r.RepGBps, r.RepVotes, r.RepOutvoted, r.RepDegraded,
+			r.Speedup, status)
+	}
+	return sb.String()
+}
+
+// WriteReplicationCSV emits: rate, base_gbps, base_retries, base_splits,
+// base_host, base_degraded, rep_gbps, rep_votes, rep_outvoted,
+// rep_retries, rep_degraded, speedup, wrong_words.
+func WriteReplicationCSV(w io.Writer, rows []ReplicationRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"rate", "base_gbps", "base_retries", "base_splits",
+		"base_host", "base_degraded", "rep_gbps", "rep_votes",
+		"rep_outvoted", "rep_retries", "rep_degraded", "speedup", "wrong_words"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.FormatFloat(r.Rate, 'e', 1, 64),
+			strconv.FormatFloat(r.BaseGBps, 'f', 3, 64),
+			strconv.FormatInt(r.BaseRetries, 10),
+			strconv.FormatInt(r.BaseSplits, 10),
+			strconv.FormatInt(r.BaseHost, 10),
+			strconv.FormatInt(r.BaseDegraded, 10),
+			strconv.FormatFloat(r.RepGBps, 'f', 3, 64),
+			strconv.FormatInt(r.RepVotes, 10),
+			strconv.FormatInt(r.RepOutvoted, 10),
+			strconv.FormatInt(r.RepRetries, 10),
+			strconv.FormatInt(r.RepDegraded, 10),
+			strconv.FormatFloat(r.Speedup, 'f', 3, 64),
+			strconv.Itoa(r.WrongWords),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

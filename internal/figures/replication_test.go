@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReplicationSweep(t *testing.T) {
+	// One fault-free point (pricing the fixed replication tax) and one hot
+	// enough that the reactive baseline must degrade.
+	rows, err := ReplicationSweep([]float64{0, 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.WrongWords != 0 {
+			t.Fatalf("rate %g returned %d wrong words — resilience contract broken", r.Rate, r.WrongWords)
+		}
+		if r.BaseGBps <= 0 || r.RepGBps <= 0 {
+			t.Fatalf("rate %g: bandwidths %g / %g", r.Rate, r.BaseGBps, r.RepGBps)
+		}
+		if r.RepVotes == 0 {
+			t.Fatalf("rate %g: replicated build took no majority votes", r.Rate)
+		}
+	}
+	base, hot := rows[0], rows[1]
+	// Fault-free: replication is pure tax — no outvoting, no ladder, and a
+	// replicated build strictly no faster than the baseline.
+	if base.RepOutvoted != 0 || base.BaseRetries != 0 || base.RepRetries != 0 {
+		t.Fatalf("fault-free point shows fault activity: %+v", base)
+	}
+	if base.Speedup > 1 {
+		t.Fatalf("fault-free replication cannot be free: speedup %g", base.Speedup)
+	}
+	// Hot: the crossover claim — the reactive ladder degrades, the voted
+	// build outvotes its flips and stays on the native rung, and wins.
+	if hot.BaseDegraded == 0 {
+		t.Fatalf("1e-3 baseline never left the native rung: %+v", hot)
+	}
+	if hot.RepOutvoted == 0 {
+		t.Fatalf("1e-3 replicated build outvoted nothing: %+v", hot)
+	}
+	if hot.RepDegraded >= hot.BaseDegraded {
+		t.Fatalf("replication did not reduce degradations: R=3 %d vs base %d",
+			hot.RepDegraded, hot.BaseDegraded)
+	}
+	if hot.Speedup <= 1 {
+		t.Fatalf("1e-3 crossover missing: speedup %g", hot.Speedup)
+	}
+
+	text := FormatReplicationSweep(rows)
+	if !strings.Contains(text, "fault-free") || !strings.Contains(text, "exact") {
+		t.Fatalf("format output missing labels:\n%s", text)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReplicationCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "rate,base_gbps") {
+		t.Fatalf("csv output malformed:\n%s", buf.String())
+	}
+}

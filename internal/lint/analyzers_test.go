@@ -40,6 +40,10 @@ func TestPanicFree(t *testing.T) {
 	linttest.Run(t, lint.PanicFree, "testdata/src/panicfree")
 }
 
+func TestTimeMix(t *testing.T) {
+	linttest.Run(t, lint.TimeMix, "testdata/src/timemix")
+}
+
 func TestIgnoreReason(t *testing.T) {
 	linttest.Run(t, lint.IgnoreReason, "testdata/src/ignorereason")
 }

@@ -201,6 +201,7 @@ func All() []*Analyzer {
 		EnumSwitch,
 		CostPair,
 		PanicFree,
+		TimeMix,
 		IgnoreReason,
 	}
 }

@@ -1,0 +1,60 @@
+// Package timemixtest exercises the timemix analyzer: bare conversions
+// between float time and time.Duration are positives; conversions that
+// spell the unit with a time constant — in the operand or anywhere in the
+// same arithmetic chain — are negatives, as is integer/Duration traffic.
+package timemixtest
+
+import "time"
+
+func badToDuration(seconds float64) time.Duration {
+	return time.Duration(seconds) // want `time\.Duration\(seconds\) converts a float with no time-unit constant`
+}
+
+func badToDurationExpr(a, b float64) time.Duration {
+	return time.Duration(a*b + 1) // want `converts a float with no time-unit constant`
+}
+
+func badFromDuration(d time.Duration) float64 {
+	return float64(d) // want `float64\(d\) converts time\.Duration with no time-unit constant`
+}
+
+func badFromDurationSum(ds []time.Duration) float64 {
+	var total float64
+	for _, d := range ds {
+		total += float64(d) // want `converts time\.Duration with no time-unit constant`
+	}
+	return total
+}
+
+func badCompare(d time.Duration, seconds float64) bool {
+	return float64(d) > seconds // want `converts time\.Duration with no time-unit constant`
+}
+
+func goodToDuration(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+func goodToDurationMillis(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func goodFromDuration(d time.Duration) float64 {
+	return float64(d) / float64(time.Second)
+}
+
+func goodFromDurationParen(d time.Duration, scale float64) float64 {
+	return (float64(d) / float64(time.Second)) * scale
+}
+
+func goodNamedUnit(d time.Duration) float64 {
+	const tick = 10 * time.Millisecond
+	return float64(d) / float64(tick)
+}
+
+func goodIntNanos(ns int64) time.Duration {
+	return time.Duration(ns) // integer nanosecond counts are Duration's own unit
+}
+
+func goodDurationMath(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimeMix flags conversions that mix the simulator's unit-bearing float
+// time (seconds, picoseconds) with host time.Duration without an explicit
+// time-unit constant in the expression. The simulator carries simulated
+// time as float64 seconds; time.Duration counts integer nanoseconds. A
+// bare time.Duration(seconds) silently reinterprets seconds as
+// nanoseconds (a 1e9 error), and a bare float64(d) leaks nanosecond
+// counts into seconds arithmetic. The sanctioned idioms spell the unit:
+// time.Duration(s * float64(time.Second)) and float64(d)/float64(time.Second).
+var TimeMix = &Analyzer{
+	Name: "timemix",
+	Doc: "flag time.Duration <-> float conversions with no time-unit constant " +
+		"in the expression; simulated seconds and host nanoseconds must not mix bare",
+	Run: runTimeMix,
+}
+
+func runTimeMix(pass *Pass) error {
+	for _, file := range pass.Files {
+		parents := map[ast.Node]ast.Node{}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			arg := call.Args[0]
+			argType := pass.TypesInfo.Types[arg].Type
+			if argType == nil {
+				return true
+			}
+			switch {
+			case isDurationType(tv.Type) && isFloatType(argType):
+				// time.Duration(f): the float operand must spell its unit.
+				if !hasTimeUnit(pass, arg) {
+					pass.Reportf(call.Pos(),
+						"time.Duration(%s) converts a float with no time-unit constant; "+
+							"scale explicitly, e.g. time.Duration(x * float64(time.Second))",
+						types.ExprString(arg))
+				}
+			case isFloatType(tv.Type) && isDurationType(argType):
+				// float64(d): the surrounding expression must spell the unit
+				// (float64(d) / float64(time.Second)); a bare conversion
+				// leaks a nanosecond count into seconds arithmetic.
+				if !hasTimeUnit(pass, enclosingExpr(parents, call)) {
+					pass.Reportf(call.Pos(),
+						"%s converts time.Duration with no time-unit constant nearby; "+
+							"divide explicitly, e.g. float64(d) / float64(time.Second)",
+						types.ExprString(call))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingExpr walks up through binary and paren expressions to the
+// outermost expression containing n, so a unit constant anywhere in the
+// same arithmetic chain sanctions the conversion.
+func enclosingExpr(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for {
+		p := parents[n]
+		switch p.(type) {
+		case *ast.BinaryExpr, *ast.ParenExpr:
+			n = p
+		default:
+			return n
+		}
+	}
+}
+
+// hasTimeUnit reports whether the expression's subtree references a
+// constant of type time.Duration — time.Second and friends, or a named
+// unit constant derived from them.
+func hasTimeUnit(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		expr, ok := c.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		tv, ok := pass.TypesInfo.Types[expr]
+		if ok && tv.Value != nil && isDurationType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isDurationType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func isFloatType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

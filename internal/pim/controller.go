@@ -81,6 +81,11 @@ type Result struct {
 	Commands []ddr.Cmd
 	// Words is the result vector (bitvec.WordsFor(Bits) words).
 	Words []uint64
+	// Voted is the replica count of a majority-voted execution (0 for a
+	// plain request). Outvoted counts the bit positions where the replica
+	// senses disagreed and the majority overrode the minority.
+	Voted    int
+	Outvoted int64
 }
 
 // Counters accumulates the controller's lifetime hardware activity.
@@ -102,6 +107,11 @@ type Controller struct {
 	// inj, when attached, corrupts sensing and cell writes — see
 	// internal/fault. nil means the ideal-hardware model.
 	inj *fault.Injector
+	// wearShare, when set, reports how many replicas of a logical row the
+	// given physical row stores; programs of such rows accrue 1/share of a
+	// wear event each (internal/fault.RecordWriteShared). nil or a return
+	// of <= 1 means normal wear.
+	wearShare func(memarch.RowAddr) int
 	// codec and checks model the in-array SECDED spare columns — see ecc.go.
 	// codec nil means no ECC; checks maps encoded row address to that row's
 	// stored check bits.
@@ -130,6 +140,11 @@ func (c *Controller) AttachInjector(in *fault.Injector) { c.inj = in }
 
 // Injector returns the attached fault injector (nil when none).
 func (c *Controller) Injector() *fault.Injector { return c.inj }
+
+// SetWearSpread installs the replica-share lookup consulted on every cell
+// write: rows reported as storing one of R replicas age R× slower per
+// logical write. Passing nil restores normal wear.
+func (c *Controller) SetWearSpread(f func(memarch.RowAddr) int) { c.wearShare = f }
 
 // AbsorbCounters folds another controller's accumulated hardware activity
 // into this one (integer adds — exact under any merge order). The batch
@@ -351,7 +366,13 @@ func (c *Controller) store(addr memarch.RowAddr, words []uint64) error {
 	}
 	if c.inj != nil {
 		key := c.mem.Geometry().Encode(addr)
-		c.inj.RecordWrite(key)
+		share := 1
+		if c.wearShare != nil {
+			if s := c.wearShare(addr); s > 1 {
+				share = s
+			}
+		}
+		c.inj.RecordWriteShared(key, share)
 		if c.inj.Worn(key) {
 			c.inj.CorruptStored(key, c.mem.PeekRow(addr))
 		}

@@ -256,6 +256,12 @@ type Scheduler struct {
 	// Release, when set, takes back rows the scheduler borrowed through
 	// Remap for internal partials it no longer needs.
 	Release func(rows []memarch.RowAddr)
+	// Replicas, when set, supplies the replica rows holding extra copies of
+	// a logical row (nil/empty for unreplicated rows). When every operand
+	// of an intra-subarray request is replicated, the request executes as a
+	// majority-voted activation over all copies — the proactive rung of the
+	// resilience ladder (resilience.go).
+	Replicas func(a memarch.RowAddr) []memarch.RowAddr
 
 	stats FaultStats
 }
@@ -299,6 +305,8 @@ type ScheduleResult struct {
 	Retries       int    // hardware re-executions
 	Degraded      string // worst degradation rung taken ("" = native path)
 	BitsCorrected int64  // wrong bits intercepted by verification
+	Votes         int    // majority-voted requests executed
+	BitsOutvoted  int64  // replica-disagreeing bits the vote overrode
 	// FinalDst is where the result actually lives; it differs from the
 	// requested destination only when that row was retired mid-operation.
 	FinalDst memarch.RowAddr
@@ -313,10 +321,11 @@ type ScheduleResult struct {
 func (res *ScheduleResult) finalize() {
 	res.Requests = res.Program.Requests()
 	res.Cost = res.Program.Cost()
+	res.Votes, res.BitsOutvoted = res.Program.Votes()
 	res.Trace = nil
 	for _, in := range res.Program.Instrs {
 		switch in.Kind {
-		case cmdstream.KindRequest:
+		case cmdstream.KindRequest, cmdstream.KindVoted:
 			res.Trace = append(res.Trace, TraceSegment{Cmds: in.Cmds})
 		case cmdstream.KindVerify:
 			if in.Seconds > 0 {

@@ -1,0 +1,96 @@
+package pimrt
+
+// This file is the proactive rung of the resilience ladder: replication +
+// majority-vote sensing (the PULSAR trade — capacity for reliability).
+// When the Replicas hook reports that every operand of an intra-subarray
+// request has R-1 coherent copies, the request executes as one
+// majority-voted activation: R sequential multi-row groups sensed at the
+// native depth, voted bitwise before write-back. The reactive rungs
+// (retry, depth-split, inter-digital, host) only engage when the vote is
+// not unanimous *and* verification still fails — at realistic fault rates
+// the binomial vote tail turns nearly every would-be degradation into a
+// clean first-try result.
+
+import (
+	"pinatubo/internal/memarch"
+	"pinatubo/internal/pim"
+	"pinatubo/internal/sense"
+)
+
+// votedSets assembles the replica operand sets for a request, or returns
+// nil when voting does not apply: no Replicas hook, an operand without
+// replicas, mismatched replica counts, or a placement the analog vote
+// cannot serve (all copies of all operands must share one subarray).
+// sets[0] is srcs itself; sets[k] holds the k-th copy of every operand.
+func (s *Scheduler) votedSets(srcs []memarch.RowAddr) [][]memarch.RowAddr {
+	if s.Replicas == nil || len(srcs) == 0 {
+		return nil
+	}
+	reps := make([][]memarch.RowAddr, len(srcs))
+	r := 0
+	for i, a := range srcs {
+		rep := s.Replicas(a)
+		if len(rep) == 0 {
+			return nil
+		}
+		if i == 0 {
+			r = len(rep)
+		} else if len(rep) != r {
+			return nil
+		}
+		reps[i] = rep
+	}
+	sets := make([][]memarch.RowAddr, r+1)
+	sets[0] = srcs
+	all := append([]memarch.RowAddr(nil), srcs...)
+	for k := 0; k < r; k++ {
+		set := make([]memarch.RowAddr, len(srcs))
+		for i := range srcs {
+			set[i] = reps[i][k]
+		}
+		sets[k+1] = set
+		all = append(all, set...)
+	}
+	if !memarch.SameSubarray(all...) {
+		return nil
+	}
+	return sets
+}
+
+// nativeExec executes one request on the native analog path, majority
+// voted when every operand is replicated, plain otherwise. The vote
+// counters accrue only on completed requests — a transient activation
+// fault aborts before anything was sensed to vote on.
+func (s *Scheduler) nativeExec(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr) (*pim.Result, error) {
+	if sets := s.votedSets(srcs); sets != nil {
+		r, err := s.Ctl.ExecuteVoted(op, sets, bits, dst)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.Votes++
+		s.stats.BitsOutvoted += r.Outvoted
+		return r, nil
+	}
+	return s.Ctl.Execute(op, srcs, bits, dst)
+}
+
+// syncReplicas refreshes the replica copies of a just-verified target row
+// with plain single-row copy requests (activate the primary, sense at the
+// read margin, write back into the replica's row), so the next voted
+// activation sees R coherent copies. Voted execution writes only the
+// primary destination; this is where the replicas catch up — priced as
+// the explicit requests they are, recorded into the operation's program.
+func (s *Scheduler) syncReplicas(target memarch.RowAddr, bits int, res *ScheduleResult) error {
+	if s.Replicas == nil {
+		return nil
+	}
+	for _, rep := range s.Replicas(target) {
+		rep := rep
+		r, err := s.Ctl.Execute(sense.OpRead, []memarch.RowAddr{target}, bits, &rep)
+		if err != nil {
+			return err
+		}
+		res.Program.Emit(r.Instr())
+	}
+	return nil
+}

@@ -85,6 +85,10 @@ type FaultStats struct {
 	EccDecodes        int64 // syndrome-decode verification passes
 	EccCorrectedBits  int64 // single-bit errors SECDED fixed in place
 	EccUncorrectables int64 // detected-uncorrectable syndromes escalated
+
+	// Proactive replication activity (the majority-vote rung).
+	Votes        int64 // majority-voted requests executed
+	BitsOutvoted int64 // replica-disagreeing bits the vote overrode
 }
 
 // FaultStats returns a snapshot of the accumulated resilience activity.
@@ -105,6 +109,8 @@ func (s *Scheduler) AbsorbStats(o FaultStats) {
 	s.stats.EccDecodes += o.EccDecodes
 	s.stats.EccCorrectedBits += o.EccCorrectedBits
 	s.stats.EccUncorrectables += o.EccUncorrectables
+	s.stats.Votes += o.Votes
+	s.stats.BitsOutvoted += o.BitsOutvoted
 }
 
 // Degradation rungs reported in ScheduleResult.Degraded (worst one wins).
@@ -187,6 +193,9 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 			return nil, err
 		}
 		if ok {
+			if err := s.syncReplicas(*target, bits, res); err != nil {
+				return nil, err
+			}
 			return golden, nil
 		}
 		ok, err = s.ladder(op, srcs, bits, target, restore, golden, res, &dirty)
@@ -203,6 +212,9 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 				return nil, err
 			}
 			res.Program.Emit(cost.Instr(*target))
+			if err := s.syncReplicas(*target, bits, res); err != nil {
+				return nil, err
+			}
 			return golden, nil
 		}
 		return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w (%w)",
@@ -210,8 +222,14 @@ func (s *Scheduler) request(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 	}
 
 	ok, err := s.ladder(op, srcs, bits, target, restore, golden, res, &dirty)
-	if err != nil || ok {
-		return golden, err
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := s.syncReplicas(*target, bits, res); err != nil {
+			return nil, err
+		}
+		return golden, nil
 	}
 	return nil, fmt.Errorf("pimrt: %v over %d rows into %v: %w", op, len(srcs), *target, ErrResilienceExhausted)
 }
@@ -273,7 +291,7 @@ func (s *Scheduler) eccAttempt(op sense.Op, srcs []memarch.RowAddr, bits int, ta
 				return false, err
 			}
 		}
-		r, err := s.Ctl.Execute(op, srcs, bits, target)
+		r, err := s.nativeExec(op, srcs, bits, target)
 		if err != nil {
 			if errors.Is(err, pim.ErrActivationFault) {
 				continue // nothing was sensed or written; reissue
@@ -325,7 +343,7 @@ func (s *Scheduler) attempt(op sense.Op, srcs []memarch.RowAddr, bits int, targe
 				return false, err
 			}
 		}
-		exec := s.Ctl.Execute
+		exec := s.nativeExec
 		if digital {
 			exec = s.Ctl.ExecuteDigital
 		}

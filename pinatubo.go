@@ -200,12 +200,30 @@ type ResilienceConfig struct {
 	// DisableHostFallback removes the final CPU rung; exhausting the
 	// ladder then returns an error instead.
 	DisableHostFallback bool
+
+	// Replicate enables the proactive replication + majority-vote rung:
+	// every allocated row gets Replicate-1 extra copies in its subarray,
+	// intra-subarray operations activate and sense each copy set in turn,
+	// and the result is the bitwise majority of the Replicate senses — so
+	// a sense flip must strike the same bit in most copies to survive,
+	// which turns reactive ladder degradations into clean first-try
+	// results at the cost of Replicate× row capacity and extra activation
+	// groups per request. Legal values are 0 (off) and odd counts 3..7.
+	// The rung engages only when the resilience layer is active (the
+	// effective verify mode is VerifyReadback or VerifyECC); with
+	// verification off — including VerifyAuto with no faults injected —
+	// replication is fully inert and the system stays bit-identical to an
+	// unreplicated one.
+	Replicate int
 }
 
 // mode validates and returns the configured mode.
 func (rc ResilienceConfig) mode() (VerifyMode, error) {
 	if rc.Verify < VerifyAuto || rc.Verify > VerifyECC {
 		return 0, fmt.Errorf("pinatubo: unknown VerifyMode %d", int(rc.Verify))
+	}
+	if !analog.ValidReplication(rc.Replicate) {
+		return 0, fmt.Errorf("pinatubo: Replicate=%d not 0 or an odd count in 3..7", rc.Replicate)
 	}
 	if rc.Verify == VerifyECC {
 		switch rc.ECCWordBits {
@@ -235,6 +253,14 @@ type System struct {
 	ctl    *pim.Controller
 	alloc  *pimrt.Allocator
 	sched  *pimrt.Scheduler
+
+	// Proactive replication state (nil maps when the rung is inert):
+	// replicate is the effective factor, repRows maps an encoded primary
+	// row to its replica rows, repMember marks every participating row
+	// (primary and replica) for the wear-spread hook.
+	replicate int
+	repRows   map[uint64][]memarch.RowAddr
+	repMember map[uint64]bool
 
 	stats Stats
 	// host-path resilience activity (Write/Read verification), kept apart
@@ -357,8 +383,77 @@ func New(cfg Config) (*System, error) {
 		s.sched.Res = res
 		s.sched.Remap = s.remapRow
 		s.sched.Release = s.alloc.Free
+		if cfg.Resilience.Replicate != 0 {
+			// The proactive rung: replicate rows at allocation, majority-vote
+			// intra-subarray requests, spread wear across the copies. Gated
+			// on the resilience layer being active so that a fault-free
+			// system with Replicate set stays bit-identical to the baseline.
+			s.replicate = cfg.Resilience.Replicate
+			s.repRows = make(map[uint64][]memarch.RowAddr)
+			s.repMember = make(map[uint64]bool)
+			s.sched.Replicas = s.replicaRows
+			ctl.SetWearSpread(func(a memarch.RowAddr) int {
+				if s.repMember[geo.Encode(a)] {
+					return s.replicate
+				}
+				return 1
+			})
+		}
 	}
 	return s, nil
+}
+
+// replicaRows returns the replica rows of a primary row (nil when the row
+// is not replicated or replication is inert).
+func (s *System) replicaRows(a memarch.RowAddr) []memarch.RowAddr {
+	if s.repRows == nil {
+		return nil
+	}
+	return s.repRows[s.mem.Geometry().Encode(a)]
+}
+
+// registerReplicas records a primary row's replica copies for the voting
+// and wear-spread hooks.
+func (s *System) registerReplicas(primary memarch.RowAddr, reps []memarch.RowAddr) {
+	geo := s.mem.Geometry()
+	s.repRows[geo.Encode(primary)] = reps
+	s.repMember[geo.Encode(primary)] = true
+	for _, r := range reps {
+		s.repMember[geo.Encode(r)] = true
+	}
+}
+
+// dropReplicas releases a row's replicas back to the allocator and forgets
+// them — used when a primary row is retired and remapped mid-operation
+// (the fresh row starts life unreplicated; voting simply stops applying to
+// requests that touch it).
+func (s *System) dropReplicas(primary memarch.RowAddr) {
+	if s.repRows == nil {
+		return
+	}
+	geo := s.mem.Geometry()
+	key := geo.Encode(primary)
+	reps, ok := s.repRows[key]
+	if !ok {
+		return
+	}
+	delete(s.repRows, key)
+	delete(s.repMember, key)
+	for _, r := range reps {
+		delete(s.repMember, geo.Encode(r))
+	}
+	s.alloc.Free(reps)
+}
+
+// beginOp opens a fresh per-operation fault substream. Every public
+// operation (Apply/Batch op, Write, Read) draws its faults from a stream
+// seeded by (Seed, operation sequence number), which is what lets Batch
+// run fault-injected shards concurrently yet produce exactly the faults
+// sequential execution would have drawn.
+func (s *System) beginOp() {
+	if inj := s.ctl.Injector(); inj != nil {
+		inj.BeginOp()
+	}
 }
 
 // remapRow retires a worn-out row and hands back a fresh one.
@@ -434,11 +529,26 @@ func (s *System) rowsFor(bits int) (int, error) {
 	return (bits + rb - 1) / rb, nil
 }
 
-// Alloc allocates one bit-vector (pim_malloc).
+// Alloc allocates one bit-vector (pim_malloc). With the replication rung
+// active, every row is allocated as a subarray-local group of Replicate
+// copies: the first is the primary the vector names, the rest are the
+// replicas the majority vote senses.
 func (s *System) Alloc(bits int) (*BitVector, error) {
 	n, err := s.rowsFor(bits)
 	if err != nil {
 		return nil, err
+	}
+	if s.replicate >= 3 {
+		rows := make([]memarch.RowAddr, 0, n)
+		for i := 0; i < n; i++ {
+			grp, err := s.alloc.AllocGroupRows(s.replicate)
+			if err != nil {
+				return nil, err
+			}
+			s.registerReplicas(grp[0], grp[1:])
+			rows = append(rows, grp[0])
+		}
+		return &BitVector{sys: s, bits: bits, rows: rows}, nil
 	}
 	rows, err := s.alloc.AllocRows(n)
 	if err != nil {
@@ -458,9 +568,21 @@ func (s *System) AllocGroup(count, bits int) ([]*BitVector, error) {
 		return nil, fmt.Errorf("pinatubo: group vectors must fit one row (1..%d bits), got %d",
 			s.RowBits(), bits)
 	}
-	rows, err := s.alloc.AllocGroupRows(count)
+	n := count
+	if s.replicate >= 3 {
+		// One group allocation holds the primaries and every replica in the
+		// same subarray, so grouped operands stay votable.
+		n = count * s.replicate
+	}
+	rows, err := s.alloc.AllocGroupRows(n)
 	if err != nil {
 		return nil, err
+	}
+	if s.replicate >= 3 {
+		per := s.replicate - 1
+		for i := 0; i < count; i++ {
+			s.registerReplicas(rows[i], rows[count+i*per:count+(i+1)*per])
+		}
 	}
 	out := make([]*BitVector, count)
 	for i := range out {
@@ -473,6 +595,9 @@ func (s *System) AllocGroup(count, bits int) ([]*BitVector, error) {
 func (s *System) Free(b *BitVector) error {
 	if err := b.check(s); err != nil {
 		return err
+	}
+	for _, row := range b.rows {
+		s.dropReplicas(row)
 	}
 	s.alloc.Free(b.rows)
 	b.sys = nil
@@ -505,6 +630,13 @@ type Result struct {
 	Retries       int
 	Degraded      string
 	BitsCorrected int64
+
+	// Proactive replication outcome — all zero unless Resilience.Replicate
+	// was set. Votes counts majority-voted activations taken; BitsOutvoted
+	// counts bit positions where the replica copies disagreed and the
+	// majority overruled the minority.
+	Votes        int
+	BitsOutvoted int64
 }
 
 func (s *System) account(class PlacementClass, requests int, seconds, joules float64) Result {
@@ -529,6 +661,7 @@ func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
 	if len(words) > bitvec.WordsFor(b.bits) {
 		return Result{}, fmt.Errorf("pinatubo: %d words exceed %d-bit vector", len(words), b.bits)
 	}
+	s.beginOp()
 	var seconds, joules float64
 	perRow := s.RowBits() / 64
 	for i := range b.rows {
@@ -545,7 +678,20 @@ func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
 		if i == len(b.rows)-1 {
 			bitsHere = b.bits - i*s.RowBits()
 		}
+		old := b.rows[i]
 		sec, j, err := s.writeRow(&b.rows[i], chunk, bitsHere)
+		if err != nil {
+			return Result{}, err
+		}
+		seconds += sec
+		joules += j
+		if b.rows[i] != old {
+			// The write retired and remapped the row: the fresh row has no
+			// replicas, so it simply falls back to unreplicated execution
+			// (verification still guards it).
+			s.dropReplicas(old)
+		}
+		sec, j, err = s.programReplicas(b.rows[i], chunk, bitsHere)
 		if err != nil {
 			return Result{}, err
 		}
@@ -553,6 +699,23 @@ func (s *System) Write(b *BitVector, words []uint64) (Result, error) {
 		joules += j
 	}
 	return s.account(PlaceHostWrite, len(b.rows), seconds, joules), nil
+}
+
+// programReplicas mirrors a freshly written primary row into its replicas
+// with plain (unverified) host programs — the majority vote tolerates an
+// imperfect copy, and every voted result is still verified downstream.
+// The cost of keeping R copies is priced as the R-1 extra programs it is.
+func (s *System) programReplicas(primary memarch.RowAddr, chunk []uint64, bitsHere int) (float64, float64, error) {
+	var seconds, joules float64
+	for _, rep := range s.replicaRows(primary) {
+		r, err := s.ctl.WriteRowFromHost(rep, chunk, bitsHere)
+		if err != nil {
+			return seconds, joules, err
+		}
+		seconds += r.Seconds
+		joules += r.Energy.Total()
+	}
+	return seconds, joules, nil
 }
 
 // writeRow programs one row from the host. With resilience on, the stored
@@ -644,6 +807,7 @@ func (s *System) writeRowECC(addr *memarch.RowAddr, chunk, golden []uint64, bits
 
 // Read returns the vector contents through the host interface.
 func (s *System) Read(b *BitVector) ([]uint64, Result, error) {
+	s.beginOp()
 	return s.readInto(b, nil)
 }
 
@@ -947,6 +1111,7 @@ func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream
 	if err := s.validateOp(op, dst, srcs); err != nil {
 		return Result{}, err
 	}
+	s.beginOp()
 	if op == OpPopcount {
 		// Host-side reduction over dst itself: read the vector out and
 		// count there; the cost is exactly the host read.
@@ -987,6 +1152,9 @@ func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream
 			if err != nil {
 				return Result{}, err
 			}
+			if res.FinalDst != dst.rows[batch] {
+				s.dropReplicas(dst.rows[batch])
+			}
 			dst.rows[batch] = res.FinalDst
 			if prog != nil {
 				prog.Append(res.Program)
@@ -1020,6 +1188,9 @@ func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream
 		if err != nil {
 			return Result{}, err
 		}
+		if res.FinalDst != dst.rows[batch] {
+			s.dropReplicas(dst.rows[batch])
+		}
 		dst.rows[batch] = res.FinalDst
 		if prog != nil {
 			prog.Append(res.Program)
@@ -1044,18 +1215,24 @@ type resilienceTally struct {
 	retries       int
 	degraded      string
 	bitsCorrected int64
+	votes         int
+	bitsOutvoted  int64
 }
 
 func (t *resilienceTally) add(res *pimrt.ScheduleResult) {
 	t.retries += res.Retries
 	t.degraded = pimrt.WorseDegraded(t.degraded, res.Degraded)
 	t.bitsCorrected += res.BitsCorrected
+	t.votes += res.Votes
+	t.bitsOutvoted += res.BitsOutvoted
 }
 
 func (t *resilienceTally) fill(r Result) Result {
 	r.Retries = t.retries
 	r.Degraded = t.degraded
 	r.BitsCorrected = t.bitsCorrected
+	r.Votes = t.votes
+	r.BitsOutvoted = t.bitsOutvoted
 	return r
 }
 
@@ -1159,6 +1336,11 @@ type FaultStats struct {
 	EccDecodes        int64 // syndrome decodes issued (PIM scheduler + host paths)
 	EccCorrectedBits  int64 // bits fixed in place by SECDED correction
 	EccUncorrectables int64 // double-bit syndromes escalated to the ladder
+
+	// Proactive replication activity — all zero unless Resilience.Replicate
+	// was set.
+	Votes        int64 // majority-voted activations taken
+	BitsOutvoted int64 // disagreeing bit positions overruled by the majority
 }
 
 // FaultStats returns a snapshot of the cumulative fault activity.
@@ -1188,6 +1370,8 @@ func (s *System) FaultStats() FaultStats {
 	out.EccDecodes = s.hostEccDecodes + sc.EccDecodes
 	out.EccCorrectedBits = s.hostEccCorrected + sc.EccCorrectedBits
 	out.EccUncorrectables = s.hostEccUncorrectable + sc.EccUncorrectables
+	out.Votes = sc.Votes
+	out.BitsOutvoted = sc.BitsOutvoted
 	return out
 }
 

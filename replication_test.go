@@ -1,0 +1,170 @@
+package pinatubo
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"pinatubo/internal/bitvec"
+)
+
+// TestReplicatedExecutionProperty is the replication rung's correctness
+// property: for every operation × technology × replica count R ∈ {3, 5},
+// across fault rates {0, 1e-4, 1e-3}, replicated execution never returns
+// a wrong or unverified result, and the vote ledgers reconcile — per-op
+// Result vote counters sum to the FaultStats totals, and the majority
+// never outvotes more bit positions than the injector actually flipped.
+func TestReplicatedExecutionProperty(t *testing.T) {
+	techs := []Tech{PCM, STTMRAM, ReRAM}
+	for _, tech := range techs {
+		for _, r := range []int{3, 5} {
+			for _, rate := range []float64{0, 1e-4, 1e-3} {
+				tech, r, rate := tech, r, rate
+				t.Run(fmt.Sprintf("%v/r%d/rate%g", tech, r, rate), func(t *testing.T) {
+					t.Parallel()
+					runReplicatedProperty(t, tech, r, rate)
+				})
+			}
+		}
+	}
+}
+
+func runReplicatedProperty(t *testing.T, tech Tech, r int, rate float64) {
+	cfg := DefaultConfig()
+	cfg.Tech = tech
+	cfg.Resilience = ResilienceConfig{Verify: VerifyReadback, Replicate: r}
+	cfg.Fault = FaultConfig{Seed: 7, SenseFlipRate: rate, ActivationFailRate: rate / 10}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nvec = 16
+	const vbits = 1 << 13
+	w := bitvec.WordsFor(vbits)
+	vs, err := s.AllocGroup(nvec, vbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	golden := make([][]uint64, nvec)
+	for i, v := range vs {
+		golden[i] = make([]uint64, w)
+		for j := range golden[i] {
+			golden[i][j] = rng.Uint64()
+		}
+		mask := uint64(1)<<(vbits%64) - 1
+		if vbits%64 == 0 {
+			mask = ^uint64(0)
+		}
+		golden[i][w-1] &= mask
+		if _, err := s.Write(v, golden[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := s.Alloc(vbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var votes int
+	var outvoted int64
+	check := func(name string, res Result, want func(j int) uint64) {
+		t.Helper()
+		votes += res.Votes
+		outvoted += res.BitsOutvoted
+		got, _, err := s.Read(dst)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		for j := 0; j < w; j++ {
+			if got[j] != want(j) {
+				t.Fatalf("%s: word %d wrong despite replication (R=%d, rate=%g)",
+					name, j, r, rate)
+			}
+		}
+	}
+
+	res, err := s.Or(dst, vs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("or", res, func(j int) uint64 {
+		var or uint64
+		for i := range golden {
+			or |= golden[i][j]
+		}
+		return or
+	})
+
+	res, err = s.And(dst, vs[0], vs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("and", res, func(j int) uint64 { return golden[0][j] & golden[1][j] })
+
+	res, err = s.Xor(dst, vs[2], vs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("xor", res, func(j int) uint64 { return golden[2][j] ^ golden[3][j] })
+
+	notMask := func(j int) uint64 {
+		m := ^uint64(0)
+		if j == w-1 && vbits%64 != 0 {
+			m = uint64(1)<<(vbits%64) - 1
+		}
+		return m
+	}
+	res, err = s.Not(dst, vs[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("not", res, func(j int) uint64 { return ^golden[4][j] & notMask(j) })
+
+	res, err = s.Copy(dst, vs[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("copy", res, func(j int) uint64 { return golden[5][j] })
+
+	n, res, err := s.Popcount(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes += res.Votes
+	outvoted += res.BitsOutvoted
+	wantPop := 0
+	for j := 0; j < w; j++ {
+		wantPop += bits.OnesCount64(golden[5][j])
+	}
+	if n != wantPop {
+		t.Fatalf("popcount %d, want %d", n, wantPop)
+	}
+
+	fs := s.FaultStats()
+	// With the resilience layer explicitly on, replicated intra-subarray
+	// requests must actually vote — at every fault rate, including zero.
+	if fs.Votes == 0 {
+		t.Fatal("no majority votes taken with Replicate set")
+	}
+	// Reconciliation: the per-op Result counters and the system ledger are
+	// two views of the same events.
+	if int64(votes) != fs.Votes || outvoted != fs.BitsOutvoted {
+		t.Fatalf("vote ledgers diverge: Results %d votes/%d outvoted, FaultStats %d/%d",
+			votes, outvoted, fs.Votes, fs.BitsOutvoted)
+	}
+	// Every outvoted bit position had at least one disagreeing copy, and
+	// every disagreement traces back to an injected sense flip.
+	if fs.BitsOutvoted > fs.SenseFlips {
+		t.Fatalf("outvoted %d bits but only %d sense flips injected",
+			fs.BitsOutvoted, fs.SenseFlips)
+	}
+	if rate == 0 {
+		degraded := fs.DepthReductions != 0 || fs.InterFallbacks != 0 || fs.HostFallbacks != 0
+		if fs.SenseFlips != 0 || fs.BitsOutvoted != 0 || fs.Retries != 0 || degraded {
+			t.Fatalf("fault-free replicated run shows fault activity: %+v", fs)
+		}
+	}
+}
