@@ -1,8 +1,8 @@
 package pinatubo
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"pinatubo/internal/chansim"
@@ -29,7 +29,7 @@ type BatchResult struct {
 	// Makespan is the scheduled end-to-end time of the batch on the
 	// memory channels, with per-bank contention resolved by the
 	// event-driven scheduler. At fault rate 0 it is bit-identical to the
-	// PlanPoint.Makespan PlanWith predicts for the same op mix under the
+	// PlanPoint.Makespan Plan predicts for the same op mix under the
 	// same arbiter.
 	Makespan time.Duration
 	// Completion[i] is op i's finish time within the schedule.
@@ -40,26 +40,21 @@ type BatchResult struct {
 	// Speedup is Sequential / Makespan.
 	Speedup float64
 	// Shards is how many isolated memory shards the data-side effects
-	// executed across (1 means the batch ran sequentially on the live
-	// system: single shard, or a fault-injected run that retired a row
-	// mid-batch and was deterministically replayed in op order).
+	// executed across (1 means a single shard, or a fault-injected run
+	// that retired a row mid-batch and was deterministically replayed in
+	// op order on the live system).
 	Shards int
 	// Arb is the arbitration policy the schedule used.
 	Arb Arbiter
 }
 
-// Batch executes a set of operations as one scheduled batch under FIFO
-// arbitration. See BatchWith.
-func (s *System) Batch(ops []BatchOp) (BatchResult, error) {
-	return s.BatchWith(ops, ArbFIFO)
-}
-
-// BatchWith executes a set of operations as one scheduled batch:
+// Batch executes a set of operations as one scheduled batch:
 //
 //  1. lower — every op is executed through the normal pipeline and its
 //     full cmdstream program (requests, verification passes) captured;
 //  2. schedule — the programs are converted to per-bank-resource requests
-//     and run through the event-driven channel scheduler under arb;
+//     and run through the event-driven channel scheduler under the
+//     arbiter selected by WithArbiter (ArbFIFO by default);
 //  3. execute — the data-side effects run concurrently across independent
 //     shards: ops whose footprints (rows, scratch rows, global row
 //     buffers, I/O buffers) are disjoint execute on isolated shard
@@ -78,74 +73,62 @@ func (s *System) Batch(ops []BatchOp) (BatchResult, error) {
 // one, the sandboxes are discarded and the batch deterministically
 // replays in op order on the live system (Shards reports 1).
 //
+// WithContext attaches cancellation: a cancelled multi-shard batch
+// discards its sandboxes unmerged and the System is left as if the batch
+// never ran; a batch whose ops all conflict (one shard) executes in op
+// order on the live system and cancellation stops it between ops, leaving
+// the completed prefix applied — exactly a sequence of Apply calls
+// interrupted at that point.
+//
 // Ops whose operands span ranks are rejected: the paper's datapaths stop
 // at the rank's I/O buffer, and Apply would reject them too. On error the
 // batch's memory effects may be partial, exactly as a sequence of Apply
 // calls stopped at the failing op.
-func (s *System) BatchWith(ops []BatchOp, arb Arbiter) (BatchResult, error) {
-	carb, err := arb.internal()
-	if err != nil {
+//
+// For streaming admission — building the next batch while the current one
+// executes — use NewBatchBuilder and BatchRun instead of collecting a
+// slice for Batch.
+func (s *System) Batch(ops []BatchOp, opts ...Option) (BatchResult, error) {
+	o := resolveOpts(opts)
+	if _, err := o.arb.internal(); err != nil {
 		return BatchResult{}, err
 	}
 	if len(ops) == 0 {
 		return BatchResult{}, fmt.Errorf("pinatubo: empty batch")
 	}
-	footprints := make([][]fpKey, len(ops))
-	for i, op := range ops {
-		if err := s.validateOp(op.Op, op.Dst, op.Srcs); err != nil {
-			return BatchResult{}, fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
-		}
-		fp, err := s.opFootprint(op)
-		if err != nil {
-			return BatchResult{}, fmt.Errorf("pinatubo: batch op %d (%v): %w", i, op.Op, err)
-		}
-		footprints[i] = fp
+	if err := o.ctx.Err(); err != nil {
+		return BatchResult{}, err
 	}
-	shards := shardOps(footprints)
-
-	results := make([]Result, len(ops))
-	progs := make([]cmdstream.Program, len(ops))
-	nshards := len(shards)
-	if nshards == 1 {
-		if err := s.runSequential(ops, results, progs); err != nil {
+	b := s.NewBatchBuilder()
+	for _, op := range ops {
+		if err := b.Add(op); err != nil {
 			return BatchResult{}, err
 		}
-	} else {
-		n, err := s.runSharded(ops, footprints, shards, results, progs)
-		if err != nil {
+	}
+	if b.Shards() == 1 {
+		// Fully conflicting batch: nothing can overlap, so run in op order
+		// directly on the live system. This keeps the ledger merge exact
+		// (no shard-order float summation) — the sequential ledger IS the
+		// batch ledger.
+		results := make([]Result, len(ops))
+		progs := make([]cmdstream.Program, len(ops))
+		if err := s.runSequential(o.ctx, ops, results, progs); err != nil {
 			return BatchResult{}, err
 		}
-		nshards = n
+		return s.scheduleBatch(ops, progs, results, 1, o.arb)
 	}
-
-	timing := s.mem.Tech().Timing
-	bus := s.ctl.Bus()
-	banks := s.mem.Geometry().BanksPerChip
-	reqs := make([]chansim.Request, len(ops))
-	var back float64
-	for i := range ops {
-		reqs[i] = progs[i].Request(fmt.Sprintf("%v#%d", ops[i].Op, i), timing, bus, banks)
-		back += reqs[i].Duration()
-	}
-	sched, err := chansim.ScheduleWith(reqs, carb)
+	run, err := b.Start(WithArbiter(o.arb), WithContext(o.ctx))
 	if err != nil {
 		return BatchResult{}, err
 	}
-	out := BatchResult{
-		Results:    results,
-		Makespan:   seconds(sched.Makespan),
-		Completion: make([]time.Duration, len(ops)),
-		Sequential: seconds(back),
-		Shards:     nshards,
-		Arb:        arb,
-	}
-	for i, c := range sched.Completion {
-		out.Completion[i] = seconds(c)
-	}
-	if sched.Makespan > 0 {
-		out.Speedup = back / sched.Makespan
-	}
-	return out, nil
+	return run.Wait()
+}
+
+// BatchWith executes a batch under an explicit arbitration policy.
+//
+// Deprecated: Use Batch with WithArbiter: s.Batch(ops, WithArbiter(arb)).
+func (s *System) BatchWith(ops []BatchOp, arb Arbiter) (BatchResult, error) {
+	return s.Batch(ops, WithArbiter(arb))
 }
 
 // fpKey names one exclusive hardware resource an op's data path may touch:
@@ -224,9 +207,14 @@ func (s *System) appendRowKeys(keys []fpKey, r memarch.RowAddr) []fpKey {
 }
 
 // runSequential executes the batch's data-side effects in op order on the
-// live system, capturing each op's program.
-func (s *System) runSequential(ops []BatchOp, results []Result, progs []cmdstream.Program) error {
+// live system, capturing each op's program. Cancellation is observed
+// between ops: the completed prefix stays applied (Apply-sequence
+// semantics) and the context's error is returned.
+func (s *System) runSequential(ctx context.Context, ops []BatchOp, results []Result, progs []cmdstream.Program) error {
 	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		progs[i] = cmdstream.Program{}
 		res, err := s.apply(op.Op, op.Dst, op.Srcs, &progs[i])
 		if err != nil {
@@ -237,233 +225,40 @@ func (s *System) runSequential(ops []BatchOp, results []Result, progs []cmdstrea
 	return nil
 }
 
-// shardOps unions ops that share any footprint key and returns the
-// resulting shards as op-index lists, each ascending, ordered by first op.
-func shardOps(footprints [][]fpKey) [][]int {
-	parent := make([]int, len(footprints))
-	for i := range parent {
-		parent[i] = i
+// scheduleBatch converts the captured per-op programs into per-resource
+// requests, runs them through the event-driven channel scheduler under
+// arb, and assembles the BatchResult.
+func (s *System) scheduleBatch(ops []BatchOp, progs []cmdstream.Program, results []Result, nshards int, arb Arbiter) (BatchResult, error) {
+	carb, err := arb.internal()
+	if err != nil {
+		return BatchResult{}, err
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	owner := make(map[fpKey]int)
-	for i, fp := range footprints {
-		for _, k := range fp {
-			if j, ok := owner[k]; ok {
-				parent[find(i)] = find(j)
-			} else {
-				owner[k] = i
-			}
-		}
-	}
-	index := make(map[int]int)
-	var shards [][]int
-	for i := range footprints {
-		root := find(i)
-		si, ok := index[root]
-		if !ok {
-			si = len(shards)
-			index[root] = si
-			shards = append(shards, nil)
-		}
-		shards[si] = append(shards[si], i)
-	}
-	return shards
-}
-
-// runSharded executes the batch's data-side effects concurrently: each
-// shard gets a sandboxed System seeded with the shard's footprint rows,
-// ECC state, replica registrations and per-row fault state, runs its ops
-// in op order on its own goroutine, and is merged back — rows, ECC
-// entries, wear/hardware/fault counters and stats — in shard order on the
-// caller's goroutine. The merge is exact for every integer counter; float
-// totals are summed in shard order, which can differ from the sequential
-// op order by ULPs.
-//
-// With a fault injector attached, each shard's sandbox injector is pinned
-// to the live injector's per-operation substream (op i draws substream
-// opSeqBase+i, exactly what sequential execution would have drawn), so
-// sharded faults are bit-identical to sequential ones. A shard that
-// retires a row cannot stay sandboxed — the remap must come from the live
-// allocator — so the sandboxes are discarded and the batch replays
-// sequentially; the replay is deterministic because the live state was
-// never touched. Returns the shard count actually used.
-func (s *System) runSharded(ops []BatchOp, footprints [][]fpKey, shards [][]int, results []Result, progs []cmdstream.Program) (int, error) {
-	type shardState struct {
-		sys  *System
-		vecs map[*BitVector]*BitVector
-	}
-	var opSeqBase int64
-	liveInj := s.ctl.Injector()
-	if liveInj != nil {
-		opSeqBase = liveInj.OpSeq()
-	}
-	geo := s.mem.Geometry()
-	states := make([]shardState, len(shards))
-	for si, shard := range shards {
-		sh, err := New(s.cfg)
-		if err != nil {
-			return 0, err
-		}
-		for _, i := range shard {
-			for _, k := range footprints[i] {
-				if k.kind != 'r' {
-					continue
-				}
-				copy(sh.mem.PeekRow(k.addr), s.mem.PeekRow(k.addr))
-				if bits, words, ok := s.ctl.ECCState(k.addr); ok {
-					sh.ctl.SetECCState(k.addr, bits, words)
-				}
-				if reps := s.replicaRows(k.addr); reps != nil {
-					sh.registerReplicas(k.addr, reps)
-				}
-				if liveInj != nil {
-					if st, ok := liveInj.RowState(geo.Encode(k.addr)); ok {
-						sh.ctl.Injector().SetRowState(geo.Encode(k.addr), st)
-					}
-				}
-			}
-		}
-		vecs := make(map[*BitVector]*BitVector)
-		mirror := func(b *BitVector) *BitVector {
-			v, ok := vecs[b]
-			if !ok {
-				v = &BitVector{sys: sh, bits: b.bits,
-					rows: append([]memarch.RowAddr(nil), b.rows...)}
-				vecs[b] = v
-			}
-			return v
-		}
-		for _, i := range shard {
-			mirror(ops[i].Dst)
-			for _, src := range ops[i].Srcs {
-				mirror(src)
-			}
-		}
-		states[si] = shardState{sys: sh, vecs: vecs}
-	}
-
-	errs := make([]error, len(ops))
-	var wg sync.WaitGroup
-	for si, shard := range shards {
-		wg.Add(1)
-		go func(st shardState, idx []int) {
-			defer wg.Done()
-			inj := st.sys.ctl.Injector()
-			for _, i := range idx {
-				if inj != nil {
-					// Pin the sandbox to op i's substream: apply's beginOp
-					// advances it to opSeqBase+i+1, the exact stream the op
-					// would draw running sequentially on the live system.
-					inj.SetOpSeq(opSeqBase + int64(i))
-				}
-				srcs := make([]*BitVector, len(ops[i].Srcs))
-				for j, src := range ops[i].Srcs {
-					srcs[j] = st.vecs[src]
-				}
-				res, err := st.sys.apply(ops[i].Op, st.vecs[ops[i].Dst], srcs, &progs[i])
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				results[i] = res
-			}
-		}(states[si], shard)
-	}
-	wg.Wait()
-
-	if liveInj != nil {
-		// A sandbox that touched its allocator hit a row retirement (remap,
-		// replica teardown) or failed an op outright: its side effects
-		// cannot merge into the live allocator's address space. The live
-		// system was never touched, so replaying sequentially here yields
-		// exactly the sequential execution — same substreams, same faults,
-		// same remaps — at the cost of the concurrency.
-		replay := false
-		for i := range ops {
-			if errs[i] != nil {
-				replay = true
-			}
-		}
-		for si := range shards {
-			sh := states[si].sys
-			if sh.alloc.AllocatedRows() != 0 || sh.alloc.RetiredRows() != 0 {
-				replay = true
-			}
-		}
-		if replay {
-			for i := range results {
-				results[i] = Result{}
-			}
-			if err := s.runSequential(ops, results, progs); err != nil {
-				return 1, err
-			}
-			return 1, nil
-		}
-	}
-
-	for si, shard := range shards {
-		sh := states[si].sys
-		for _, a := range sh.mem.MaterializedAddrs() {
-			copy(s.mem.PeekRow(a), sh.mem.PeekRow(a))
-		}
-		sh.ctl.ECCEntries(func(a memarch.RowAddr, bits int, words []uint64) {
-			s.ctl.SetECCState(a, bits, words)
-		})
-		s.mem.AbsorbCounters(sh.mem)
-		s.ctl.AbsorbCounters(sh.ctl.Counters())
-		s.sched.AbsorbStats(sh.sched.FaultStats())
-		if liveInj != nil {
-			shInj := sh.ctl.Injector()
-			seen := make(map[uint64]bool)
-			for _, i := range shard {
-				for _, k := range footprints[i] {
-					if k.kind != 'r' {
-						continue
-					}
-					key := geo.Encode(k.addr)
-					if seen[key] {
-						continue
-					}
-					seen[key] = true
-					st, _ := shInj.RowState(key)
-					liveInj.SetRowState(key, st)
-				}
-			}
-			liveInj.AbsorbStats(shInj.Stats())
-		}
-		for k, v := range sh.stats.Ops {
-			s.stats.Ops[k] += v
-		}
-		s.stats.Requests += sh.stats.Requests
-		s.stats.BusySeconds += sh.stats.BusySeconds
-		s.stats.EnergyJoules += sh.stats.EnergyJoules
-		s.hostVerifies += sh.hostVerifies
-		s.hostRetries += sh.hostRetries
-		s.hostRowsRetired += sh.hostRowsRetired
-		s.hostBitsCorrected += sh.hostBitsCorrected
-		s.hostEccDecodes += sh.hostEccDecodes
-		s.hostEccCorrected += sh.hostEccCorrected
-		s.hostEccUncorrectable += sh.hostEccUncorrectable
-		for live, mirror := range states[si].vecs {
-			copy(live.rows, mirror.rows)
-		}
-	}
-	if liveInj != nil {
-		// Leave the live injector where sequential execution would have:
-		// the next public op begins substream opSeqBase+len(ops)+1.
-		liveInj.SetOpSeq(opSeqBase + int64(len(ops)))
-	}
+	timing := s.mem.Tech().Timing
+	bus := s.ctl.Bus()
+	banks := s.mem.Geometry().BanksPerChip
+	reqs := make([]chansim.Request, len(ops))
+	var back float64
 	for i := range ops {
-		if errs[i] != nil {
-			return len(shards), fmt.Errorf("pinatubo: batch op %d (%v): %w", i, ops[i].Op, errs[i])
-		}
+		reqs[i] = progs[i].Request(fmt.Sprintf("%v#%d", ops[i].Op, i), timing, bus, banks)
+		back += reqs[i].Duration()
 	}
-	return len(shards), nil
+	sched, err := chansim.ScheduleWith(reqs, carb)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	out := BatchResult{
+		Results:    results,
+		Makespan:   seconds(sched.Makespan),
+		Completion: make([]time.Duration, len(ops)),
+		Sequential: seconds(back),
+		Shards:     nshards,
+		Arb:        arb,
+	}
+	for i, c := range sched.Completion {
+		out.Completion[i] = seconds(c)
+	}
+	if sched.Makespan > 0 {
+		out.Speedup = back / sched.Makespan
+	}
+	return out, nil
 }

@@ -6,16 +6,14 @@ import (
 	"reflect"
 	"strings"
 	"testing"
-
-	"pinatubo/internal/memarch"
 )
 
 // spreadGeometry is a single-channel, single-rank organisation with one
 // subarray per bank, so successive operand groups land in successive banks
 // and a batch's ops are bank-disjoint — the layout the batch scheduler's
 // concurrency (and its bit-identity with the planner) is easiest to see in.
-func spreadGeometry() memarch.Geometry {
-	return memarch.Geometry{
+func spreadGeometry() Geometry {
+	return Geometry{
 		Channels:         1,
 		RanksPerChannel:  1,
 		ChipsPerRank:     8,
@@ -379,7 +377,7 @@ func TestBatchRejects(t *testing.T) {
 	}
 
 	// Cross-rank: exhaust rank 0 so the next vector lands in rank 1.
-	small := memarch.Geometry{
+	small := Geometry{
 		Channels: 1, RanksPerChannel: 2, ChipsPerRank: 1, BanksPerChip: 1,
 		SubarraysPerBank: 1, MatsPerSubarray: 1, RowsPerSubarray: 4,
 		MatRowBits: 2048, MuxRatio: 32,

@@ -8,9 +8,11 @@
 //	figures            # everything
 //	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, replication, ecc, batch
 //	figures -fig batch -benchout BENCH_batch.json   # batch sweep + CI benchmark artifact
+//	figures -fig batch -benchgate BENCH_batch.json  # fail on >15% makespan regression
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,15 +26,16 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, replication, ecc, headroom, batch, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	benchOut := flag.String("benchout", "", "also write the batch smoke benchmark JSON to this file")
+	benchGate := flag.String("benchgate", "", "fail if the fresh batch benchmark's simulated makespan regresses >15% vs this baseline JSON")
 	flag.Parse()
 
-	if err := run(*fig, *csvOut, *benchOut); err != nil {
+	if err := run(*fig, *csvOut, *benchOut, *benchGate); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, csvOut bool, benchOut string) error {
+func run(fig string, csvOut bool, benchOut, benchGate string) error {
 	want := func(name string) bool { return fig == "all" || fig == name }
 	printed := false
 
@@ -189,16 +192,46 @@ func run(fig string, csvOut bool, benchOut string) error {
 	if !printed {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
+	if benchOut != "" || benchGate != "" {
+		return runBench(benchOut, benchGate)
+	}
+	return nil
+}
+
+// runBench runs the batch smoke benchmark once, optionally persisting the
+// result and optionally gating it against a committed baseline.
+func runBench(benchOut, benchGate string) error {
+	res, err := figures.BatchBench()
+	if err != nil {
+		return err
+	}
 	if benchOut != "" {
 		f, err := os.Create(benchOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := figures.WriteBatchBenchJSON(f); err != nil {
+		if err := figures.WriteBatchBenchResultJSON(f, res); err != nil {
 			return err
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if benchGate != "" {
+		data, err := os.ReadFile(benchGate)
+		if err != nil {
+			return err
+		}
+		var baseline figures.BatchBenchResult
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", benchGate, err)
+		}
+		if err := figures.GateBatchBench(res, baseline, 0.15); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: makespan %.6es within +15%% of baseline %.6es (%s)\n",
+			res.MakespanSeconds, baseline.MakespanSeconds, benchGate)
 	}
 	return nil
 }

@@ -298,7 +298,7 @@ func runPlan(opName string, concurrency int, techName string, fc pinatubo.FaultC
 	if err != nil {
 		return err
 	}
-	rep, err := sys.PlanWith(op, concurrency, fc.SenseFlipRate, arb)
+	rep, err := sys.Plan(op, concurrency, fc.SenseFlipRate, pinatubo.WithArbiter(arb))
 	if err != nil {
 		return err
 	}
@@ -343,7 +343,7 @@ func runBatch(opName string, rows, n int, techName string, seed int64, fc pinatu
 	if err != nil {
 		return err
 	}
-	cfg.Geometry = memarch.Geometry{
+	cfg.Geometry = pinatubo.Geometry{
 		Channels:         1,
 		RanksPerChannel:  1,
 		ChipsPerRank:     8,
@@ -407,7 +407,7 @@ func runBatch(opName string, rows, n int, techName string, seed int64, fc pinatu
 		}
 	}
 
-	br, err := sys.BatchWith(ops, arb)
+	br, err := sys.Batch(ops, pinatubo.WithArbiter(arb))
 	if err != nil {
 		return err
 	}

@@ -16,14 +16,13 @@ import (
 	"math/rand"
 
 	"pinatubo"
-	"pinatubo/internal/memarch"
 )
 
 // spread is a single-channel geometry with one subarray per bank:
 // consecutive allocation groups land in consecutive banks, so batched ops
 // contend only on the shared command bus, not on bank resources.
-func spread() memarch.Geometry {
-	return memarch.Geometry{
+func spread() pinatubo.Geometry {
+	return pinatubo.Geometry{
 		Channels:         1,
 		RanksPerChannel:  1,
 		ChipsPerRank:     8,

@@ -1,0 +1,74 @@
+package pinatubo
+
+import "pinatubo/internal/memarch"
+
+// Geometry describes the simulated memory organisation: channels of ranks,
+// ranks built from lock-step chips, chips from banks, banks from subarrays,
+// subarrays from lock-step MATs whose bitlines share sense amplifiers
+// through a column multiplexer (Fig. 3 of the paper). All counts must be
+// powers of two; New validates.
+//
+// It mirrors the internal organisation model field for field so the public
+// API stays free of internal types: external callers could never name the
+// internal one, which made Config.Geometry unusable outside this module
+// (the apileak lint rule now guards the whole API surface against such
+// leaks).
+type Geometry struct {
+	Channels         int // independent channels
+	RanksPerChannel  int // ranks sharing one channel bus
+	ChipsPerRank     int // lock-step chips forming a rank
+	BanksPerChip     int // banks per chip
+	SubarraysPerBank int // subarrays sharing the bank's global row buffer
+	MatsPerSubarray  int // lock-step MATs per subarray
+	RowsPerSubarray  int // wordlines per MAT (same in every MAT)
+	MatRowBits       int // bits on one MAT row (columns per MAT)
+	MuxRatio         int // adjacent columns sharing one SA (the paper: 32)
+}
+
+// DefaultGeometry returns the geometry used throughout the evaluation,
+// sized so the rank row is 2^19 bits and the concurrent SA width 2^14 bits
+// — the organisation behind the paper's Fig. 9 turning points.
+func DefaultGeometry() Geometry {
+	return fromInternalGeometry(memarch.Default())
+}
+
+// RowBits is the rank-logical row width in bits: the unit of one Pinatubo
+// operation (vectors up to this length occupy a single row).
+func (g Geometry) RowBits() int { return g.internal().RowBits() }
+
+// TotalRows is the number of rank-logical rows the whole memory holds.
+func (g Geometry) TotalRows() int { return g.internal().TotalRows() }
+
+// CapacityBits is the total storage capacity in bits.
+func (g Geometry) CapacityBits() int64 { return g.internal().CapacityBits() }
+
+// internal converts to the internal organisation model.
+func (g Geometry) internal() memarch.Geometry {
+	return memarch.Geometry{
+		Channels:         g.Channels,
+		RanksPerChannel:  g.RanksPerChannel,
+		ChipsPerRank:     g.ChipsPerRank,
+		BanksPerChip:     g.BanksPerChip,
+		SubarraysPerBank: g.SubarraysPerBank,
+		MatsPerSubarray:  g.MatsPerSubarray,
+		RowsPerSubarray:  g.RowsPerSubarray,
+		MatRowBits:       g.MatRowBits,
+		MuxRatio:         g.MuxRatio,
+	}
+}
+
+// fromInternalGeometry converts the internal organisation model to the
+// public mirror.
+func fromInternalGeometry(g memarch.Geometry) Geometry {
+	return Geometry{
+		Channels:         g.Channels,
+		RanksPerChannel:  g.RanksPerChannel,
+		ChipsPerRank:     g.ChipsPerRank,
+		BanksPerChip:     g.BanksPerChip,
+		SubarraysPerBank: g.SubarraysPerBank,
+		MatsPerSubarray:  g.MatsPerSubarray,
+		RowsPerSubarray:  g.RowsPerSubarray,
+		MatRowBits:       g.MatRowBits,
+		MuxRatio:         g.MuxRatio,
+	}
+}

@@ -10,14 +10,13 @@ import (
 	"time"
 
 	"pinatubo"
-	"pinatubo/internal/memarch"
 )
 
 // This file holds the batch-execution sweep: System.Batch exercised over a
 // widening op mix on a geometry that spreads operations across banks, so
 // the event-driven scheduler can overlap them. Each point is cross-checked
 // against the planner: at fault rate 0 the batch makespan must reproduce
-// PlanWith's prediction bit-identically — the two share one lowering path
+// Plan's prediction bit-identically — the two share one lowering path
 // through the cmdstream IR, so a mismatch is a scheduler bug, not noise.
 
 // DefaultBatchKs is the batch-size sweep cmd/figures runs.
@@ -36,7 +35,7 @@ type BatchRow struct {
 	Makespan time.Duration
 	// Speedup is Sequential / Makespan.
 	Speedup float64
-	// PlanMakespan is what PlanWith predicted for K in-flight ops of this
+	// PlanMakespan is what Plan predicted for K in-flight ops of this
 	// shape, and PlanMatch whether the batch reproduced it bit-identically.
 	PlanMakespan time.Duration
 	PlanMatch    bool
@@ -46,8 +45,8 @@ type BatchRow struct {
 // one subarray per bank, so consecutive full-row allocation groups land in
 // consecutive banks and a K-op batch exercises K independent bank
 // resources.
-func batchSpreadGeometry() memarch.Geometry {
-	return memarch.Geometry{
+func batchSpreadGeometry() pinatubo.Geometry {
+	return pinatubo.Geometry{
 		Channels:         1,
 		RanksPerChannel:  1,
 		ChipsPerRank:     8,
@@ -96,11 +95,11 @@ func BatchSweep(ks []int) ([]BatchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		br, err := sys.BatchWith(ops, pinatubo.ArbFIFO)
+		br, err := sys.Batch(ops, pinatubo.WithArbiter(pinatubo.ArbFIFO))
 		if err != nil {
 			return nil, err
 		}
-		rep, err := sys.PlanWith(pinatubo.OpOr, k, 0, pinatubo.ArbFIFO)
+		rep, err := sys.Plan(pinatubo.OpOr, k, 0, pinatubo.WithArbiter(pinatubo.ArbFIFO))
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +121,7 @@ func BatchSweep(ks []int) ([]BatchRow, error) {
 func FormatBatch(rows []BatchRow) string {
 	var sb strings.Builder
 	sb.WriteString("Batch execution — K deep ORs spread across banks, one scheduled batch\n")
-	sb.WriteString("  (makespan cross-checked bit-identically against PlanWith at every K)\n")
+	sb.WriteString("  (makespan cross-checked bit-identically against the planner at every K)\n")
 	for _, r := range rows {
 		match := "plan match"
 		if !r.PlanMatch {
@@ -160,12 +159,19 @@ func WriteBatchCSV(w io.Writer, rows []BatchRow) error {
 }
 
 // BatchBenchResult is the CI smoke benchmark: simulated-time throughput of
-// the largest sweep point, sequential vs batched.
+// the largest sweep point, sequential vs batched. Every figure is derived
+// from the deterministic simulated clock, so the committed baseline is
+// reproducible on any machine and the gate measures model regressions, not
+// host noise.
 type BatchBenchResult struct {
 	K                   int     `json:"k"`
 	SequentialOpsPerSec float64 `json:"sequential_ops_per_sec"`
 	BatchedOpsPerSec    float64 `json:"batched_ops_per_sec"`
 	Speedup             float64 `json:"speedup"`
+	// MakespanSeconds is the batched schedule's simulated end-to-end time —
+	// the figure the CI regression gate compares against the committed
+	// baseline.
+	MakespanSeconds float64 `json:"makespan_s"`
 }
 
 // BatchBench runs the largest default sweep point and reports ops/s in
@@ -176,11 +182,11 @@ func BatchBench() (BatchBenchResult, error) {
 	if err != nil {
 		return BatchBenchResult{}, err
 	}
-	br, err := sys.BatchWith(ops, pinatubo.ArbFIFO)
+	br, err := sys.Batch(ops, pinatubo.WithArbiter(pinatubo.ArbFIFO))
 	if err != nil {
 		return BatchBenchResult{}, err
 	}
-	res := BatchBenchResult{K: k, Speedup: br.Speedup}
+	res := BatchBenchResult{K: k, Speedup: br.Speedup, MakespanSeconds: br.Makespan.Seconds()}
 	if s := br.Sequential.Seconds(); s > 0 {
 		res.SequentialOpsPerSec = float64(k) / s
 	}
@@ -197,7 +203,30 @@ func WriteBatchBenchJSON(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return WriteBatchBenchResultJSON(w, res)
+}
+
+// WriteBatchBenchResultJSON writes an already-computed benchmark result,
+// so a caller can both persist and gate one run.
+func WriteBatchBenchResultJSON(w io.Writer, res BatchBenchResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
+}
+
+// GateBatchBench compares a fresh benchmark against the committed baseline
+// and fails on a makespan regression beyond tolerance (0.15 = +15%). A
+// faster makespan passes: improvements re-baseline by committing the fresh
+// BENCH_batch.json.
+func GateBatchBench(fresh, baseline BatchBenchResult, tolerance float64) error {
+	if baseline.MakespanSeconds <= 0 {
+		return fmt.Errorf("figures: baseline makespan %v is not positive — regenerate the baseline with -benchout",
+			baseline.MakespanSeconds)
+	}
+	limit := baseline.MakespanSeconds * (1 + tolerance)
+	if fresh.MakespanSeconds > limit {
+		return fmt.Errorf("figures: batch makespan regression: %.6es vs baseline %.6es (limit %.6es, +%.0f%%)",
+			fresh.MakespanSeconds, baseline.MakespanSeconds, limit, tolerance*100)
+	}
+	return nil
 }

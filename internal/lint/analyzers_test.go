@@ -44,6 +44,10 @@ func TestTimeMix(t *testing.T) {
 	linttest.Run(t, lint.TimeMix, "testdata/src/timemix")
 }
 
+func TestAPILeak(t *testing.T) {
+	linttest.Run(t, lint.APILeak, "testdata/src/apileak")
+}
+
 func TestIgnoreReason(t *testing.T) {
 	linttest.Run(t, lint.IgnoreReason, "testdata/src/ignorereason")
 }

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// APILeak flags internal types escaping through the public API surface:
+// an exported function, method, variable, constant, type alias, struct
+// field or interface method in a publicly importable package whose type
+// mentions a named type defined under an internal/ path. Importers
+// outside the module cannot name such a type, so the symbol is unusable
+// (a parameter they cannot construct) or viral (a return value they can
+// hold but never declare). The fix is to wrap or re-declare the type in
+// the public package, or unexport the symbol; a deliberate opaque handle
+// can carry a `//pinlint:ignore apileak <reason>` directive.
+var APILeak = &Analyzer{
+	Name: "apileak",
+	Doc: "flag exported symbols in publicly importable packages whose types mention " +
+		"internal/ named types; wrap the type publicly or unexport the symbol",
+	Run: runAPILeak,
+}
+
+func runAPILeak(pass *Pass) error {
+	path := pass.Pkg.Path()
+	// Packages under internal/ may pass internal types around freely —
+	// except the analyzer's own fixtures, which sit under testdata/ inside
+	// internal/lint and stand in for publicly importable packages.
+	if isInternalPath(path) && !strings.Contains(path, "/testdata/") {
+		return nil
+	}
+	if pass.Pkg.Name() == "main" {
+		return nil // commands are not importable
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			reportLeaks(pass, o.Pos(), "function "+name, o.Type())
+		case *types.Var:
+			reportLeaks(pass, o.Pos(), "variable "+name, o.Type())
+		case *types.Const:
+			reportLeaks(pass, o.Pos(), "constant "+name, o.Type())
+		case *types.TypeName:
+			checkTypeName(pass, o)
+		}
+	}
+	return nil
+}
+
+// isInternalPath reports whether an import path has an "internal" element,
+// making the package unimportable from outside the module.
+func isInternalPath(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTypeName examines one exported type declaration: an alias leaks
+// whatever it names; a defined type leaks through its exported surface —
+// exported struct fields, exported interface methods, the underlying type
+// of other kinds (reachable by indexing, dereferencing, receiving), and
+// the signatures of its exported methods.
+func checkTypeName(pass *Pass, o *types.TypeName) {
+	name := o.Name()
+	if o.IsAlias() {
+		reportLeaks(pass, o.Pos(), "type alias "+name, types.Unalias(o.Type()))
+		return
+	}
+	named, ok := o.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Exported() {
+				reportLeaks(pass, f.Pos(), fmt.Sprintf("field %s.%s", name, f.Name()), f.Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < u.NumExplicitMethods(); i++ {
+			m := u.ExplicitMethod(i)
+			if m.Exported() {
+				reportLeaks(pass, m.Pos(), fmt.Sprintf("method %s.%s", name, m.Name()), m.Type())
+			}
+		}
+	default:
+		reportLeaks(pass, o.Pos(), "type "+name, u)
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !m.Exported() {
+			continue
+		}
+		sig := m.Signature()
+		// The receiver is the named type itself; only the rest of the
+		// signature can leak.
+		reportLeaks(pass, m.Pos(), fmt.Sprintf("method %s.%s", name, m.Name()),
+			types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic()))
+	}
+}
+
+// reportLeaks walks typ and reports each distinct internal named type it
+// mentions.
+func reportLeaks(pass *Pass, pos token.Pos, what string, typ types.Type) {
+	seen := map[types.Type]bool{}
+	leaked := map[string]bool{}
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Alias:
+			walk(types.Unalias(t))
+		case *types.Named:
+			if pkg := t.Obj().Pkg(); pkg != nil && isInternalPath(pkg.Path()) {
+				full := pkg.Path() + "." + t.Obj().Name()
+				if !leaked[full] {
+					leaked[full] = true
+					pass.Reportf(pos,
+						"exported %s mentions internal type %s; importers cannot name it — "+
+							"wrap it in a public type or unexport the symbol", what, full)
+				}
+				return
+			}
+			// A public named type's own surface is checked when its package
+			// is linted; only its type arguments matter here.
+			if args := t.TypeArgs(); args != nil {
+				for i := 0; i < args.Len(); i++ {
+					walk(args.At(i))
+				}
+			}
+		case *types.Pointer:
+			walk(t.Elem())
+		case *types.Slice:
+			walk(t.Elem())
+		case *types.Array:
+			walk(t.Elem())
+		case *types.Chan:
+			walk(t.Elem())
+		case *types.Map:
+			walk(t.Key())
+			walk(t.Elem())
+		case *types.Signature:
+			walk(t.Params())
+			walk(t.Results())
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				walk(t.At(i).Type())
+			}
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				walk(t.Field(i).Type())
+			}
+		case *types.Interface:
+			for i := 0; i < t.NumExplicitMethods(); i++ {
+				walk(t.ExplicitMethod(i).Type())
+			}
+			for i := 0; i < t.NumEmbeddeds(); i++ {
+				walk(t.EmbeddedType(i))
+			}
+		}
+	}
+	walk(typ)
+}

@@ -202,6 +202,7 @@ func All() []*Analyzer {
 		CostPair,
 		PanicFree,
 		TimeMix,
+		APILeak,
 		IgnoreReason,
 	}
 }

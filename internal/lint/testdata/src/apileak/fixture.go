@@ -1,0 +1,43 @@
+// Package apileaktest exercises the apileak analyzer: exported symbols
+// whose types mention internal/ named types are positives; unexported
+// symbols, exported symbols built from public and stdlib types, and
+// acknowledged directives are negatives. The fixture sits under
+// testdata/, which the analyzer's internal-path gate admits as a
+// stand-in for a publicly importable package.
+package apileaktest
+
+import "pinatubo/internal/memarch"
+
+func BadParam(g memarch.Geometry) {} // want `exported function BadParam mentions internal type pinatubo/internal/memarch\.Geometry`
+
+func BadResult() *memarch.Memory { return nil } // want `exported function BadResult mentions internal type pinatubo/internal/memarch\.Memory`
+
+func BadSlice() []memarch.RowAddr { return nil } // want `pinatubo/internal/memarch\.RowAddr`
+
+type BadAlias = memarch.Geometry // want `exported type alias BadAlias mentions internal type`
+
+type BadDefined []memarch.RowAddr // want `exported type BadDefined mentions internal type`
+
+type Mixed struct {
+	Leaky  memarch.RowAddr // want `exported field Mixed\.Leaky mentions internal type`
+	Clean  int
+	hidden memarch.Geometry
+}
+
+func (Mixed) BadMethod(memarch.RowAddr) {} // want `exported method Mixed\.BadMethod mentions internal type`
+
+func (Mixed) goodMethod(memarch.RowAddr) {}
+
+type Iface interface {
+	Bad() memarch.RowAddr // want `exported method Iface\.Bad mentions internal type`
+	good() memarch.Geometry
+}
+
+func goodUnexported(memarch.Geometry) {}
+
+func GoodPublic(n int, s string) []byte { return nil }
+
+// GoodAcknowledged returns an opaque handle.
+//
+//pinlint:ignore apileak opaque handle: callers only pass it back, never construct one
+func GoodAcknowledged() *memarch.Memory { return nil }

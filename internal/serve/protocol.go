@@ -1,0 +1,102 @@
+// Package serve implements pinatubod's batch-window service front-end: a
+// persistent server that accepts streams of bulk bitwise-op requests from
+// many concurrent clients, admission-controls them into batch windows,
+// and executes each window through the System's pipelined BatchBuilder —
+// window N+1 is admitted, validated and sharded while window N's shards
+// are still running. A single state-loop goroutine owns the System;
+// connection goroutines only decode requests and encode responses, so
+// the simulator itself never needs a lock.
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pinatubo"
+)
+
+// Request is one line-delimited JSON request. Type selects the verb:
+//
+//	alloc    — allocate vector Name with Bits bits in the tenant's arena
+//	write    — store Words (hex) into vector Name
+//	read     — load vector Name back as hex words
+//	free     — release vector Name
+//	op       — queue Op (or|and|xor|not|copy|popcount) with Dst/Srcs
+//	           vector names for the next batch window
+//	stats    — snapshot the server's metrics
+//
+// Tenant namespaces the vector arena; requests from one tenant execute in
+// the order sent (FIFO), while ops from different tenants share batch
+// windows.
+type Request struct {
+	ID     int64    `json:"id"`
+	Tenant string   `json:"tenant,omitempty"`
+	Type   string   `json:"type"`
+	Name   string   `json:"name,omitempty"`
+	Bits   int      `json:"bits,omitempty"`
+	Words  []string `json:"words,omitempty"`
+	Op     string   `json:"op,omitempty"`
+	Dst    string   `json:"dst,omitempty"`
+	Srcs   []string `json:"srcs,omitempty"`
+}
+
+// Response is the reply to one Request, matched by ID. Ops answered at a
+// window boundary carry the window sequence number and the op's
+// completion latency inside the window's schedule.
+type Response struct {
+	ID        int64    `json:"id"`
+	OK        bool     `json:"ok"`
+	Error     string   `json:"error,omitempty"`
+	Shed      bool     `json:"shed,omitempty"`
+	Window    int64    `json:"window,omitempty"`
+	LatencyNS int64    `json:"latency_ns,omitempty"`
+	Class     string   `json:"class,omitempty"`
+	Count     *int     `json:"count,omitempty"`
+	Words     []string `json:"words,omitempty"`
+	Stats     *Metrics `json:"stats,omitempty"`
+}
+
+// parseOp maps the wire spelling onto the public Op, accepting exactly
+// the String() forms.
+func parseOp(name string) (pinatubo.Op, error) {
+	switch strings.ToLower(name) {
+	case "or":
+		return pinatubo.OpOr, nil
+	case "and":
+		return pinatubo.OpAnd, nil
+	case "xor":
+		return pinatubo.OpXor, nil
+	case "not":
+		return pinatubo.OpNot, nil
+	case "copy":
+		return pinatubo.OpCopy, nil
+	case "popcount":
+		return pinatubo.OpPopcount, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown op %q", name)
+	}
+}
+
+// encodeWords renders vector words as hex strings — JSON numbers cannot
+// carry 64-bit values losslessly.
+func encodeWords(words []uint64) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = strconv.FormatUint(w, 16)
+	}
+	return out
+}
+
+// decodeWords parses hex word strings.
+func decodeWords(words []string) ([]uint64, error) {
+	out := make([]uint64, len(words))
+	for i, s := range words {
+		w, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: word %d: %v", i, err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}

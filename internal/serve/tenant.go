@@ -1,0 +1,51 @@
+package serve
+
+import "pinatubo"
+
+// sink receives responses for one client connection. The network path
+// implements it with an unbounded outbox drained by a writer goroutine;
+// tests implement it with a slice collector.
+type sink interface {
+	push(Response)
+}
+
+// envelope pairs a decoded request with the connection it answers to.
+type envelope struct {
+	req Request
+	out sink
+}
+
+// tenant is one namespace's state, owned by the state loop. A tenant's
+// requests execute in the order sent: ops from one tenant enter windows
+// in FIFO order, and host-path requests (alloc/write/read/free) wait
+// until every earlier op of the tenant has completed — the per-tenant
+// program-order guarantee that makes window pipelining invisible.
+type tenant struct {
+	name string
+	vecs map[string]*pinatubo.BitVector
+	// queue holds requests not yet admitted, in arrival order.
+	queue []envelope
+	// pendingOps counts this tenant's ops admitted to the next window's
+	// builder; inflight counts its ops inside the executing window.
+	pendingOps int
+	inflight   int
+}
+
+// contending reports whether the tenant is competing for window slots —
+// the denominator of the fair-share calculation.
+func (t *tenant) contending() bool {
+	return t.pendingOps > 0 || t.inflight > 0 || len(t.queue) > 0
+}
+
+// idle reports whether a host-path request may run right now without
+// reordering against the tenant's earlier ops.
+func (t *tenant) idle() bool {
+	return t.pendingOps == 0 && t.inflight == 0 && len(t.queue) == 0
+}
+
+// windowOp tracks one admitted op through its window, aligned index-for-
+// index with the builder's ops.
+type windowOp struct {
+	t   *tenant
+	env envelope
+}

@@ -1,0 +1,49 @@
+package pinatubo
+
+import "context"
+
+// Option configures one Batch, Plan or batch-window call. Options follow
+// the functional-options pattern: the zero call is the legacy default
+// (FIFO arbitration, background context), and each option overrides one
+// knob without widening the signature. BatchWith and PlanWith remain as
+// deprecated shims over the option forms.
+type Option func(*callOpts)
+
+// callOpts is the resolved per-call configuration.
+type callOpts struct {
+	arb Arbiter
+	ctx context.Context
+}
+
+// WithArbiter selects the channel arbitration policy the call schedules
+// under. The default is ArbFIFO, the deterministic legacy policy.
+func WithArbiter(arb Arbiter) Option {
+	return func(o *callOpts) { o.arb = arb }
+}
+
+// WithContext attaches a cancellation context to the call. A Batch (or a
+// batch window) observing cancellation stops without merging any partial
+// shard state: the System is left exactly as if the cancelled batch had
+// never started, and the call returns ctx.Err(). The one exception is a
+// fault-injected batch that retired a row mid-run and fell back to the
+// sequential replay on the live system — there cancellation stops between
+// ops and the completed prefix remains applied, exactly as a sequence of
+// Apply calls interrupted at that point. Plan runs entirely on sandboxed
+// copies, so a cancelled Plan never has side effects.
+func WithContext(ctx context.Context) Option {
+	return func(o *callOpts) { o.ctx = ctx }
+}
+
+// resolveOpts folds a call's options over the defaults.
+func resolveOpts(opts []Option) callOpts {
+	o := callOpts{arb: ArbFIFO, ctx: context.Background()}
+	for _, f := range opts {
+		if f != nil {
+			f(&o)
+		}
+	}
+	if o.ctx == nil {
+		o.ctx = context.Background()
+	}
+	return o
+}

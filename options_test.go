@@ -1,0 +1,109 @@
+package pinatubo
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestOptionsShimEquivalence pins the deprecated BatchWith/PlanWith shims
+// to the option forms: same arbiter through either spelling, same report.
+func TestOptionsShimEquivalence(t *testing.T) {
+	cfg := Config{Tech: PCM, Geometry: spreadGeometry()}
+	for _, arb := range []Arbiter{ArbFIFO, ArbOldestReady} {
+		viaOpt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaShim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := viaOpt.Plan(OpOr, 4, 0, WithArbiter(arb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := viaShim.PlanWith(OpOr, 4, 0, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: Plan via option %+v != via shim %+v", arb, a, b)
+		}
+
+		opsA := buildBatchOps(t, viaOpt, 4096)
+		opsB := buildBatchOps(t, viaShim, 4096)
+		ra, err := viaOpt.Batch(opsA, WithArbiter(arb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := viaShim.BatchWith(opsB, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Results reference distinct vectors, but the schedule numbers
+		// must be identical.
+		if ra.Makespan != rb.Makespan || ra.Sequential != rb.Sequential ||
+			ra.Shards != rb.Shards || ra.Arb != rb.Arb {
+			t.Errorf("%v: Batch via option %+v != via shim %+v", arb, ra, rb)
+		}
+	}
+}
+
+// TestOptionsDefaults checks the zero-option call is the legacy default:
+// FIFO arbitration, background context, nil options tolerated.
+func TestOptionsDefaults(t *testing.T) {
+	o := resolveOpts(nil)
+	if o.arb != ArbFIFO {
+		t.Errorf("default arbiter %v, want fifo", o.arb)
+	}
+	if o.ctx == nil {
+		t.Error("default context is nil")
+	}
+	o = resolveOpts([]Option{nil, WithContext(nil), nil})
+	if o.ctx == nil {
+		t.Error("WithContext(nil) left a nil context")
+	}
+}
+
+// TestPlanCancellation checks a cancelled context aborts Plan with the
+// context's error and, since planning is fully sandboxed, leaves the
+// live system's ledger untouched.
+func TestPlanCancellation(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Plan(OpOr, 8, 0, WithContext(ctx)); err != context.Canceled {
+		t.Fatalf("Plan with cancelled ctx: err=%v, want context.Canceled", err)
+	}
+	if after := sys.Stats(); !reflect.DeepEqual(before, after) {
+		t.Errorf("cancelled Plan touched the ledger: %+v -> %+v", before, after)
+	}
+}
+
+// TestBatchContextCancelledUpfront checks Batch rejects an
+// already-cancelled context before touching any operand.
+func TestBatchContextCancelledUpfront(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := buildBatchOps(t, sys, 4096)
+	twin, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildBatchOps(t, twin, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Batch(ops, WithContext(ctx)); err != context.Canceled {
+		t.Fatalf("Batch with cancelled ctx: err=%v, want context.Canceled", err)
+	}
+	if a, b := sys.Stats(), twin.Stats(); !reflect.DeepEqual(a, b) {
+		t.Errorf("cancelled Batch touched the ledger: %+v != %+v", a, b)
+	}
+}

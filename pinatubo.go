@@ -86,7 +86,7 @@ type Config struct {
 	Tech Tech
 	// Geometry overrides the memory organisation; zero value = default
 	// (4 channels, 8 lock-step chips per rank, 2^19-bit rank rows).
-	Geometry memarch.Geometry
+	Geometry Geometry
 	// AnalogCheckBits is the number of bit positions per operation that
 	// are cross-validated through the analog sensing model (0 disables;
 	// the default 8 catches reference-placement regressions at negligible
@@ -242,7 +242,7 @@ func (rc ResilienceConfig) mode() (VerifyMode, error) {
 // DefaultConfig returns the evaluation configuration: PCM, default
 // geometry, light analog cross-checking.
 func DefaultConfig() Config {
-	return Config{Tech: PCM, Geometry: memarch.Default(), AnalogCheckBits: 8}
+	return Config{Tech: PCM, Geometry: DefaultGeometry(), AnalogCheckBits: 8}
 }
 
 // System is one simulated Pinatubo memory plus its runtime stack.
@@ -261,6 +261,12 @@ type System struct {
 	replicate int
 	repRows   map[uint64][]memarch.RowAddr
 	repMember map[uint64]bool
+
+	// layoutGen counts row-layout mutations (remaps, frees, replica
+	// teardowns). A BatchBuilder records the generation its footprints were
+	// computed against and recomputes them at Start when the layout moved
+	// underneath it.
+	layoutGen uint64
 
 	stats Stats
 	// host-path resilience activity (Write/Read verification), kept apart
@@ -306,7 +312,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	geo := cfg.Geometry
+	geo := cfg.Geometry.internal()
 	if geo == (memarch.Geometry{}) {
 		geo = memarch.Default()
 	}
@@ -443,6 +449,7 @@ func (s *System) dropReplicas(primary memarch.RowAddr) {
 		delete(s.repMember, geo.Encode(r))
 	}
 	s.alloc.Free(reps)
+	s.layoutGen++
 }
 
 // beginOp opens a fresh per-operation fault substream. Every public
@@ -463,6 +470,7 @@ func (s *System) remapRow(old memarch.RowAddr) (memarch.RowAddr, error) {
 	if err != nil {
 		return memarch.RowAddr{}, err
 	}
+	s.layoutGen++
 	return rows[0], nil
 }
 
@@ -600,6 +608,7 @@ func (s *System) Free(b *BitVector) error {
 		s.dropReplicas(row)
 	}
 	s.alloc.Free(b.rows)
+	s.layoutGen++
 	b.sys = nil
 	return nil
 }

@@ -137,15 +137,14 @@ type PlanReport struct {
 // OpPopcount is not plannable: it is host-bus traffic, not a channel
 // operation.
 //
-// Plan schedules under FIFO arbitration — the legacy policy; PlanWith
-// additionally exposes ArbOldestReady for quantifying the tail-latency gap
-// between arbiters.
-func (s *System) Plan(op Op, concurrency int, faultRate float64) (PlanReport, error) {
-	return s.PlanWith(op, concurrency, faultRate, ArbFIFO)
-}
-
-// PlanWith is Plan under an explicit channel arbitration policy.
-func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter) (PlanReport, error) {
+// Plan schedules under FIFO arbitration by default; WithArbiter selects
+// ArbOldestReady for quantifying the tail-latency gap between arbiters,
+// and WithContext attaches cancellation — a cancelled Plan returns the
+// context's error and, because every sample ran on a sandbox, has no
+// side effects on the live system.
+func (s *System) Plan(op Op, concurrency int, faultRate float64, opts ...Option) (PlanReport, error) {
+	o := resolveOpts(opts)
+	arb := o.arb
 	if concurrency < 1 {
 		return PlanReport{}, fmt.Errorf("pinatubo: planning concurrency %d", concurrency)
 	}
@@ -172,6 +171,9 @@ func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter
 	// range.
 	traceSets := make([][]chansim.Request, reps)
 	for rep := 0; rep < reps; rep++ {
+		if err := o.ctx.Err(); err != nil {
+			return PlanReport{}, err
+		}
 		set, err := s.sampleTraces(op, concurrency, faultRate, rep)
 		if err != nil {
 			return PlanReport{}, err
@@ -189,6 +191,9 @@ func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter
 	}
 	curve := make([]float64, len(ks))
 	for i, k := range ks {
+		if err := o.ctx.Err(); err != nil {
+			return PlanReport{}, err
+		}
 		mc, err := chansim.MonteCarlo(
 			chansim.MCConfig{Seed: s.cfg.Fault.Seed, Replications: reps, Arb: carb},
 			func(_ *rand.Rand, rep int) ([]chansim.Request, error) {
@@ -218,6 +223,14 @@ func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter
 		}
 	}
 	return report, nil
+}
+
+// PlanWith is Plan under an explicit channel arbitration policy.
+//
+// Deprecated: Use Plan with WithArbiter:
+// s.Plan(op, concurrency, faultRate, WithArbiter(arb)).
+func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter) (PlanReport, error) {
+	return s.Plan(op, concurrency, faultRate, WithArbiter(arb))
 }
 
 // planKs returns the concurrency levels to explore: powers of two up to

@@ -1,0 +1,380 @@
+package pinatubo
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelinedWindowsDifferential pins the batch-window executor to the
+// sequential baseline: the same ops executed as a sequence of pipelined
+// windows — each next window admitted (validated, footprinted, sharded)
+// WHILE the previous window's shards are still running — produce memory
+// contents, per-op Results and statistics ledgers bit-identical to one
+// Apply call per op on an identically seeded twin. Runs with and without
+// a fault injector attached; the per-operation fault substreams are what
+// make window boundaries invisible to the fault sequence.
+func TestPipelinedWindowsDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"pcm", Config{Tech: PCM, Geometry: spreadGeometry()}},
+		{"pcm-readback", Config{Tech: PCM, Geometry: spreadGeometry(),
+			Resilience: ResilienceConfig{Verify: VerifyReadback}}},
+		{"pcm-faulty", Config{Tech: PCM, Geometry: spreadGeometry(),
+			Fault: FaultConfig{Seed: 3, SenseFlipRate: 1e-4, ActivationFailRate: 1e-4}}},
+		{"pcm-faulty-readback", Config{Tech: PCM, Geometry: spreadGeometry(),
+			Resilience: ResilienceConfig{Verify: VerifyReadback},
+			Fault:      FaultConfig{Seed: 9, SenseFlipRate: 1e-3, ActivationFailRate: 1e-4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			piped, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const bits = 4096
+			opsA := buildBatchOps(t, piped, bits)
+			opsB := buildBatchOps(t, serial, bits)
+
+			want := make([]Result, len(opsB))
+			for i, op := range opsB {
+				res, err := serial.Apply(op.Op, op.Dst, op.Srcs...)
+				if err != nil {
+					t.Fatalf("sequential op %d (%v): %v", i, op.Op, err)
+				}
+				want[i] = res
+			}
+
+			// Pipelined execution: windows of 2 ops; window N+1 is admitted
+			// between window N's Start and Wait — live validation and
+			// sharding racing the sandboxed shard goroutines, which the
+			// -race build checks is sound.
+			const windowLen = 2
+			var got []Result
+			builder := piped.NewBatchBuilder()
+			var run *BatchRun
+			for i := 0; i < len(opsA); i += windowLen {
+				if run != nil {
+					br, err := run.Wait()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = append(got, br.Results...)
+				}
+				for j := i; j < i+windowLen && j < len(opsA); j++ {
+					if err := builder.Add(opsA[j]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				run, err = builder.Start()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			br, err := run.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, br.Results...)
+
+			if len(got) != len(want) {
+				t.Fatalf("windows returned %d results, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("op %d (%v): windowed result %+v != sequential %+v",
+						i, opsA[i].Op, got[i], want[i])
+				}
+			}
+			if a, b := piped.Stats(), serial.Stats(); !reflect.DeepEqual(a, b) {
+				t.Errorf("Stats diverge: windowed %+v, sequential %+v", a, b)
+			}
+			if a, b := piped.HardwareCounters(), serial.HardwareCounters(); !reflect.DeepEqual(a, b) {
+				t.Errorf("HardwareCounters diverge: windowed %+v, sequential %+v", a, b)
+			}
+			if a, b := piped.FaultStats(), serial.FaultStats(); a != b {
+				t.Errorf("FaultStats diverge: windowed %+v, sequential %+v", a, b)
+			}
+			for i := range opsA {
+				vecsA := append([]*BitVector{opsA[i].Dst}, opsA[i].Srcs...)
+				vecsB := append([]*BitVector{opsB[i].Dst}, opsB[i].Srcs...)
+				for j := range vecsA {
+					wa, _, err := piped.Read(vecsA[j])
+					if err != nil {
+						t.Fatal(err)
+					}
+					wb, _, err := serial.Read(vecsB[j])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(wa, wb) {
+						t.Errorf("op %d (%v) vector %d: windowed contents diverge", i, opsA[i].Op, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchBuilderIncrementalSharding checks the incremental union-find
+// agrees with the batch executor: bank-disjoint ops stay one shard each,
+// ops sharing a vector coalesce, and Len/Shards track admission.
+func TestBatchBuilderIncrementalSharding(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := buildBatchOps(t, sys, 4096)
+	b := sys.NewBatchBuilder()
+	if b.Len() != 0 || b.Shards() != 0 {
+		t.Fatalf("empty builder: Len=%d Shards=%d", b.Len(), b.Shards())
+	}
+	for i, op := range ops {
+		if err := b.Add(op); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != i+1 {
+			t.Fatalf("after %d adds Len=%d", i+1, b.Len())
+		}
+		if b.Shards() != i+1 {
+			t.Fatalf("bank-disjoint ops: after %d adds Shards=%d", i+1, b.Shards())
+		}
+	}
+	// Two more ops on op 0's destination: both must coalesce into op 0's
+	// shard, leaving the count unchanged plus nothing.
+	n := b.Shards()
+	for i := 0; i < 2; i++ {
+		if err := b.Add(BatchOp{Op: OpNot, Dst: ops[0].Dst, Srcs: []*BitVector{ops[0].Dst}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Shards() != n {
+		t.Fatalf("conflicting adds changed shard count: %d -> %d", n, b.Shards())
+	}
+	run, err := b.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Shards != n {
+		t.Fatalf("executed Shards=%d, builder predicted %d", br.Shards, n)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("builder not reset after Start: Len=%d", b.Len())
+	}
+}
+
+// countdownCtx is a deterministic context: Err() reports Canceled from
+// the Nth call on. It makes cancellation tests timing-free — the cancel
+// lands at an exact, repeatable point in the run's control flow.
+type countdownCtx struct {
+	context.Context
+	calls int64
+	after int64
+}
+
+func newCountdownCtx(after int64) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), after: after}
+}
+
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt64(&c.calls, 1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBatchRunCancellationAllOrNothing pins the window cancellation
+// guarantee: a run cancelled after its shard already executed part of the
+// window merges NOTHING — the live System is bit-identical to a twin that
+// never saw the batch, and re-running the same ops afterwards succeeds.
+func TestBatchRunCancellationAllOrNothing(t *testing.T) {
+	cfg := Config{Tech: PCM, Geometry: spreadGeometry()}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bits = 4096
+	ops := buildBatchOps(t, sys, bits)
+	twinOps := buildBatchOps(t, twin, bits)
+
+	// Chain the ops into one shard: op i+1 reads op i's destination, so
+	// the sandbox executes them in op order on one goroutine and the
+	// countdown context is hit deterministically.
+	var chained []BatchOp
+	for i := 1; i < len(ops); i++ {
+		chained = append(chained, BatchOp{Op: OpCopy, Dst: ops[i].Dst, Srcs: []*BitVector{ops[i-1].Dst}})
+	}
+	b := sys.NewBatchBuilder()
+	for _, op := range chained {
+		if err := b.Add(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Shards() != 1 {
+		t.Fatalf("chained ops split into %d shards, want 1", b.Shards())
+	}
+	// Call 1 is Start's admission check; calls 2..3 let the shard run two
+	// ops; call 4 (before op 3) cancels — mid-window, with real sandbox
+	// effects already applied.
+	ctx := newCountdownCtx(3)
+	run, err := b.Start(WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(); err != context.Canceled {
+		t.Fatalf("Wait after cancel: err=%v, want context.Canceled", err)
+	}
+	// Idempotent Wait reports the same outcome.
+	if _, err := run.Wait(); err != context.Canceled {
+		t.Fatalf("second Wait: err=%v, want context.Canceled", err)
+	}
+
+	// The live system must be exactly the twin that never ran the batch.
+	if a, bst := sys.Stats(), twin.Stats(); !reflect.DeepEqual(a, bst) {
+		t.Errorf("cancelled run leaked stats: %+v != %+v", a, bst)
+	}
+	if a, bhc := sys.HardwareCounters(), twin.HardwareCounters(); !reflect.DeepEqual(a, bhc) {
+		t.Errorf("cancelled run leaked hardware counters: %+v != %+v", a, bhc)
+	}
+	for i := range ops {
+		wa, _, err := sys.Read(ops[i].Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, _, err := twin.Read(twinOps[i].Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wa, wb) {
+			t.Errorf("cancelled run mutated vector %d", i)
+		}
+	}
+
+	// The same window re-admitted under a live context completes, and
+	// matches the twin running the same ops sequentially.
+	for _, op := range chained {
+		if err := b.Add(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err = b.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(twinOps); i++ {
+		if _, err := twin.Apply(OpCopy, twinOps[i].Dst, twinOps[i-1].Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range ops {
+		wa, _, err := sys.Read(ops[i].Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, _, err := twin.Read(twinOps[i].Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wa, wb) {
+			t.Errorf("retried run diverged on vector %d", i)
+		}
+	}
+}
+
+// TestBatchRunStartCancelled checks an already-cancelled context stops
+// the window before any sandbox is built.
+func TestBatchRunStartCancelled(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := buildBatchOps(t, sys, 4096)
+	b := sys.NewBatchBuilder()
+	if err := b.Add(ops[0]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Start(WithContext(ctx)); err != context.Canceled {
+		t.Fatalf("Start with cancelled ctx: err=%v, want context.Canceled", err)
+	}
+}
+
+// TestBatchBuilderStaleAfterFree checks the layout-generation guard: a
+// vector freed after admission is caught when the builder revalidates,
+// instead of executing against recycled rows.
+func TestBatchBuilderStaleAfterFree(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := buildBatchOps(t, sys, 4096)
+	b := sys.NewBatchBuilder()
+	if err := b.Add(ops[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Free(ops[0].Dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Start(); err == nil || !strings.Contains(err.Error(), "batch op 0") {
+		t.Fatalf("Start on freed operand: err=%v, want batch op 0 validation error", err)
+	}
+}
+
+// TestBatchRunDoneSignal checks Done() closes and Wait returns a
+// schedule consistent with the admitted ops.
+func TestBatchRunDoneSignal(t *testing.T) {
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := buildBatchOps(t, sys, 4096)
+	b := sys.NewBatchBuilder()
+	for _, op := range ops {
+		if err := b.Add(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := b.Start(WithArbiter(ArbOldestReady))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-run.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("Done() never closed")
+	}
+	br, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Arb != ArbOldestReady {
+		t.Fatalf("Arb=%v, want oldest-ready", br.Arb)
+	}
+	if len(br.Results) != len(ops) || len(br.Completion) != len(ops) {
+		t.Fatalf("result shape %d/%d, want %d", len(br.Results), len(br.Completion), len(ops))
+	}
+	if br.Makespan <= 0 || br.Makespan > br.Sequential {
+		t.Fatalf("Makespan=%v outside (0, %v]", br.Makespan, br.Sequential)
+	}
+}
