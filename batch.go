@@ -89,7 +89,10 @@ type BatchResult struct {
 // executes — use NewBatchBuilder and BatchRun instead of collecting a
 // slice for Batch.
 func (s *System) Batch(ops []BatchOp, opts ...Option) (BatchResult, error) {
-	o := resolveOpts(opts)
+	o, err := resolveOpts(opts)
+	if err != nil {
+		return BatchResult{}, err
+	}
 	if _, err := o.arb.internal(); err != nil {
 		return BatchResult{}, err
 	}
@@ -122,13 +125,6 @@ func (s *System) Batch(ops []BatchOp, opts ...Option) (BatchResult, error) {
 		return BatchResult{}, err
 	}
 	return run.Wait()
-}
-
-// BatchWith executes a batch under an explicit arbitration policy.
-//
-// Deprecated: Use Batch with WithArbiter: s.Batch(ops, WithArbiter(arb)).
-func (s *System) BatchWith(ops []BatchOp, arb Arbiter) (BatchResult, error) {
-	return s.Batch(ops, WithArbiter(arb))
 }
 
 // fpKey names one exclusive hardware resource an op's data path may touch:

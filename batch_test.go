@@ -104,7 +104,7 @@ func TestBatchDifferential(t *testing.T) {
 
 			want := make([]Result, len(opsB))
 			for i, op := range opsB {
-				res, err := serial.Apply(op.Op, op.Dst, op.Srcs...)
+				res, err := serial.Apply(op.Op, op.Dst, op.Srcs)
 				if err != nil {
 					t.Fatalf("sequential op %d (%v): %v", i, op.Op, err)
 				}
@@ -177,7 +177,7 @@ func TestBatchDifferential(t *testing.T) {
 
 // TestBatchMakespanMatchesPlan pins the tentpole acceptance criterion: at
 // fault rate 0, Batch of k bank-disjoint ORs reports exactly the makespan
-// PlanWith predicts for k in-flight ORs — bit-identical, both arbiters.
+// Plan predicts for k in-flight ORs — bit-identical, both arbiters.
 // Planner and executor lower through the same cmdstream programs and
 // schedule through the same engine, so the planner's model is checked
 // against execution, not estimated.
@@ -207,11 +207,11 @@ func TestBatchMakespanMatchesPlan(t *testing.T) {
 				}
 				ops[i] = BatchOp{Op: OpOr, Dst: dst, Srcs: srcs}
 			}
-			rep, err := sys.PlanWith(OpOr, k, 0, arb)
+			rep, err := sys.Plan(OpOr, k, 0, WithArbiter(arb))
 			if err != nil {
 				t.Fatal(err)
 			}
-			br, err := sys.BatchWith(ops, arb)
+			br, err := sys.Batch(ops, WithArbiter(arb))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -271,7 +271,7 @@ func TestBatchSharedVectors(t *testing.T) {
 	opsA, opsB := mk(batched), mk(serial)
 	var want []Result
 	for _, op := range opsB {
-		res, err := serial.Apply(op.Op, op.Dst, op.Srcs...)
+		res, err := serial.Apply(op.Op, op.Dst, op.Srcs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +356,7 @@ func TestBatchRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	ok := []BatchOp{{Op: OpAnd, Dst: g[2], Srcs: []*BitVector{g[0], g[1]}}}
-	if _, err := sys.BatchWith(ok, Arbiter(9)); err == nil {
+	if _, err := sys.Batch(ok, WithArbiter(Arbiter(9))); err == nil {
 		t.Error("unknown arbiter accepted")
 	}
 	if _, err := sys.Batch([]BatchOp{{Op: OpAnd, Dst: g[2], Srcs: []*BitVector{g[0]}}}); err == nil {

@@ -9,6 +9,8 @@
 //	figures -fig 9     # one figure: table1, 9, 10, 11, 12, 13, margins, ablation, faults, replication, ecc, batch
 //	figures -fig batch -benchout BENCH_batch.json   # batch sweep + CI benchmark artifact
 //	figures -fig batch -benchgate BENCH_batch.json  # fail on >15% makespan regression
+//	figures -fig apply -applyout BENCH_apply.json   # Apply hot-path benchmark artifact
+//	figures -fig apply -applygate BENCH_apply.json  # fail on >15% allocs/op or hit-rate regression
 package main
 
 import (
@@ -23,19 +25,21 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, replication, ecc, headroom, batch, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, replication, ecc, headroom, batch, apply, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	benchOut := flag.String("benchout", "", "also write the batch smoke benchmark JSON to this file")
 	benchGate := flag.String("benchgate", "", "fail if the fresh batch benchmark's simulated makespan regresses >15% vs this baseline JSON")
+	applyOut := flag.String("applyout", "", "also write the Apply hot-path benchmark JSON to this file")
+	applyGate := flag.String("applygate", "", "fail if the fresh Apply benchmark's allocs/op or cache hit rate regresses >15% vs this baseline JSON")
 	flag.Parse()
 
-	if err := run(*fig, *csvOut, *benchOut, *benchGate); err != nil {
+	if err := run(*fig, *csvOut, *benchOut, *benchGate, *applyOut, *applyGate); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, csvOut bool, benchOut, benchGate string) error {
+func run(fig string, csvOut bool, benchOut, benchGate, applyOut, applyGate string) error {
 	want := func(name string) bool { return fig == "all" || fig == name }
 	printed := false
 
@@ -189,11 +193,63 @@ func run(fig string, csvOut bool, benchOut, benchGate string) error {
 		fmt.Println(figures.FormatBatch(rows))
 		printed = true
 	}
+	if want("apply") {
+		res, err := figures.ApplyBench()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.FormatApplyBench(res))
+		printed = true
+	}
 	if !printed {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	if benchOut != "" || benchGate != "" {
-		return runBench(benchOut, benchGate)
+		if err := runBench(benchOut, benchGate); err != nil {
+			return err
+		}
+	}
+	if applyOut != "" || applyGate != "" {
+		return runApplyBench(applyOut, applyGate)
+	}
+	return nil
+}
+
+// runApplyBench runs the Apply hot-path benchmark once, optionally
+// persisting the result and optionally gating its host-independent
+// figures against a committed baseline.
+func runApplyBench(applyOut, applyGate string) error {
+	res, err := figures.ApplyBench()
+	if err != nil {
+		return err
+	}
+	if applyOut != "" {
+		f, err := os.Create(applyOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := figures.WriteApplyBenchResultJSON(f, res); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if applyGate != "" {
+		data, err := os.ReadFile(applyGate)
+		if err != nil {
+			return err
+		}
+		var baseline figures.ApplyBenchResult
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", applyGate, err)
+		}
+		if err := figures.GateApplyBench(res, baseline, 0.15); err != nil {
+			return err
+		}
+		fmt.Printf("applygate: %.1f allocs/op, hit rate %.3f within 15%% of baseline (%s)\n",
+			res.AllocsPerOp, res.CacheHitRate, applyGate)
 	}
 	return nil
 }

@@ -97,7 +97,7 @@ func runPipeline(t *testing.T) []byte {
 	rec.Stats = sys.Stats()
 	rec.Faults = sys.FaultStats()
 
-	plan, err := sys.PlanWith(OpXor, 4, 1e-6, ArbOldestReady)
+	plan, err := sys.Plan(OpXor, 4, 1e-6, WithArbiter(ArbOldestReady))
 	if err != nil {
 		t.Fatal(err)
 	}

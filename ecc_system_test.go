@@ -179,7 +179,7 @@ func TestApplyArityAndEquivalence(t *testing.T) {
 		{OpCopy, vs[:0]},
 		{Op(99), vs[:1]},
 	} {
-		if _, err := sys.Apply(bad.op, dst, bad.srcs...); err == nil {
+		if _, err := sys.Apply(bad.op, dst, bad.srcs); err == nil {
 			t.Errorf("Apply(%v, %d srcs) accepted a bad arity", bad.op, len(bad.srcs))
 		}
 	}
@@ -194,7 +194,7 @@ func TestApplyArityAndEquivalence(t *testing.T) {
 		want    func() []uint64
 	}{
 		{"or", func() (Result, error) { return sys.Or(dst, vs...) },
-			func() (Result, error) { return sys.Apply(OpOr, dst, vs...) },
+			func() (Result, error) { return sys.Apply(OpOr, dst, vs) },
 			func() []uint64 {
 				out := make([]uint64, len(data[0]))
 				for _, d := range data {
@@ -205,7 +205,7 @@ func TestApplyArityAndEquivalence(t *testing.T) {
 				return out
 			}},
 		{"and", func() (Result, error) { return sys.And(dst, vs[0], vs[1]) },
-			func() (Result, error) { return sys.Apply(OpAnd, dst, vs[0], vs[1]) },
+			func() (Result, error) { return sys.Apply(OpAnd, dst, []*BitVector{vs[0], vs[1]}) },
 			func() []uint64 {
 				out := make([]uint64, len(data[0]))
 				for j := range out {
@@ -214,7 +214,7 @@ func TestApplyArityAndEquivalence(t *testing.T) {
 				return out
 			}},
 		{"xor", func() (Result, error) { return sys.Xor(dst, vs[2], vs[3]) },
-			func() (Result, error) { return sys.Apply(OpXor, dst, vs[2], vs[3]) },
+			func() (Result, error) { return sys.Apply(OpXor, dst, []*BitVector{vs[2], vs[3]}) },
 			func() []uint64 {
 				out := make([]uint64, len(data[0]))
 				for j := range out {
@@ -223,7 +223,7 @@ func TestApplyArityAndEquivalence(t *testing.T) {
 				return out
 			}},
 		{"not", func() (Result, error) { return sys.Not(dst, vs[0]) },
-			func() (Result, error) { return sys.Apply(OpNot, dst, vs[0]) },
+			func() (Result, error) { return sys.Apply(OpNot, dst, []*BitVector{vs[0]}) },
 			func() []uint64 {
 				out := make([]uint64, len(data[0]))
 				for j := range out {
@@ -232,7 +232,7 @@ func TestApplyArityAndEquivalence(t *testing.T) {
 				return out
 			}},
 		{"copy", func() (Result, error) { return sys.Copy(dst, vs[1]) },
-			func() (Result, error) { return sys.Apply(OpCopy, dst, vs[1]) },
+			func() (Result, error) { return sys.Apply(OpCopy, dst, []*BitVector{vs[1]}) },
 			func() []uint64 { return append([]uint64(nil), data[1]...) }},
 	}
 	for _, p := range pairs {

@@ -126,7 +126,7 @@ func run() error {
 	// Indistinguishability: every result vector matches the sequential twin
 	// bit for bit.
 	for i := range ops {
-		if _, err := twin.Apply(twinOps[i].Op, twinOps[i].Dst, twinOps[i].Srcs...); err != nil {
+		if _, err := twin.Apply(twinOps[i].Op, twinOps[i].Dst, twinOps[i].Srcs); err != nil {
 			return err
 		}
 		got, _, err := sys.Read(ops[i].Dst)

@@ -53,6 +53,71 @@ func FromWords(nbits int, words []uint64) *Vector {
 	return v
 }
 
+// tailWordMask returns the index of the word holding bit nbits-1 and the
+// mask of the valid bits inside it, or ok=false when nbits lands exactly
+// on a word boundary (no partial tail word).
+func tailWordMask(nbits int) (idx int, mask uint64, ok bool) {
+	if r := nbits & wordMask; r != 0 {
+		return nbits >> wordLog, (uint64(1) << uint(r)) - 1, true
+	}
+	return 0, 0, false
+}
+
+// PopcountWords counts the set bits among the first nbits bits of a raw
+// word slice, masking any garbage in the final partial word. It is the
+// zero-alloc form of FromWords(nbits, words).Popcount() for hot paths
+// that hold row words rather than Vectors (stored rows keep tail garbage;
+// this never reads it).
+func PopcountWords(words []uint64, nbits int) int {
+	w := WordsFor(nbits)
+	if w > len(words) {
+		w = len(words)
+	}
+	n := 0
+	for _, word := range words[:w] {
+		n += bits.OnesCount64(word)
+	}
+	if idx, mask, ok := tailWordMask(nbits); ok && idx < w {
+		n -= bits.OnesCount64(words[idx] &^ mask)
+	}
+	return n
+}
+
+// EqualWords reports whether the first nbits bits of two raw word slices
+// agree, ignoring tail garbage past nbits. Both slices must cover nbits
+// bits. Zero-alloc counterpart of comparing FromWords vectors.
+func EqualWords(a, b []uint64, nbits int) bool {
+	w := WordsFor(nbits)
+	idx, mask, partial := tailWordMask(nbits)
+	for i := 0; i < w; i++ {
+		x := a[i] ^ b[i]
+		if partial && i == idx {
+			x &= mask
+		}
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount counts the bit positions within the first nbits bits where
+// two raw word slices disagree — the zero-alloc XOR-fold the verified
+// read path uses to count corrected bits.
+func DiffCount(a, b []uint64, nbits int) int {
+	w := WordsFor(nbits)
+	idx, mask, partial := tailWordMask(nbits)
+	n := 0
+	for i := 0; i < w; i++ {
+		x := a[i] ^ b[i]
+		if partial && i == idx {
+			x &= mask
+		}
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
 // FromBits builds a Vector from a slice of booleans, one per bit.
 func FromBits(bitvals []bool) *Vector {
 	v := New(len(bitvals))

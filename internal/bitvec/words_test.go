@@ -1,0 +1,87 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The raw-word helpers (PopcountWords, EqualWords, DiffCount) exist so
+// the system hot path can work on row buffers whose tail words carry
+// garbage past nbits — no Vector wrapping, no allocation. These tests
+// pin both properties: tail garbage is ignored, and the helpers are
+// allocation-free.
+
+// garble copies words and scribbles junk into the bits past nbits.
+func garble(words []uint64, nbits int) []uint64 {
+	out := append([]uint64(nil), words...)
+	if idx, mask, ok := tailWordMask(nbits); ok {
+		out[idx] |= ^mask
+	}
+	return out
+}
+
+func randVec(nbits int, seed int64) *Vector {
+	rng := rand.New(rand.NewSource(seed))
+	v := New(nbits)
+	for i := 0; i < v.WordCount(); i++ {
+		v.SetWord(i, rng.Uint64())
+	}
+	return v
+}
+
+func TestPopcountWordsIgnoresTail(t *testing.T) {
+	for _, nbits := range []int{1, 63, 64, 65, 300, 4096} {
+		v := randVec(nbits, int64(nbits))
+		dirty := garble(v.Words(), nbits)
+		if got, want := PopcountWords(dirty, nbits), v.Popcount(); got != want {
+			t.Errorf("nbits=%d: PopcountWords=%d want %d", nbits, got, want)
+		}
+	}
+}
+
+func TestEqualWordsIgnoresTail(t *testing.T) {
+	for _, nbits := range []int{1, 63, 64, 65, 300} {
+		v := randVec(nbits, int64(nbits))
+		dirty := garble(v.Words(), nbits)
+		if !EqualWords(v.Words(), dirty, nbits) {
+			t.Errorf("nbits=%d: tail garbage broke EqualWords", nbits)
+		}
+		if nbits > 0 {
+			flipped := append([]uint64(nil), dirty...)
+			flipped[0] ^= 1
+			if EqualWords(v.Words(), flipped, nbits) {
+				t.Errorf("nbits=%d: EqualWords missed an in-range flip", nbits)
+			}
+		}
+	}
+}
+
+func TestDiffCountMatchesXorPopcount(t *testing.T) {
+	for _, nbits := range []int{1, 63, 64, 65, 300, 4096} {
+		a := randVec(nbits, int64(nbits))
+		b := randVec(nbits, int64(nbits)+1000)
+		ref := New(nbits)
+		ref.Xor(a, b)
+		want := ref.Popcount()
+		got := DiffCount(garble(a.Words(), nbits), garble(b.Words(), nbits), nbits)
+		if got != want {
+			t.Errorf("nbits=%d: DiffCount=%d want %d", nbits, got, want)
+		}
+		if d := DiffCount(garble(a.Words(), nbits), a.Words(), nbits); d != 0 {
+			t.Errorf("nbits=%d: DiffCount of identical payloads = %d", nbits, d)
+		}
+	}
+}
+
+func TestWordHelpersZeroAllocs(t *testing.T) {
+	a := randVec(4096, 1).Words()
+	b := randVec(4096, 2).Words()
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = PopcountWords(a, 4096)
+		_ = EqualWords(a, b, 4096)
+		_ = DiffCount(a, b, 4096)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs/op across the word helpers, want 0", allocs)
+	}
+}

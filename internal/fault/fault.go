@@ -172,6 +172,27 @@ func (in *Injector) AbsorbStats(s Stats) {
 	in.stats.RowWrites += s.RowWrites
 }
 
+// Reset restores the injector to its New state: wear, stuck-at bits,
+// statistics and the substream counter all clear, and the PRNG rewinds to
+// the seed. The margin memo survives — it caches pure analog math, so
+// keeping it is invisible to behaviour. Pooled shard sandboxes reset
+// through here; the batch executor then re-seeds per-row state and the
+// substream position explicitly, exactly as it does for a fresh sandbox.
+func (in *Injector) Reset() {
+	in.rng = rand.New(rand.NewSource(in.cfg.Seed))
+	in.seq = 0
+	in.stats = Stats{}
+	for k := range in.wear {
+		delete(in.wear, k)
+	}
+	for k := range in.wearFrac {
+		delete(in.wearFrac, k)
+	}
+	for k := range in.stuck {
+		delete(in.stuck, k)
+	}
+}
+
 // BeginOp reseeds the transient-fault stream (sense flips, activation
 // faults) from a per-operation substream derived from (Seed, sequence
 // number). Operations then draw faults independently of each other, which

@@ -33,6 +33,16 @@ type Memory struct {
 	// (~10^8 writes), so the evaluation's chained designs must be
 	// auditable for write amplification.
 	writeCounts map[uint64]int64
+
+	// freeRows recycles zeroed row storage from Reset, so a pooled shard
+	// memory re-materialises its working set without fresh allocations.
+	freeRows [][]uint64
+
+	// aliased marks rows whose backing is borrowed read-only from another
+	// Memory (AliasRow). Reset detaches them instead of zeroing and
+	// recycling them, and WriteRow refuses them — a write to a borrowed
+	// row would corrupt the lender.
+	aliased map[uint64]bool
 }
 
 // NewMemory builds a memory with the given geometry and technology.
@@ -65,10 +75,79 @@ func (m *Memory) row(addr RowAddr) []uint64 {
 	key := m.geo.Encode(addr)
 	r, ok := m.rows[key]
 	if !ok {
-		r = make([]uint64, m.geo.RowWords())
+		if n := len(m.freeRows); n > 0 {
+			r = m.freeRows[n-1]
+			m.freeRows = m.freeRows[:n-1]
+		} else {
+			r = make([]uint64, m.geo.RowWords())
+		}
 		m.rows[key] = r
 	}
 	return r
+}
+
+// AliasRow installs words as addr's backing without copying. The row is
+// borrowed read-only from another Memory: Reset detaches it (never zeroes
+// or recycles it) and WriteRow refuses it. The batch executor aliases a
+// shard's read-only footprint rows this way, so window setup does not
+// copy data nothing in the window writes.
+func (m *Memory) AliasRow(addr RowAddr, words []uint64) {
+	key := m.geo.Encode(addr)
+	m.rows[key] = words
+	if m.aliased == nil {
+		m.aliased = make(map[uint64]bool)
+	}
+	m.aliased[key] = true
+}
+
+// Aliased reports whether addr's backing is borrowed via AliasRow.
+func (m *Memory) Aliased(addr RowAddr) bool {
+	return len(m.aliased) > 0 && m.aliased[m.geo.Encode(addr)]
+}
+
+// Reset restores the memory to its fresh all-zeros state: every
+// materialised row, buffer and counter is cleared. Row storage is zeroed
+// and kept on a freelist, so a pooled shard memory that re-materialises a
+// similar working set on its next window allocates nothing for it.
+// Borrowed rows are detached untouched — their storage belongs to the
+// lending memory.
+func (m *Memory) Reset() {
+	for k, r := range m.rows {
+		if len(m.aliased) > 0 && m.aliased[k] {
+			delete(m.rows, k)
+			continue
+		}
+		for i := range r {
+			r[i] = 0
+		}
+		//pinlint:ignore maporder recycled buffers are zeroed and interchangeable; pop order is unobservable
+		m.freeRows = append(m.freeRows, r)
+		delete(m.rows, k)
+	}
+	for k := range m.aliased {
+		delete(m.aliased, k)
+	}
+	for k, b := range m.globalBuf {
+		for i := range b {
+			b[i] = 0
+		}
+		//pinlint:ignore maporder recycled buffers are zeroed and interchangeable; pop order is unobservable
+		m.freeRows = append(m.freeRows, b)
+		delete(m.globalBuf, k)
+	}
+	for k, b := range m.ioBuf {
+		for i := range b {
+			b[i] = 0
+		}
+		//pinlint:ignore maporder recycled buffers are zeroed and interchangeable; pop order is unobservable
+		m.freeRows = append(m.freeRows, b)
+		delete(m.ioBuf, k)
+	}
+	for k := range m.writeCounts {
+		delete(m.writeCounts, k)
+	}
+	m.rowReads = 0
+	m.rowWrites = 0
 }
 
 // PeekRow returns the words of a row without copying and without counting
@@ -92,8 +171,12 @@ func (m *Memory) WriteRow(addr RowAddr, words []uint64) error {
 		return fmt.Errorf("memarch: writing %d words into a %d-word row %v",
 			len(words), m.geo.RowWords(), addr)
 	}
+	key := m.geo.Encode(addr)
+	if len(m.aliased) > 0 && m.aliased[key] {
+		return fmt.Errorf("memarch: write to row %v borrowed read-only via AliasRow", addr)
+	}
 	m.rowWrites++
-	m.writeCounts[m.geo.Encode(addr)]++
+	m.writeCounts[key]++
 	dst := m.row(addr)
 	n := copy(dst, words)
 	for i := n; i < len(dst); i++ {

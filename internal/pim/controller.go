@@ -13,6 +13,7 @@ import (
 
 	"pinatubo/internal/analog"
 	"pinatubo/internal/bitvec"
+	"pinatubo/internal/cmdstream"
 	"pinatubo/internal/ddr"
 	"pinatubo/internal/ecc"
 	"pinatubo/internal/energy"
@@ -117,6 +118,56 @@ type Controller struct {
 	// stored check bits.
 	codec  *ecc.Codec
 	checks map[uint64]eccEntry
+
+	// cache memoises the pure part of execute() — placement class, command
+	// sequence, latency, energy, counter deltas — keyed by the operation
+	// shape (see cache.go). cacheOn gates lookups; the cache itself engages
+	// only on the ideal-hardware path (no injector, no ECC codec), where an
+	// execution's non-data outputs are a pure function of the key.
+	cache   *cmdstream.Cache
+	cacheOn bool
+	keyBuf  cmdstream.KeyBuffer
+	// rowsScratch is reused for the per-execute operand row-slice header
+	// list, so steady-state executions of a fixed arity allocate nothing
+	// for it.
+	rowsScratch [][]uint64
+	// voteOuts holds the per-replica sensing buffers of voted executions,
+	// reused so the R sensing passes of a steady-state voted request
+	// allocate nothing.
+	voteOuts [][]uint64
+	// eccData / eccCheck are the ECC verification path's decode scratch:
+	// the sensed data and check words live only for the decode, so the
+	// steady-state verify-every-op loop reuses them.
+	eccData  []uint64
+	eccCheck []uint64
+}
+
+// scratchWords returns buf resized to exactly n words (growing its backing
+// storage if needed), for scratch that is fully overwritten before use.
+func scratchWords(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// voteScratch returns r sensing buffers of exactly w words each, backed by
+// reused storage.
+func (c *Controller) voteScratch(r, w int) [][]uint64 {
+	if cap(c.voteOuts) < r {
+		grown := make([][]uint64, r)
+		copy(grown, c.voteOuts[:cap(c.voteOuts)])
+		c.voteOuts = grown
+	}
+	outs := c.voteOuts[:r]
+	for i := range outs {
+		if cap(outs[i]) < w {
+			outs[i] = make([]uint64, w)
+		}
+		outs[i] = outs[i][:w]
+	}
+	c.voteOuts = outs
+	return outs
 }
 
 // NewController builds a controller over mem. checkBits configures the
@@ -137,6 +188,37 @@ func NewController(mem *memarch.Memory, checkBits int) (*Controller, error) {
 // AttachInjector wires a fault injector into the controller's sensing and
 // cell-write paths. Passing nil restores the ideal-hardware model.
 func (c *Controller) AttachInjector(in *fault.Injector) { c.inj = in }
+
+// SetProgramCache turns the lowered-program cache on or off. Entries
+// survive a disable: the cached views are pure functions of the
+// operation shape, so re-enabling may serve them again.
+func (c *Controller) SetProgramCache(enabled bool) {
+	if enabled && c.cache == nil {
+		c.cache = cmdstream.NewCache()
+	}
+	c.cacheOn = enabled
+}
+
+// ProgramCacheEnabled reports whether cache lookups are active.
+func (c *Controller) ProgramCacheEnabled() bool { return c.cacheOn }
+
+// InvalidateProgramCache drops every cached program. The System calls
+// this whenever its row layout moves (layoutGen bumps: frees, retire
+// remaps, replica teardowns), so a cached program can never outlive the
+// layout it was lowered against.
+func (c *Controller) InvalidateProgramCache() {
+	if c.cache != nil {
+		c.cache.Invalidate()
+	}
+}
+
+// CacheStats snapshots the program cache's traffic counters.
+func (c *Controller) CacheStats() cmdstream.CacheStats {
+	if c.cache == nil {
+		return cmdstream.CacheStats{}
+	}
+	return c.cache.Stats()
+}
 
 // Injector returns the attached fault injector (nil when none).
 func (c *Controller) Injector() *fault.Injector { return c.inj }
@@ -162,6 +244,27 @@ func (c *Controller) AbsorbCounters(o Counters) {
 	c.counters.BusBits += o.BusBits
 }
 
+// ResetForReuse restores the controller to its just-built state so a
+// pooled shard sandbox is indistinguishable from a fresh one: counters,
+// mode registers, ECC check-bit state, the program-cache traffic
+// counters and the SA model's sampling stream all return to their New
+// values. Cached lowered programs deliberately survive — they are pure
+// functions of operand addresses and geometry, so a reused sandbox
+// replaying a same-shaped window hits instead of re-lowering. The
+// attached injector and codec stay attached (the owning System resets
+// the injector itself).
+func (c *Controller) ResetForReuse() {
+	c.counters = Counters{Ops: make(map[Class]int64)}
+	c.mrs = ddr.ModeRegisters{}
+	if c.checks != nil {
+		c.checks = make(map[uint64]eccEntry)
+	}
+	if c.cache != nil {
+		c.cache.ResetStats()
+	}
+	c.sa.Reset()
+}
+
 // Counters returns a snapshot of the accumulated hardware activity.
 func (c *Controller) Counters() Counters {
 	out := c.counters
@@ -174,23 +277,39 @@ func (c *Controller) Counters() Counters {
 
 // tally folds a completed command sequence into the counters.
 func (c *Controller) tally(class Class, cmds []ddr.Cmd) {
-	c.counters.Ops[class]++
+	act, senseSteps, wb, bus := countersFor(cmds)
+	c.tallyDeltas(class, act, senseSteps, wb, bus)
+}
+
+// countersFor derives the hardware-counter deltas of a command sequence.
+func countersFor(cmds []ddr.Cmd) (act, senseSteps, wb, bus int64) {
 	for _, cmd := range cmds {
 		switch cmd.Kind {
 		case ddr.CmdAct, ddr.CmdActLatch:
-			c.counters.Activations++
+			act++
 		case ddr.CmdSense:
-			c.counters.SenseSteps++
+			senseSteps++
 		case ddr.CmdWBack, ddr.CmdWr:
-			c.counters.Writebacks++
+			wb++
 		default:
 			// MRS, precharge, moves and reads don't feed these counters
 			// (reads are tallied as BusBits below).
 		}
 		if cmd.Kind == ddr.CmdRd || cmd.Kind == ddr.CmdWr {
-			c.counters.BusBits += int64(cmd.Bits)
+			bus += int64(cmd.Bits)
 		}
 	}
+	return act, senseSteps, wb, bus
+}
+
+// tallyDeltas applies precomputed counter deltas (shared by the fresh and
+// cached execution paths, so both leave identical counters).
+func (c *Controller) tallyDeltas(class Class, act, senseSteps, wb, bus int64) {
+	c.counters.Ops[class]++
+	c.counters.Activations += act
+	c.counters.SenseSteps += senseSteps
+	c.counters.Writebacks += wb
+	c.counters.BusBits += bus
 }
 
 // Memory returns the controlled memory.
@@ -288,6 +407,181 @@ func (c *Controller) ExecuteDigital(op sense.Op, srcs []memarch.RowAddr, bits in
 // applies its data effects. Panics if the sequence it built violates the
 // DDR protocol — a controller bug, never a caller error.
 func (c *Controller) execute(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, digital bool) (*Result, error) {
+	if c.cacheEligible() {
+		res, ok, err := c.executeCached(op, srcs, bits, dst, digital)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	res, err := c.executeFresh(op, srcs, bits, dst, digital)
+	if err != nil {
+		return nil, err
+	}
+	if c.cacheEligible() {
+		act, senseSteps, wb, bus := countersFor(res.Commands)
+		c.cache.Store(c.keyBuf.Bytes(), &progEntry{
+			class:       res.Class,
+			seconds:     res.Seconds,
+			energy:      res.Energy,
+			commands:    res.Commands,
+			activations: act,
+			senseSteps:  senseSteps,
+			writebacks:  wb,
+			busBits:     bus,
+		})
+	}
+	return res, nil
+}
+
+// progEntry is one cached lowering: everything execute() derives from the
+// operation shape alone. The command slice is shared by every hit and by
+// the miss that built it — a copy-on-write view that no consumer mutates
+// (Result.Instr and Program.Request only read it). Words are never
+// cached: they depend on memory contents and are recomputed per hit.
+type progEntry struct {
+	class    Class
+	seconds  float64
+	energy   energy.Meter
+	commands []ddr.Cmd
+
+	// Hardware-counter deltas of the command sequence, precomputed so a
+	// hit tallies exactly what the fresh path would.
+	activations int64
+	senseSteps  int64
+	writebacks  int64
+	busBits     int64
+}
+
+// cacheEligible reports whether the program cache may serve this
+// controller's executions. Only the ideal-hardware path qualifies: a
+// fault injector makes sensing stateful (wear, per-op substreams) and the
+// ECC codec adds per-row check-bit effects, so both force the fresh path.
+func (c *Controller) cacheEligible() bool {
+	return c.cacheOn && c.inj == nil && c.codec == nil
+}
+
+// executeCached serves one execution from the program cache. ok=false
+// means no entry (the caller runs the fresh path, and the key left in
+// keyBuf is where the fresh result is stored). On a hit the non-data
+// outputs come from the entry and the data effects are reproduced
+// exactly as the fresh path would produce them: result words computed
+// from current memory through the same SA model (including the analog
+// cross-check, so the sampling stream stays aligned with an uncached
+// run), the accumulation buffer left holding the result on the digital
+// paths, and dst programmed.
+func (c *Controller) executeCached(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, digital bool) (*Result, bool, error) {
+	geo := c.mem.Geometry()
+	// Build the key. Addresses are bounds-checked before trusting a hit:
+	// Encode is only injective inside the geometry, so an out-of-bounds
+	// operand must fall through to the fresh path's validation errors
+	// rather than alias a cached valid address.
+	k := &c.keyBuf
+	k.Reset()
+	k.Byte(byte(op))
+	var flags byte
+	if digital {
+		flags |= 1
+	}
+	if dst != nil {
+		flags |= 2
+	}
+	k.Byte(flags)
+	k.Int(bits)
+	if dst != nil {
+		if !geo.Valid(*dst) {
+			return nil, false, nil
+		}
+		k.Uint64(geo.Encode(*dst))
+	}
+	k.Int(len(srcs))
+	for _, s := range srcs {
+		if !geo.Valid(s) {
+			return nil, false, nil
+		}
+		k.Uint64(geo.Encode(s))
+	}
+	e, ok := c.cache.Lookup(k.Bytes())
+	if !ok {
+		return nil, false, nil
+	}
+	ent := e.(*progEntry)
+
+	w := bitvec.WordsFor(bits)
+	if cap(c.rowsScratch) < len(srcs) {
+		c.rowsScratch = make([][]uint64, len(srcs))
+	}
+	rows := c.rowsScratch[:len(srcs)]
+	for i, s := range srcs {
+		rows[i] = c.mem.PeekRow(s)[:w]
+	}
+	res := &Result{Op: op, Class: ent.class, Rows: len(srcs), Bits: bits,
+		Seconds: ent.seconds, Energy: ent.energy, Commands: ent.commands}
+	if ent.class == ClassIntraSub {
+		out, err := c.sa.ComputeWords(op, rows)
+		if err != nil {
+			return nil, false, err
+		}
+		res.Words = out
+	} else {
+		out := make([]uint64, w)
+		combineWords(op, rows, out)
+		var buf []uint64
+		if ent.class == ClassInterBank {
+			buf = c.mem.IOBuffer(srcs[0].Channel, srcs[0].Rank)
+		} else {
+			buf = c.mem.GlobalBuffer(srcs[0].Channel, srcs[0].Rank, srcs[0].Bank)
+		}
+		copy(buf[:w], out)
+		res.Words = out
+	}
+	c.tallyDeltas(ent.class, ent.activations, ent.senseSteps, ent.writebacks, ent.busBits)
+	if dst != nil {
+		if err := c.store(*dst, res.Words); err != nil {
+			return nil, false, err
+		}
+	}
+	return res, true, nil
+}
+
+// combineWords folds operand rows through the digital add-on logic — the
+// same word math execInter's streaming accumulation performs.
+func combineWords(op sense.Op, rows [][]uint64, out []uint64) {
+	copy(out, rows[0][:len(out)])
+	switch op {
+	case sense.OpINV:
+		for j := range out {
+			out[j] = ^out[j]
+		}
+	case sense.OpAND:
+		for _, r := range rows[1:] {
+			for j := range out {
+				out[j] &= r[j]
+			}
+		}
+	case sense.OpOR:
+		for _, r := range rows[1:] {
+			for j := range out {
+				out[j] |= r[j]
+			}
+		}
+	case sense.OpXOR:
+		for _, r := range rows[1:] {
+			for j := range out {
+				out[j] ^= r[j]
+			}
+		}
+	default:
+		// OpRead: the copy above is the whole operation.
+	}
+}
+
+// executeFresh is the uncached lowering path. Panics if the command
+// sequence it built violates the DDR protocol — a controller bug, never
+// a caller error.
+func (c *Controller) executeFresh(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, digital bool) (*Result, error) {
 	geo := c.mem.Geometry()
 	if bits < 1 || bits > geo.RowBits() {
 		return nil, fmt.Errorf("pim: bits=%d outside 1..%d (row length)", bits, geo.RowBits())
@@ -424,7 +718,10 @@ func (c *Controller) execIntra(op sense.Op, srcs []memarch.RowAddr, bits int, ds
 
 	// Functional result through the SA model.
 	w := bitvec.WordsFor(bits)
-	rows := make([][]uint64, len(srcs))
+	if cap(c.rowsScratch) < len(srcs) {
+		c.rowsScratch = make([][]uint64, len(srcs))
+	}
+	rows := c.rowsScratch[:len(srcs)]
 	for i, s := range srcs {
 		rows[i] = c.mem.PeekRow(s)[:w]
 	}

@@ -273,10 +273,13 @@ func (c *Controller) CorrectOrEscalate(dst memarch.RowAddr, bits int, golden []u
 	c.counters.SenseSteps += int64(groups)
 
 	// Sense the stored row and its check bits (single-row read margins).
+	// Both live only for the decode, so they run on controller scratch.
 	stored := c.mem.PeekRow(dst)[:w]
-	data := make([]uint64, w)
+	c.eccData = scratchWords(c.eccData, w)
+	data := c.eccData
 	copy(data, stored)
-	check := make([]uint64, len(entry.words))
+	c.eccCheck = scratchWords(c.eccCheck, len(entry.words))
+	check := c.eccCheck
 	copy(check, entry.words)
 	if c.inj != nil {
 		c.inj.FlipSensed(sense.OpRead, 1, bits, data)
@@ -349,7 +352,8 @@ func (c *Controller) ECCCorrectRead(addr memarch.RowAddr, bits int, sensed []uin
 	v.Energy.Add(energy.SenseAmp, float64(cbBits)*e.SensePerBit)
 	v.Energy.Add(energy.ECCLogic, float64(bits)*e.ECCPerBit)
 
-	check := make([]uint64, len(entry.words))
+	c.eccCheck = scratchWords(c.eccCheck, len(entry.words))
+	check := c.eccCheck
 	copy(check, entry.words)
 	if c.inj != nil {
 		c.inj.FlipSensed(sense.OpRead, 1, cbBits, check)

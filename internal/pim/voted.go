@@ -82,8 +82,11 @@ func (c *Controller) ExecuteVoted(op sense.Op, sets [][]memarch.RowAddr, bits in
 	fbits := float64(bits)
 	fn := float64(n)
 
-	outs := make([][]uint64, 0, r)
-	for _, set := range sets {
+	outs := c.voteScratch(r, w)
+	if cap(c.rowsScratch) < n {
+		c.rowsScratch = make([][]uint64, n)
+	}
+	for si, set := range sets {
 		// Each replica group is a fresh multi-row activation: the LWL reset
 		// closes the previous group's rows and re-arms the latches, so the
 		// protocol checker sees R well-formed groups in one sequence.
@@ -110,12 +113,12 @@ func (c *Controller) ExecuteVoted(op sense.Op, sets [][]memarch.RowAddr, bits in
 			res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdSense, Addr: set[0]})
 		}
 
-		rows := make([][]uint64, n)
+		rows := c.rowsScratch[:n]
 		for i, s := range set {
 			rows[i] = c.mem.PeekRow(s)[:w]
 		}
-		out, err := c.sa.ComputeWords(op, rows)
-		if err != nil {
+		out := outs[si]
+		if err := c.sa.ComputeWordsInto(out, op, rows); err != nil {
 			return nil, err
 		}
 		if c.inj != nil {
@@ -123,7 +126,6 @@ func (c *Controller) ExecuteVoted(op sense.Op, sets [][]memarch.RowAddr, bits in
 			// this is the independence the majority vote exploits.
 			c.inj.FlipSensed(op, n, bits, out)
 		}
-		outs = append(outs, out)
 
 		res.Energy.Add(energy.CellArray, fbits*e.ActPerBit)
 		res.Energy.Add(energy.LWLDriver, fn*e.LWLPerAct)
@@ -131,7 +133,11 @@ func (c *Controller) ExecuteVoted(op sense.Op, sets [][]memarch.RowAddr, bits in
 			float64(op.SenseSteps())*fbits*(e.SensePerBit+fn*e.SenseRowAdd))
 	}
 
-	maj, disagree, err := sense.MajorityWords(outs, bits)
+	// The majority words become res.Words, which outlives this call (the
+	// scheduler verifies and stores through it), so they get a fresh
+	// buffer — only the per-replica sensing passes run on scratch.
+	maj := make([]uint64, w)
+	disagree, err := sense.MajorityWordsInto(maj, outs, bits)
 	if err != nil {
 		return nil, err
 	}

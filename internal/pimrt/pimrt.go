@@ -158,6 +158,19 @@ func (a *Allocator) Retire(r memarch.RowAddr) {
 	delete(a.free, key)
 }
 
+// Reset restores the allocator to its NewAllocator state: the frontier
+// rewinds and free/retired sets empty, so a pooled shard sandbox hands out
+// exactly the row sequence a fresh allocator would.
+func (a *Allocator) Reset() {
+	for k := range a.free {
+		delete(a.free, k)
+	}
+	for k := range a.retired {
+		delete(a.retired, k)
+	}
+	a.next = 0
+}
+
 // AllocatedRows reports how many rows are currently live (retired rows
 // still count — their capacity is lost, not reclaimed).
 func (a *Allocator) AllocatedRows() int { return int(a.next) - len(a.free) }
@@ -175,19 +188,35 @@ func keyOf(a memarch.RowAddr) subarrayKey {
 }
 
 // GroupBySubarray partitions operand rows by their subarray, preserving
-// first-appearance order of the groups.
+// first-appearance order of the groups. Grouping scans linearly instead
+// of hashing: operand sets are bounded by the open-row cap and group
+// counts are tiny, so the scan beats a map and allocates no index.
 func GroupBySubarray(rows []memarch.RowAddr) [][]memarch.RowAddr {
-	idx := make(map[subarrayKey]int)
-	var groups [][]memarch.RowAddr
+	return appendGroups(nil, rows)
+}
+
+// appendGroups is GroupBySubarray onto a caller-owned groups buffer
+// (emptied group slices are reused; see Scheduler.groupBySubarray).
+func appendGroups(groups [][]memarch.RowAddr, rows []memarch.RowAddr) [][]memarch.RowAddr {
 	for _, r := range rows {
 		k := keyOf(r)
-		i, ok := idx[k]
-		if !ok {
-			i = len(groups)
-			idx[k] = i
-			groups = append(groups, nil)
+		found := -1
+		for i := range groups {
+			if keyOf(groups[i][0]) == k {
+				found = i
+				break
+			}
 		}
-		groups[i] = append(groups[i], r)
+		if found < 0 {
+			if len(groups) < cap(groups) {
+				groups = groups[:len(groups)+1]
+				groups[len(groups)-1] = groups[len(groups)-1][:0]
+			} else {
+				groups = append(groups, nil)
+			}
+			found = len(groups) - 1
+		}
+		groups[found] = append(groups[found], r)
 	}
 	return groups
 }
@@ -264,6 +293,21 @@ type Scheduler struct {
 	Replicas func(a memarch.RowAddr) []memarch.RowAddr
 
 	stats FaultStats
+
+	// groups, srcs and partials are scheduling scratch, reused across
+	// operations so the steady-state OR path allocates nothing for
+	// operand grouping and request assembly. A Scheduler is owned by one
+	// System and never called reentrantly, so plain fields suffice.
+	groups   [][]memarch.RowAddr
+	srcs     []memarch.RowAddr
+	partials []memarch.RowAddr
+}
+
+// groupBySubarray is GroupBySubarray through the scheduler's reusable
+// grouping scratch.
+func (s *Scheduler) groupBySubarray(rows []memarch.RowAddr) [][]memarch.RowAddr {
+	s.groups = appendGroups(s.groups[:0], rows)
+	return s.groups
 }
 
 // TraceSegment is one channel-schedulable piece of a scheduled operation's
@@ -355,8 +399,8 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 	}
 
 	depth := s.Ctl.MaxORRows()
-	groups := GroupBySubarray(rows)
-	partials := make([]memarch.RowAddr, 0, len(groups))
+	groups := s.groupBySubarray(rows)
+	partials := s.partials[:0]
 	var borrowed []memarch.RowAddr
 	for _, g := range groups {
 		if len(g) == 1 {
@@ -375,6 +419,7 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 		if len(groups) == 1 {
 			res.FinalDst = target
 			res.finalize()
+			s.partials = partials[:0]
 			return res, nil
 		}
 		if target != orig {
@@ -390,6 +435,7 @@ func (s *Scheduler) OR(rows []memarch.RowAddr, bits int, dst memarch.RowAddr) (*
 	if err := s.chainedOR(partials, bits, &tgt, pim.InterORLimit, res); err != nil {
 		return nil, err
 	}
+	s.partials = partials[:0]
 	res.FinalDst = tgt
 	if s.Release != nil && len(borrowed) > 0 {
 		s.Release(borrowed)
@@ -407,7 +453,7 @@ func (s *Scheduler) chainedOR(rows []memarch.RowAddr, bits int, target *memarch.
 	if take > depth {
 		take = depth
 	}
-	srcs := append([]memarch.RowAddr(nil), rows[:take]...)
+	srcs := append(s.srcs[:0], rows[:take]...)
 	words, err := s.request(sense.OpOR, srcs, bits, target, nil, res)
 	if err != nil {
 		return err
@@ -427,6 +473,7 @@ func (s *Scheduler) chainedOR(rows []memarch.RowAddr, bits int, target *memarch.
 		}
 		done += take
 	}
+	s.srcs = srcs[:0]
 	return nil
 }
 

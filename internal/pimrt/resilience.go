@@ -94,6 +94,10 @@ type FaultStats struct {
 // FaultStats returns a snapshot of the accumulated resilience activity.
 func (s *Scheduler) FaultStats() FaultStats { return s.stats }
 
+// ResetStats clears the accumulated resilience counters — pooled shard
+// sandboxes reset through here before their next window.
+func (s *Scheduler) ResetStats() { s.stats = FaultStats{} }
+
 // AbsorbStats folds another scheduler's accumulated resilience activity
 // into this one. The batch executor runs shards on private scheduler
 // stacks and merges their counters back through here, so concurrent

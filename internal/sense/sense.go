@@ -87,6 +87,13 @@ type Array struct {
 	// bit positions per ComputeWords call.
 	checkEvery int
 	rng        *rand.Rand
+	// cells is the analog-check sample scratch, reused so steady-state
+	// operations allocate nothing for the cross-check.
+	cells []bool
+	// maxOR memoises the OR depth search: cfg and params are immutable
+	// after NewArray, so the margin sweep is done once, not per operation
+	// (it was the hottest non-data work on the cached execution path).
+	maxOR int
 }
 
 // NewArray builds an SA array for the technology. Analog cross-checking
@@ -96,29 +103,27 @@ func NewArray(p nvm.Params, cfg analog.SenseConfig, checkBits int) (*Array, erro
 	if !p.Tech.Resistive() {
 		return nil, analog.ErrNotResistive
 	}
+	depth, err := analog.MaxORRows(cfg, p, p.MaxOpenRows)
+	if err != nil {
+		// Unreachable: only non-resistive techs error, rejected above.
+		return nil, err
+	}
+	if depth > p.MaxOpenRows {
+		depth = p.MaxOpenRows
+	}
 	return &Array{
 		params:     p,
 		cfg:        cfg,
 		checkEvery: checkBits,
 		rng:        rand.New(rand.NewSource(0x9144)), // deterministic sampling
+		maxOR:      depth,
 	}, nil
 }
 
 // MaxORRows returns the operand-row limit for OR on this array: the smaller
-// of the architectural cap and the analog sensing-margin depth. Panics only
-// if the analog model rejects the technology — impossible, because NewArray
-// already refused non-resistive techs.
-func (a *Array) MaxORRows() int {
-	depth, err := analog.MaxORRows(a.cfg, a.params, a.params.MaxOpenRows)
-	if err != nil {
-		// NewArray rejected non-resistive techs already.
-		panic(err)
-	}
-	if depth > a.params.MaxOpenRows {
-		depth = a.params.MaxOpenRows
-	}
-	return depth
-}
+// of the architectural cap and the analog sensing-margin depth, memoised at
+// construction (cfg and params never change afterwards).
+func (a *Array) MaxORRows() int { return a.maxOR }
 
 // ValidateOperands checks the operand-row count rules for op.
 func (a *Array) ValidateOperands(op Op, n int) error {
@@ -141,22 +146,47 @@ func (a *Array) ValidateOperands(op Op, n int) error {
 	return nil
 }
 
+// Reset restores the array's deterministic analog-check sampling stream
+// to its NewArray state (pooled shard sandboxes reset through here).
+func (a *Array) Reset() {
+	a.rng = rand.New(rand.NewSource(0x9144))
+}
+
 // ComputeWords resolves the operation over word-parallel operand rows and
 // returns the result words. Every row must have the same length. The word
 // math is the functional model; if analog checking is enabled, sampled bit
 // positions are re-resolved through the analog current comparison and any
 // disagreement panics (it would be a modelling bug, never a data error).
 func (a *Array) ComputeWords(op Op, rows [][]uint64) ([]uint64, error) {
-	if err := a.ValidateOperands(op, len(rows)); err != nil {
+	if len(rows) == 0 {
+		return nil, a.ValidateOperands(op, 0)
+	}
+	out := make([]uint64, len(rows[0]))
+	if err := a.ComputeWordsInto(out, op, rows); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ComputeWordsInto is ComputeWords resolving into a caller-owned buffer:
+// dst must hold exactly len(rows[0]) words, and a steady-state call
+// allocates nothing (the analog cross-check included). This is the
+// zero-alloc hot path the controller's cached executions and the voted
+// sensing loop run on.
+func (a *Array) ComputeWordsInto(dst []uint64, op Op, rows [][]uint64) error {
+	if err := a.ValidateOperands(op, len(rows)); err != nil {
+		return err
 	}
 	width := len(rows[0])
 	for i, r := range rows[1:] {
 		if len(r) != width {
-			return nil, fmt.Errorf("sense: row %d has %d words, row 0 has %d", i+1, len(r), width)
+			return fmt.Errorf("sense: row %d has %d words, row 0 has %d", i+1, len(r), width)
 		}
 	}
-	out := make([]uint64, width)
+	if len(dst) != width {
+		return fmt.Errorf("sense: destination has %d words, rows have %d", len(dst), width)
+	}
+	out := dst
 	switch op {
 	case OpRead:
 		copy(out, rows[0])
@@ -184,7 +214,7 @@ func (a *Array) ComputeWords(op Op, rows [][]uint64) ([]uint64, error) {
 	if a.checkEvery > 0 && width > 0 {
 		a.analogCheck(op, rows, out)
 	}
-	return out, nil
+	return nil
 }
 
 // analogCheck re-resolves sampled bit positions through the analog path.
@@ -192,10 +222,13 @@ func (a *Array) ComputeWords(op Op, rows [][]uint64) ([]uint64, error) {
 // consistency assertion this sampling exists to enforce.
 func (a *Array) analogCheck(op Op, rows [][]uint64, out []uint64) {
 	totalBits := len(out) * 64
+	if cap(a.cells) < len(rows) {
+		a.cells = make([]bool, len(rows))
+	}
 	for k := 0; k < a.checkEvery; k++ {
 		pos := a.rng.Intn(totalBits)
 		wi, bi := pos/64, uint(pos%64)
-		cells := make([]bool, len(rows))
+		cells := a.cells[:len(rows)]
 		for r := range rows {
 			cells[r] = rows[r][wi]&(1<<bi) != 0
 		}

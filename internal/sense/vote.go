@@ -21,20 +21,38 @@ import (
 // majority, kept. len(outs) must be a valid replication factor (odd,
 // 3..7) and all replicas must have equal width covering bitCount.
 func MajorityWords(outs [][]uint64, bitCount int) ([]uint64, int, error) {
+	if len(outs) == 0 {
+		return nil, 0, fmt.Errorf("sense: majority vote needs an odd replica count in 3..7, got 0")
+	}
+	maj := make([]uint64, len(outs[0]))
+	disagree, err := MajorityWordsInto(maj, outs, bitCount)
+	if err != nil {
+		return nil, 0, err
+	}
+	return maj, disagree, nil
+}
+
+// MajorityWordsInto is MajorityWords voting into a caller-owned buffer:
+// dst must hold exactly the replica width, and a steady-state call
+// allocates nothing — the zero-alloc form the voted execution loop uses.
+func MajorityWordsInto(dst []uint64, outs [][]uint64, bitCount int) (int, error) {
 	r := len(outs)
 	if !analog.ValidReplication(r) || r == 0 {
-		return nil, 0, fmt.Errorf("sense: majority vote needs an odd replica count in 3..7, got %d", r)
+		return 0, fmt.Errorf("sense: majority vote needs an odd replica count in 3..7, got %d", r)
 	}
 	width := len(outs[0])
 	for i, o := range outs[1:] {
 		if len(o) != width {
-			return nil, 0, fmt.Errorf("sense: replica %d has %d words, replica 0 has %d", i+1, len(o), width)
+			return 0, fmt.Errorf("sense: replica %d has %d words, replica 0 has %d", i+1, len(o), width)
 		}
 	}
 	if bitCount < 0 || bitCount > width*64 {
-		return nil, 0, fmt.Errorf("sense: bit count %d outside replica width %d bits", bitCount, width*64)
+		return 0, fmt.Errorf("sense: bit count %d outside replica width %d bits", bitCount, width*64)
 	}
-	maj := make([]uint64, width)
+	if len(dst) != width {
+		return 0, fmt.Errorf("sense: destination has %d words, replicas have %d", len(dst), width)
+	}
+	maj := dst
 	need := r/2 + 1
 	disagree := 0
 	for i := 0; i < width; i++ {
@@ -75,5 +93,5 @@ func MajorityWords(outs [][]uint64, bitCount int) ([]uint64, int, error) {
 		}
 		disagree += bits.OnesCount64(d)
 	}
-	return maj, disagree, nil
+	return disagree, nil
 }

@@ -45,6 +45,13 @@ type Metrics struct {
 	Latency pinatubo.LatencyStats `json:"latency"`
 	// WindowLatency spreads window makespans (simulated).
 	WindowLatency pinatubo.LatencyStats `json:"window_latency"`
+	// Program-cache and sandbox-pool counters from the System's PerfStats,
+	// snapshotted at each window boundary — the raw-speed observability of
+	// the simulator itself (cached and uncached runs are bit-identical).
+	ProgramCacheHits   int64 `json:"program_cache_hits"`
+	ProgramCacheMisses int64 `json:"program_cache_misses"`
+	SandboxPoolGets    int64 `json:"sandbox_pool_gets"`
+	SandboxPoolReuses  int64 `json:"sandbox_pool_reuses"`
 	// Tenants breaks admission down per tenant — the fairness ledger.
 	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 }
@@ -62,6 +69,7 @@ type metricsState struct {
 
 	opLatencies     []time.Duration
 	windowLatencies []time.Duration
+	perf            pinatubo.PerfStats
 	tenants         map[string]*TenantMetrics
 }
 
@@ -91,6 +99,10 @@ func (m *metricsState) snapshot(now time.Time) Metrics {
 		Tenants:    make(map[string]TenantMetrics, len(m.tenants)),
 	}
 	out.WindowLatency = latencyStats(m.windowLatencies)
+	out.ProgramCacheHits = m.perf.ProgramCacheHits
+	out.ProgramCacheMisses = m.perf.ProgramCacheMisses
+	out.SandboxPoolGets = m.perf.SandboxPoolGets
+	out.SandboxPoolReuses = m.perf.SandboxPoolReuses
 	if m.simSeconds > 0 {
 		out.SimOpsPerSec = float64(m.opsDone) / m.simSeconds
 	}

@@ -406,6 +406,7 @@ func (s *Server) boundary(ctx context.Context) {
 				Count:     res.Count,
 			})
 		}
+		perf := s.sys.PerfStats()
 		s.metric(func(m *metricsState) {
 			m.windows++
 			m.opsDone += int64(len(running))
@@ -414,6 +415,7 @@ func (s *Server) boundary(ctx context.Context) {
 			for i := range running {
 				m.opLatencies = append(m.opLatencies, br.Completion[i])
 			}
+			m.perf = perf
 		})
 		if s.autoCap && s.replanEvery > 0 && s.windowID%s.replanEvery == 0 {
 			if cap, err := s.planCap(); err == nil {

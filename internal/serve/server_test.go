@@ -197,7 +197,7 @@ func TestServeDifferential(t *testing.T) {
 			// Twin executes the same ops in arrival order.
 			wantRes := make([]pinatubo.Result, len(all))
 			for i, b := range all {
-				res, err := twin.Apply(parseOpOrDie(t, b.spec.op), b.dst, b.srcs...)
+				res, err := twin.Apply(parseOpOrDie(t, b.spec.op), b.dst, b.srcs)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -3,66 +3,118 @@ package pinatubo
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 )
 
-// TestOptionsShimEquivalence pins the deprecated BatchWith/PlanWith shims
-// to the option forms: same arbiter through either spelling, same report.
-func TestOptionsShimEquivalence(t *testing.T) {
+// TestOptionsExplicitDefaultEquivalence pins that spelling the defaults
+// out as options changes nothing: a bare call and one passing
+// WithArbiter(ArbFIFO) + WithContext(Background) produce identical
+// reports and schedules.
+func TestOptionsExplicitDefaultEquivalence(t *testing.T) {
 	cfg := Config{Tech: PCM, Geometry: spreadGeometry()}
-	for _, arb := range []Arbiter{ArbFIFO, ArbOldestReady} {
-		viaOpt, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		viaShim, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		a, err := viaOpt.Plan(OpOr, 4, 0, WithArbiter(arb))
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := viaShim.PlanWith(OpOr, 4, 0, arb)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(a, b) {
-			t.Errorf("%v: Plan via option %+v != via shim %+v", arb, a, b)
-		}
+	bare, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bare.Plan(OpOr, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spelled.Plan(OpOr, 4, 0, WithArbiter(ArbFIFO), WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Plan bare %+v != with explicit defaults %+v", a, b)
+	}
 
-		opsA := buildBatchOps(t, viaOpt, 4096)
-		opsB := buildBatchOps(t, viaShim, 4096)
-		ra, err := viaOpt.Batch(opsA, WithArbiter(arb))
-		if err != nil {
-			t.Fatal(err)
-		}
-		rb, err := viaShim.BatchWith(opsB, arb)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Results reference distinct vectors, but the schedule numbers
-		// must be identical.
-		if ra.Makespan != rb.Makespan || ra.Sequential != rb.Sequential ||
-			ra.Shards != rb.Shards || ra.Arb != rb.Arb {
-			t.Errorf("%v: Batch via option %+v != via shim %+v", arb, ra, rb)
-		}
+	opsA := buildBatchOps(t, bare, 4096)
+	opsB := buildBatchOps(t, spelled, 4096)
+	ra, err := bare.Batch(opsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := spelled.Batch(opsB, WithArbiter(ArbFIFO), WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results reference distinct vectors, but the schedule numbers
+	// must be identical.
+	if ra.Makespan != rb.Makespan || ra.Sequential != rb.Sequential ||
+		ra.Shards != rb.Shards || ra.Arb != rb.Arb {
+		t.Errorf("Batch bare %+v != with explicit defaults %+v", ra, rb)
 	}
 }
 
 // TestOptionsDefaults checks the zero-option call is the legacy default:
-// FIFO arbitration, background context, nil options tolerated.
+// FIFO arbitration, background context, and WithContext(nil) restored to
+// the background context.
 func TestOptionsDefaults(t *testing.T) {
-	o := resolveOpts(nil)
+	o, err := resolveOpts(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.arb != ArbFIFO {
 		t.Errorf("default arbiter %v, want fifo", o.arb)
 	}
 	if o.ctx == nil {
 		t.Error("default context is nil")
 	}
-	o = resolveOpts([]Option{nil, WithContext(nil), nil})
+	if o.progCache != nil {
+		t.Error("default call carries a program-cache override")
+	}
+	o, err = resolveOpts([]Option{WithContext(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.ctx == nil {
 		t.Error("WithContext(nil) left a nil context")
+	}
+}
+
+// TestNilOptionRejected pins the nil-Option contract: a nil in the option
+// list is a caller bug (typically an uninitialised Option variable) and
+// every options-taking entry point must reject it with a clear error
+// instead of panicking or silently skipping it.
+func TestNilOptionRejected(t *testing.T) {
+	if _, err := resolveOpts([]Option{WithArbiter(ArbFIFO), nil}); err == nil {
+		t.Fatal("resolveOpts accepted a nil option")
+	} else if want := "option 1 of 2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("nil-option error %q does not locate the option (%q)", err, want)
+	}
+
+	sys, err := New(Config{Tech: PCM, Geometry: spreadGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := sys.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats()
+	if _, err := sys.Apply(OpNot, dst, []*BitVector{a}, nil); err == nil {
+		t.Error("Apply accepted a nil option")
+	}
+	if _, err := sys.Batch([]BatchOp{{Op: OpNot, Dst: dst, Srcs: []*BitVector{a}}}, nil); err == nil {
+		t.Error("Batch accepted a nil option")
+	}
+	if _, err := sys.Plan(OpOr, 4, 0, nil); err == nil {
+		t.Error("Plan accepted a nil option")
+	}
+	if _, err := sys.NewBatchBuilder().Start(nil); err == nil {
+		t.Error("BatchBuilder.Start accepted a nil option")
+	}
+	if after := sys.Stats(); !reflect.DeepEqual(before, after) {
+		t.Errorf("nil-option rejection touched the ledger: %+v -> %+v", before, after)
 	}
 }
 

@@ -1,0 +1,258 @@
+package pinatubo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// twoSys builds two identically configured systems for differential runs.
+func twoSys(t *testing.T, cfg Config) (*System, *System) {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// driveRepeated runs a write + repeated op workload (the shape the program
+// cache exists for) and returns the final read-back of every destination.
+func driveRepeated(t *testing.T, s *System) [][]uint64 {
+	t.Helper()
+	const bits = 4096
+	vs, err := s.AllocGroup(6, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	data := make([]uint64, bits/64)
+	for _, v := range vs[:4] {
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		if _, err := s.Write(v, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 8; round++ {
+		if _, err := s.And(vs[4], vs[0], vs[1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Xor(vs[5], vs[2], vs[3]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Or(vs[4], vs[0], vs[1], vs[2]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Not(vs[5], vs[4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([][]uint64, 2)
+	for i, v := range []*BitVector{vs[4], vs[5]} {
+		words, _, err := s.Read(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = words
+	}
+	return out
+}
+
+// TestProgramCacheBitIdentical pins the cache's core contract: a cached
+// run is bit-identical to an uncached one — same result vectors, same
+// ledger, same hardware counters — the cache only skips re-lowering.
+func TestProgramCacheBitIdentical(t *testing.T) {
+	cached := newSys(t)
+	plainCfg := DefaultConfig()
+	plainCfg.DisableProgramCache = true
+	plain, err := New(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := driveRepeated(t, cached)
+	b := driveRepeated(t, plain)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("cached and uncached runs read back different words")
+	}
+	if sa, sb := cached.Stats(), plain.Stats(); !reflect.DeepEqual(sa, sb) {
+		t.Errorf("cached stats %+v != uncached %+v", sa, sb)
+	}
+	if ha, hb := cached.HardwareCounters(), plain.HardwareCounters(); !reflect.DeepEqual(ha, hb) {
+		t.Errorf("cached hardware counters %+v != uncached %+v", ha, hb)
+	}
+
+	pc := cached.PerfStats()
+	if pc.ProgramCacheHits == 0 || pc.ProgramCacheMisses == 0 || pc.ProgramCacheEntries == 0 {
+		t.Errorf("repeated workload produced no cache traffic: %+v", pc)
+	}
+	if pp := plain.PerfStats(); pp.ProgramCacheHits != 0 || pp.ProgramCacheMisses != 0 {
+		t.Errorf("DisableProgramCache still produced cache traffic: %+v", pp)
+	}
+}
+
+// TestProgramCacheInvalidatedOnLayoutChange pins the invalidation rule:
+// any row-layout mutation (Free, and through the same path remaps and
+// replica teardowns) drops every cached program, so a stale program can
+// never be served against a moved layout — and the rows freed and handed
+// back out still compute correctly afterwards.
+func TestProgramCacheInvalidatedOnLayoutChange(t *testing.T) {
+	s := newSys(t)
+	vs, err := s.AllocGroup(3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(vs[0], []uint64{7, 7, 7, 7, 7, 7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(vs[1], []uint64{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.And(vs[2], vs[0], vs[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.PerfStats().ProgramCacheEntries; n == 0 {
+		t.Fatal("warm-up left no cached programs")
+	}
+	if err := s.Free(vs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.PerfStats().ProgramCacheEntries; n != 0 {
+		t.Errorf("%d cached programs survived a Free", n)
+	}
+
+	// The freed row is handed back out; the op over the recycled layout
+	// must compute fresh, not replay a stale program.
+	nv, err := s.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Xor(nv, vs[0], vs[1]); err != nil {
+		t.Fatal(err)
+	}
+	words, _, err := s.Read(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if w != 7^9 {
+			t.Fatalf("word %d after layout change: %#x want %#x", i, w, 7^9)
+		}
+	}
+}
+
+// TestWithProgramCacheOverride pins the option-vs-Config precedence:
+// Config.DisableProgramCache sets the default, WithProgramCache overrides
+// it for exactly one call in either direction.
+func TestWithProgramCacheOverride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableProgramCache = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := s.AllocGroup(3, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []*BitVector{vs[0], vs[1]}
+
+	if _, err := s.Apply(OpAnd, vs[2], srcs); err != nil {
+		t.Fatal(err)
+	}
+	if p := s.PerfStats(); p.ProgramCacheHits != 0 || p.ProgramCacheMisses != 0 {
+		t.Fatalf("disabled-by-config call produced cache traffic: %+v", p)
+	}
+	if _, err := s.Apply(OpAnd, vs[2], srcs, WithProgramCache(true)); err != nil {
+		t.Fatal(err)
+	}
+	if p := s.PerfStats(); p.ProgramCacheMisses == 0 {
+		t.Fatalf("WithProgramCache(true) did not engage the cache: %+v", p)
+	}
+	if _, err := s.Apply(OpAnd, vs[2], srcs, WithProgramCache(true)); err != nil {
+		t.Fatal(err)
+	}
+	if p := s.PerfStats(); p.ProgramCacheHits == 0 {
+		t.Fatalf("second overridden call did not hit: %+v", p)
+	}
+	// Back to the Config default: no further traffic.
+	before := s.PerfStats()
+	if _, err := s.Apply(OpAnd, vs[2], srcs); err != nil {
+		t.Fatal(err)
+	}
+	after := s.PerfStats()
+	if after.ProgramCacheHits != before.ProgramCacheHits || after.ProgramCacheMisses != before.ProgramCacheMisses {
+		t.Errorf("default call after override produced cache traffic: %+v -> %+v", before, after)
+	}
+
+	// And the other direction: a default-on system with a one-call opt-out.
+	on, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := on.AllocGroup(3, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := on.Apply(OpAnd, ws[2], []*BitVector{ws[0], ws[1]}, WithProgramCache(false)); err != nil {
+		t.Fatal(err)
+	}
+	if p := on.PerfStats(); p.ProgramCacheHits != 0 || p.ProgramCacheMisses != 0 {
+		t.Errorf("WithProgramCache(false) still produced cache traffic: %+v", p)
+	}
+}
+
+// TestSandboxPoolReuseBitIdentical runs the same multi-shard batch twice
+// — the second window's sandboxes come from the pool — against a twin
+// executing sequentially: results and ledgers must stay indistinguishable
+// from fresh-sandbox execution, and the pool must actually report reuse.
+func TestSandboxPoolReuseBitIdentical(t *testing.T) {
+	cfg := Config{Tech: PCM, Geometry: spreadGeometry()}
+	sys, twin := twoSys(t, cfg)
+	ops := buildBatchOps(t, sys, 4096)
+	twinOps := buildBatchOps(t, twin, 4096)
+
+	for round := 0; round < 2; round++ {
+		if _, err := sys.Batch(ops); err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range twinOps {
+			if _, err := twin.Apply(op.Op, op.Dst, op.Srcs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range ops {
+		got, _, err := sys.Read(ops[i].Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := twin.Read(twinOps[i].Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("op %d: pooled-batch result differs from sequential twin", i)
+		}
+	}
+	a, b := sys.Stats(), twin.Stats()
+	if !reflect.DeepEqual(a.Ops, b.Ops) || a.Requests != b.Requests {
+		t.Errorf("pooled-batch ledger %+v != sequential %+v", a, b)
+	}
+
+	p := sys.PerfStats()
+	if p.SandboxPoolGets == 0 {
+		t.Error("batched run never took a sandbox")
+	}
+	if p.SandboxPoolReuses == 0 {
+		t.Errorf("second window reused no pooled sandbox: %+v", p)
+	}
+}

@@ -25,6 +25,7 @@ package pinatubo
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"pinatubo/internal/analog"
@@ -99,6 +100,12 @@ type Config struct {
 	// Resilience tunes the verify-and-retry ladder that guards results
 	// when faults are injected.
 	Resilience ResilienceConfig
+	// DisableProgramCache turns the lowered-program cache off by default
+	// for this System. The cache is a pure wall-clock optimisation —
+	// cached and uncached runs are bit-identical — so this is an escape
+	// hatch for measuring lowering cost, not a correctness knob. A
+	// per-call WithProgramCache option overrides it (see Option).
+	DisableProgramCache bool
 }
 
 // FaultConfig selects which hardware faults the simulated memory suffers.
@@ -269,6 +276,25 @@ type System struct {
 	layoutGen uint64
 
 	stats Stats
+
+	// rowScratch is Apply's per-row-batch operand address buffer, reused
+	// across calls so a steady-state fixed-arity Apply allocates nothing
+	// for it.
+	rowScratch []memarch.RowAddr
+
+	// sandboxPool recycles shard-sandbox Systems across batch windows
+	// (window.go): reset-on-get, capped, guarded by poolMu because Start
+	// and Wait may run while shard goroutines of an earlier window are
+	// still winding down. poolGets/poolReuses are the observability
+	// counters PerfStats reports.
+	poolMu      sync.Mutex
+	sandboxPool []*System
+	poolGets    int64
+	poolReuses  int64
+	// cacheAbsorbed accumulates program-cache traffic merged back from
+	// released sandboxes, so PerfStats covers shard executions too.
+	cacheAbsorbed cmdstream.CacheStats
+
 	// host-path resilience activity (Write/Read verification), kept apart
 	// from the scheduler's own counters.
 	hostVerifies         int64
@@ -335,6 +361,7 @@ func New(cfg Config) (*System, error) {
 		alloc: alloc,
 		stats: Stats{Ops: make(map[string]int64)},
 	}
+	ctl.SetProgramCache(!cfg.DisableProgramCache)
 	s.sched = &pimrt.Scheduler{
 		Ctl:     ctl,
 		Scratch: func(sub memarch.RowAddr) memarch.RowAddr { return pimrt.ScratchRow(geo, sub) },
@@ -449,7 +476,16 @@ func (s *System) dropReplicas(primary memarch.RowAddr) {
 		delete(s.repMember, geo.Encode(r))
 	}
 	s.alloc.Free(reps)
+	s.bumpLayout()
+}
+
+// bumpLayout records a row-layout mutation: the generation counter that
+// re-footprints in-flight BatchBuilders also invalidates the lowered-
+// program cache, so a cached program can never be served for a layout it
+// was not lowered against.
+func (s *System) bumpLayout() {
 	s.layoutGen++
+	s.ctl.InvalidateProgramCache()
 }
 
 // beginOp opens a fresh per-operation fault substream. Every public
@@ -470,7 +506,7 @@ func (s *System) remapRow(old memarch.RowAddr) (memarch.RowAddr, error) {
 	if err != nil {
 		return memarch.RowAddr{}, err
 	}
-	s.layoutGen++
+	s.bumpLayout()
 	return rows[0], nil
 }
 
@@ -491,6 +527,122 @@ func (s *System) Stats() Stats {
 		out.Ops[k] = v
 	}
 	return out
+}
+
+// PerfStats are the simulator's own raw-speed counters: how often the
+// lowered-program cache short-circuited lowering and how often a batch
+// window reused a pooled shard sandbox instead of building a fresh one.
+// They live apart from Stats on purpose — Stats describes the simulated
+// hardware's activity (identical whether or not the cache is on), while
+// PerfStats describes the wall-clock machinery underneath it.
+type PerfStats struct {
+	// ProgramCacheHits / ProgramCacheMisses count executions served from /
+	// added to the lowered-program cache, including executions inside
+	// batch-shard sandboxes (folded in when a sandbox is released).
+	ProgramCacheHits   int64
+	ProgramCacheMisses int64
+	// ProgramCacheEntries is the live System's current cached-program count.
+	ProgramCacheEntries int
+	// SandboxPoolGets counts shard sandboxes handed out for batch windows;
+	// SandboxPoolReuses counts how many of those were recycled from the
+	// pool rather than constructed.
+	SandboxPoolGets   int64
+	SandboxPoolReuses int64
+}
+
+// PerfStats returns a snapshot of the raw-speed counters.
+func (s *System) PerfStats() PerfStats {
+	cs := s.ctl.CacheStats()
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	return PerfStats{
+		ProgramCacheHits:    cs.Hits + s.cacheAbsorbed.Hits,
+		ProgramCacheMisses:  cs.Misses + s.cacheAbsorbed.Misses,
+		ProgramCacheEntries: cs.Entries,
+		SandboxPoolGets:     s.poolGets,
+		SandboxPoolReuses:   s.poolReuses,
+	}
+}
+
+// sandboxPoolCap bounds how many released shard sandboxes the pool keeps.
+// A window runs one sandbox per shard, so the cap only matters for
+// pathologically wide windows; beyond it, sandboxes fall back to GC.
+const sandboxPoolCap = 64
+
+// getSandbox returns a shard-sandbox System: a pooled one, reset to the
+// exact observable state New(s.cfg) would produce, or a freshly built one
+// when the pool is empty.
+func (s *System) getSandbox() (*System, error) {
+	s.poolMu.Lock()
+	var sb *System
+	if n := len(s.sandboxPool); n > 0 {
+		sb = s.sandboxPool[n-1]
+		s.sandboxPool[n-1] = nil
+		s.sandboxPool = s.sandboxPool[:n-1]
+	}
+	s.poolGets++
+	if sb != nil {
+		s.poolReuses++
+	}
+	s.poolMu.Unlock()
+	if sb == nil {
+		return New(s.cfg)
+	}
+	sb.resetForReuse()
+	return sb, nil
+}
+
+// putSandbox releases a shard sandbox back to the pool once its window is
+// finished (merged or discarded). The sandbox's program-cache traffic is
+// folded into the live System's PerfStats first, so cache observability
+// covers shard executions; the sandbox itself is reset on its next get.
+func (s *System) putSandbox(sb *System) {
+	if sb == nil {
+		return
+	}
+	cs := sb.ctl.CacheStats()
+	s.poolMu.Lock()
+	s.cacheAbsorbed.Hits += cs.Hits
+	s.cacheAbsorbed.Misses += cs.Misses
+	if len(s.sandboxPool) < sandboxPoolCap {
+		s.sandboxPool = append(s.sandboxPool, sb)
+	}
+	s.poolMu.Unlock()
+}
+
+// resetForReuse restores a pooled sandbox to the observable state of a
+// fresh New(s.cfg) System: memory content, allocator frontier, controller
+// counters and mode registers, analog-check sampling stream, fault state,
+// scheduler and host ledgers all rewind, so a reused sandbox replays a
+// shard bit-identically to a fresh one. Differential tests pin that.
+func (s *System) resetForReuse() {
+	s.mem.Reset()
+	s.alloc.Reset()
+	s.ctl.ResetForReuse()
+	if inj := s.ctl.Injector(); inj != nil {
+		inj.Reset()
+	}
+	s.sched.ResetStats()
+	for k := range s.stats.Ops {
+		delete(s.stats.Ops, k)
+	}
+	s.stats.Requests = 0
+	s.stats.BusySeconds = 0
+	s.stats.EnergyJoules = 0
+	for k := range s.repRows {
+		delete(s.repRows, k)
+	}
+	for k := range s.repMember {
+		delete(s.repMember, k)
+	}
+	s.layoutGen = 0
+	s.hostVerifies = 0
+	s.hostRetries = 0
+	s.hostRowsRetired = 0
+	s.hostBitsCorrected = 0
+	s.hostEccDecodes = 0
+	s.hostEccCorrected = 0
+	s.hostEccUncorrectable = 0
 }
 
 // BitVector is a handle to a bit-vector stored in the PIM memory.
@@ -608,7 +760,7 @@ func (s *System) Free(b *BitVector) error {
 		s.dropReplicas(row)
 	}
 	s.alloc.Free(b.rows)
-	s.layoutGen++
+	s.bumpLayout()
 	b.sys = nil
 	return nil
 }
@@ -892,12 +1044,8 @@ func (s *System) readRow(addr memarch.RowAddr, bitsHere int, prog *cmdstream.Pro
 			return nil, seconds, joules, err
 		}
 		s.hostVerifies++
-		got := bitvec.FromWords(bitsHere, r.Words)
-		want := bitvec.FromWords(bitsHere, golden)
-		if !got.Equal(want) {
-			x := bitvec.New(bitsHere)
-			x.Xor(got, want)
-			s.hostBitsCorrected += int64(x.Popcount())
+		if !bitvec.EqualWords(r.Words, golden, bitsHere) {
+			s.hostBitsCorrected += int64(bitvec.DiffCount(r.Words, golden, bitsHere))
 			if try >= s.sched.Res.MaxRetries {
 				return nil, seconds, joules, fmt.Errorf("pinatubo: reading row %v: %w",
 					addr, ErrResilienceExhausted)
@@ -1108,27 +1256,51 @@ func (s *System) validateOp(op Op, dst *BitVector, srcs []*BitVector) error {
 // folded cost with Class set to the worst placement class any batch took
 // (the native path of the operands, even when a batch was degraded to a
 // slower one by the resilience layer).
-func (s *System) Apply(op Op, dst *BitVector, srcs ...*BitVector) (Result, error) {
-	return s.apply(op, dst, srcs, nil)
+//
+// Options: WithContext attaches cancellation, observed between row
+// chunks — a cancelled multi-row Apply stops with ctx.Err() and the
+// completed prefix of row batches stays applied, exactly as if a shorter
+// vector had been processed. WithProgramCache overrides the System's
+// program-cache default for this call. WithArbiter is accepted for
+// signature uniformity but has no effect: a single Apply issues its
+// requests back-to-back, so there is nothing to arbitrate.
+func (s *System) Apply(op Op, dst *BitVector, srcs []*BitVector, opts ...Option) (Result, error) {
+	o, err := resolveOpts(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.applyOpts(op, dst, srcs, nil, o)
 }
 
-// apply is Apply with an optional program capture: when prog is non-nil
-// the operation's full lowered cmdstream program (every controller request
-// and verification pass, in execution order) is appended to it. The batch
-// executor schedules those programs through chansim; Apply passes nil.
+// apply is Apply with an optional program capture under default options:
+// when prog is non-nil the operation's full lowered cmdstream program
+// (every controller request and verification pass, in execution order) is
+// appended to it. The batch executor schedules those programs through
+// chansim and owns its own cancellation (between ops, not row chunks).
 func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream.Program) (Result, error) {
+	return s.applyOpts(op, dst, srcs, prog, callOpts{arb: ArbFIFO})
+}
+
+// applyOpts is the Apply implementation with resolved per-call options.
+func (s *System) applyOpts(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream.Program, o callOpts) (Result, error) {
+	if o.progCache != nil && *o.progCache != s.ctl.ProgramCacheEnabled() {
+		prev := s.ctl.ProgramCacheEnabled()
+		s.ctl.SetProgramCache(*o.progCache)
+		defer s.ctl.SetProgramCache(prev)
+	}
 	if err := s.validateOp(op, dst, srcs); err != nil {
 		return Result{}, err
 	}
 	s.beginOp()
 	if op == OpPopcount {
 		// Host-side reduction over dst itself: read the vector out and
-		// count there; the cost is exactly the host read.
+		// count there; the cost is exactly the host read. The count masks
+		// the final partial word in place — no Vector round-trip.
 		words, res, err := s.readInto(dst, prog)
 		if err != nil {
 			return Result{}, err
 		}
-		n := bitvec.FromWords(dst.bits, words).Popcount()
+		n := bitvec.PopcountWords(words, dst.bits)
 		res.Count = &n
 		return res, nil
 	}
@@ -1140,8 +1312,18 @@ func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream
 	requests := 0
 	class := PlaceNone
 	var resil resilienceTally
+	if cap(s.rowScratch) < len(srcs) {
+		s.rowScratch = make([]memarch.RowAddr, len(srcs))
+	}
 	for batch := 0; batch < len(dst.rows); batch++ {
-		rows := make([]memarch.RowAddr, len(srcs))
+		if batch > 0 && o.ctx != nil {
+			// Cancellation is observed between row chunks: the completed
+			// prefix stays applied, the remainder never starts.
+			if err := o.ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		rows := s.rowScratch[:len(srcs)]
 		for i, src := range srcs {
 			rows[i] = src.rows[batch]
 		}
@@ -1216,7 +1398,7 @@ func (s *System) apply(op Op, dst *BitVector, srcs []*BitVector, prog *cmdstream
 // operands ≥ 1 is accepted: the runtime schedules per-subarray one-step
 // multi-row ORs (up to MaxORRows) and combines partial results.
 func (s *System) Or(dst *BitVector, srcs ...*BitVector) (Result, error) {
-	return s.Apply(OpOr, dst, srcs...)
+	return s.Apply(OpOr, dst, srcs)
 }
 
 // resilienceTally folds per-batch schedule outcomes into one Result.
@@ -1260,22 +1442,22 @@ func b0check(s *System, dst *BitVector, srcs []*BitVector) error {
 
 // And computes dst = a AND b (2-row operation via the shifted reference).
 func (s *System) And(dst, a, b *BitVector) (Result, error) {
-	return s.Apply(OpAnd, dst, a, b)
+	return s.Apply(OpAnd, dst, []*BitVector{a, b})
 }
 
 // Xor computes dst = a XOR b (two SA micro-steps).
 func (s *System) Xor(dst, a, b *BitVector) (Result, error) {
-	return s.Apply(OpXor, dst, a, b)
+	return s.Apply(OpXor, dst, []*BitVector{a, b})
 }
 
 // Not computes dst = NOT a (the latch's differential output).
 func (s *System) Not(dst, a *BitVector) (Result, error) {
-	return s.Apply(OpNot, dst, a)
+	return s.Apply(OpNot, dst, []*BitVector{a})
 }
 
 // Copy computes dst = a through a read/write-back pass.
 func (s *System) Copy(dst, a *BitVector) (Result, error) {
-	return s.Apply(OpCopy, dst, a)
+	return s.Apply(OpCopy, dst, []*BitVector{a})
 }
 
 // Popcount reads the vector to the host and counts set bits, charging the
@@ -1283,7 +1465,7 @@ func (s *System) Copy(dst, a *BitVector) (Result, error) {
 // reduction operations to the CPU). It is a thin wrapper over
 // Apply(OpPopcount, b): the count also lands in Result.Count.
 func (s *System) Popcount(b *BitVector) (int, Result, error) {
-	res, err := s.Apply(OpPopcount, b)
+	res, err := s.Apply(OpPopcount, b, nil)
 	if err != nil {
 		return 0, Result{}, err
 	}

@@ -322,7 +322,7 @@ func TestApplyPopcount(t *testing.T) {
 	if _, err := s.Write(b, []uint64{0xFF, 0x1}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Apply(OpPopcount, b)
+	res, err := s.Apply(OpPopcount, b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestApplyPopcount(t *testing.T) {
 	if res.Class != PlaceHostRead {
 		t.Errorf("popcount class %v want %v", res.Class, PlaceHostRead)
 	}
-	if _, err := s.Apply(OpPopcount, b, b); err == nil {
+	if _, err := s.Apply(OpPopcount, b, []*BitVector{b}); err == nil {
 		t.Error("popcount with a source operand accepted")
 	}
 	other, _ := s.Alloc(128)

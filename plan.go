@@ -143,7 +143,10 @@ type PlanReport struct {
 // context's error and, because every sample ran on a sandbox, has no
 // side effects on the live system.
 func (s *System) Plan(op Op, concurrency int, faultRate float64, opts ...Option) (PlanReport, error) {
-	o := resolveOpts(opts)
+	o, err := resolveOpts(opts)
+	if err != nil {
+		return PlanReport{}, err
+	}
 	arb := o.arb
 	if concurrency < 1 {
 		return PlanReport{}, fmt.Errorf("pinatubo: planning concurrency %d", concurrency)
@@ -223,14 +226,6 @@ func (s *System) Plan(op Op, concurrency int, faultRate float64, opts ...Option)
 		}
 	}
 	return report, nil
-}
-
-// PlanWith is Plan under an explicit channel arbitration policy.
-//
-// Deprecated: Use Plan with WithArbiter:
-// s.Plan(op, concurrency, faultRate, WithArbiter(arb)).
-func (s *System) PlanWith(op Op, concurrency int, faultRate float64, arb Arbiter) (PlanReport, error) {
-	return s.Plan(op, concurrency, faultRate, WithArbiter(arb))
 }
 
 // planKs returns the concurrency levels to explore: powers of two up to

@@ -116,7 +116,7 @@ func TestPlanFaultySanity(t *testing.T) {
 	}
 }
 
-// TestPlanArbitersDivergeUnderLoad pins the reason PlanWith exists: under
+// TestPlanArbitersDivergeUnderLoad pins the reason WithArbiter exists: under
 // load the arbitration policy is visible in the completion-time tail.
 // FIFO issues for whichever request can start earliest, oldest-ready for
 // whichever has waited longest, and with 16 operations contending for one
@@ -126,11 +126,11 @@ func TestPlanFaultySanity(t *testing.T) {
 func TestPlanArbitersDivergeUnderLoad(t *testing.T) {
 	const concurrency = 16
 	sys := newSys(t)
-	fifo, err := sys.PlanWith(OpOr, concurrency, 0, ArbFIFO)
+	fifo, err := sys.Plan(OpOr, concurrency, 0, WithArbiter(ArbFIFO))
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldest, err := sys.PlanWith(OpOr, concurrency, 0, ArbOldestReady)
+	oldest, err := sys.Plan(OpOr, concurrency, 0, WithArbiter(ArbOldestReady))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,13 +147,13 @@ func TestPlanArbitersDivergeUnderLoad(t *testing.T) {
 		t.Errorf("fifo and oldest-ready throughput identical at k=%d: %v", concurrency, fp.Throughput)
 	}
 
-	// Plan is PlanWith under FIFO: identical reports, field for field.
+	// A bare Plan defaults to FIFO: identical reports, field for field.
 	plain, err := sys.Plan(OpOr, concurrency, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(plain, fifo) {
-		t.Errorf("Plan != PlanWith(ArbFIFO):\n%+v\n%+v", plain, fifo)
+		t.Errorf("Plan != Plan(WithArbiter(ArbFIFO)):\n%+v\n%+v", plain, fifo)
 	}
 }
 
@@ -180,7 +180,7 @@ func TestPlanRejectsBadInputs(t *testing.T) {
 	if _, err := s.Plan(OpPopcount, 4, 0); err == nil {
 		t.Error("OpPopcount accepted as a channel operation")
 	}
-	if _, err := s.PlanWith(OpOr, 4, 0, Arbiter(99)); err == nil {
+	if _, err := s.Plan(OpOr, 4, 0, WithArbiter(Arbiter(99))); err == nil {
 		t.Error("unknown arbiter accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"pinatubo/internal/cmdstream"
 	"pinatubo/internal/memarch"
+	"pinatubo/internal/pimrt"
 )
 
 // shardSet is an incremental union-find over op footprints: ops that share
@@ -207,7 +208,10 @@ type BatchRun struct {
 // exact (float totals are summed per shard, so they can differ from the
 // op-order sum by ULPs).
 func (b *BatchBuilder) Start(opts ...Option) (*BatchRun, error) {
-	o := resolveOpts(opts)
+	o, err := resolveOpts(opts)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := o.arb.internal(); err != nil {
 		return nil, err
 	}
@@ -314,6 +318,10 @@ func (r *BatchRun) Wait() (BatchResult, error) {
 }
 
 func (r *BatchRun) finish() (BatchResult, error) {
+	// Every shard goroutine has joined (Wait saw done close), so the
+	// sandboxes are quiescent; whatever path finish takes — merge, replay
+	// or discard — they go back to the pool on the way out.
+	defer r.release()
 	for _, e := range r.ctxErrs {
 		if e != nil {
 			// Cancelled mid-window: the sandboxes hold partial state the
@@ -357,6 +365,10 @@ func (r *BatchRun) finish() (BatchResult, error) {
 	for si, shard := range r.shards {
 		sh := r.states[si].sys
 		for _, a := range sh.mem.MaterializedAddrs() {
+			if sh.mem.Aliased(a) {
+				// Borrowed read-only from the live memory — already current.
+				continue
+			}
 			copy(s.mem.PeekRow(a), sh.mem.PeekRow(a))
 		}
 		sh.ctl.ECCEntries(func(a memarch.RowAddr, bits int, words []uint64) {
@@ -414,22 +426,56 @@ func (r *BatchRun) finish() (BatchResult, error) {
 	return s.scheduleBatch(r.ops, r.progs, r.results, len(r.shards), r.arb)
 }
 
+// release returns every shard sandbox to the pool and drops the run's
+// references to them. Called exactly once, from finish, after all shard
+// goroutines have joined.
+func (r *BatchRun) release() {
+	for i := range r.states {
+		r.sys.putSandbox(r.states[i].sys)
+		r.states[i] = shardState{}
+	}
+	r.states = nil
+}
+
 // prepareShards snapshots the live state every shard's ops can touch into
 // per-shard sandbox Systems: footprint rows, their ECC state, replica
 // registrations and per-row fault-injector state, plus mirror BitVectors
-// bound to the sandbox.
+// bound to the sandbox. Sandboxes come from the System's pool — a reused
+// one is reset to fresh-construction state first — and go back to it when
+// the run finishes.
+//
+// On the ideal-hardware path (no injector, no ECC, no replication) the
+// shard only ever writes its destination and OR-scratch rows; every other
+// footprint row is borrowed read-only from the live memory via AliasRow
+// instead of copied — the live System is untouched between Start and
+// Wait, so the borrowed words cannot change under the shard. Any write
+// path the classification missed fails loudly in Memory.WriteRow.
 func (s *System) prepareShards(ops []BatchOp, footprints [][]fpKey, shards [][]int) ([]shardState, error) {
 	liveInj := s.ctl.Injector()
 	geo := s.mem.Geometry()
+	aliasOK := liveInj == nil && !s.ctl.ECCEnabled() && len(s.repRows) == 0
 	states := make([]shardState, len(shards))
 	for si, shard := range shards {
-		sh, err := New(s.cfg)
+		sh, err := s.getSandbox()
 		if err != nil {
+			for _, st := range states[:si] {
+				s.putSandbox(st.sys)
+			}
 			return nil, err
+		}
+		var written map[uint64]bool
+		if aliasOK {
+			written = s.shardWriteSet(ops, shard)
 		}
 		for _, i := range shard {
 			for _, k := range footprints[i] {
 				if k.kind != 'r' {
+					continue
+				}
+				if aliasOK && !written[geo.Encode(k.addr)] {
+					if !sh.mem.Aliased(k.addr) {
+						sh.mem.AliasRow(k.addr, s.mem.PeekRow(k.addr))
+					}
 					continue
 				}
 				copy(sh.mem.PeekRow(k.addr), s.mem.PeekRow(k.addr))
@@ -465,4 +511,39 @@ func (s *System) prepareShards(ops []BatchOp, footprints [][]fpKey, shards [][]i
 		states[si] = shardState{sys: sh, vecs: vecs}
 	}
 	return states, nil
+}
+
+// shardWriteSet returns the encoded keys of every row the shard's ops can
+// program on the ideal-hardware path: the destination rows of every op
+// except popcount (host traffic that only reads), plus the per-subarray
+// scratch row of every multi-row OR source group. This mirrors the write
+// side of opFootprint's classification; every other footprint row is
+// sensed but never driven, so prepareShards aliases it instead of copying.
+func (s *System) shardWriteSet(ops []BatchOp, shard []int) map[uint64]bool {
+	geo := s.mem.Geometry()
+	written := make(map[uint64]bool)
+	for _, i := range shard {
+		op := ops[i]
+		if op.Op == OpPopcount {
+			continue
+		}
+		for _, r := range op.Dst.rows {
+			written[geo.Encode(r)] = true
+		}
+		if op.Op != OpOr {
+			continue
+		}
+		for batch := range op.Dst.rows {
+			srcRows := make([]memarch.RowAddr, 0, len(op.Srcs))
+			for _, src := range op.Srcs {
+				srcRows = append(srcRows, src.rows[batch])
+			}
+			for _, g := range pimrt.GroupBySubarray(srcRows) {
+				if len(g) > 1 {
+					written[geo.Encode(pimrt.ScratchRow(geo, g[0]))] = true
+				}
+			}
+		}
+	}
+	return written
 }

@@ -47,7 +47,7 @@ func TestPipelinedWindowsDifferential(t *testing.T) {
 
 			want := make([]Result, len(opsB))
 			for i, op := range opsB {
-				res, err := serial.Apply(op.Op, op.Dst, op.Srcs...)
+				res, err := serial.Apply(op.Op, op.Dst, op.Srcs)
 				if err != nil {
 					t.Fatalf("sequential op %d (%v): %v", i, op.Op, err)
 				}
@@ -282,7 +282,7 @@ func TestBatchRunCancellationAllOrNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < len(twinOps); i++ {
-		if _, err := twin.Apply(OpCopy, twinOps[i].Dst, twinOps[i-1].Dst); err != nil {
+		if _, err := twin.Apply(OpCopy, twinOps[i].Dst, []*BitVector{twinOps[i-1].Dst}); err != nil {
 			t.Fatal(err)
 		}
 	}
