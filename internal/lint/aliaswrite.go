@@ -1,0 +1,182 @@
+package lint
+
+// AliasWrite turns the copy-on-write row discipline into a static check.
+// Shard memories alias rows the window's write-set classified read-only
+// (AliasRow) and deep-copy only rows that will be written; the merge step
+// must skip aliased rows or it would copy a row onto itself through two
+// names. Any raw row write — copy into a PeekRow'd slice, or an element
+// store through one — is therefore only sound when control flow has
+// already consulted the classification: an Aliased(...) call or a
+// write-set lookup (an index into a map[...]bool). The analyzer demands
+// that every such write be dominated by a guard, using the CFG's dominator
+// tree, so a guard in a non-dominating branch ("checked on the other
+// path") does not count.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AliasWrite flags raw row writes (copy into or element store through a
+// PeekRow slice) not dominated by an alias/write-set guard.
+var AliasWrite = &Analyzer{
+	Name: "aliaswrite",
+	Doc: "flag raw row writes through PeekRow that are not dominated by an " +
+		"Aliased(...) check or a write-set map lookup",
+	Run: runAliasWrite,
+}
+
+func runAliasWrite(pass *Pass) error {
+	funcBodies(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		if !mentionsAliasing(body) {
+			return
+		}
+		g := BuildCFG(body)
+		// Per block: node indices holding guards, and the row writes.
+		guards := make([][]int, len(g.Blocks))
+		type rowWrite struct {
+			node ast.Node
+			idx  int
+		}
+		writes := make([][]rowWrite, len(g.Blocks))
+		for _, b := range g.Blocks {
+			for i, n := range b.Nodes {
+				if isAliasGuard(pass, n) {
+					guards[b.Index] = append(guards[b.Index], i)
+				}
+				if w := rowWriteIn(pass, n); w != nil {
+					writes[b.Index] = append(writes[b.Index], rowWrite{node: w, idx: i})
+				}
+			}
+		}
+		for _, b := range g.Blocks {
+			for _, w := range writes[b.Index] {
+				if aliasGuarded(g, guards, b, w.idx) {
+					continue
+				}
+				pass.Reportf(w.node.Pos(),
+					"raw row write is not dominated by an Aliased(...) check or a write-set lookup; an aliased read-only row could be clobbered")
+			}
+		}
+	})
+	return nil
+}
+
+// aliasGuarded reports whether a write at node index idx of block b is
+// dominated by a guard: an earlier guard in the same block, or any guard
+// in a strictly dominating block.
+func aliasGuarded(g *CFG, guards [][]int, b *Block, idx int) bool {
+	for _, gi := range guards[b.Index] {
+		if gi < idx {
+			return true
+		}
+	}
+	for _, d := range g.Blocks {
+		if d != b && len(guards[d.Index]) > 0 && g.Dominates(d, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAliasGuard reports whether a CFG node consults the row classification:
+// a call to Aliased, or an index into a map[...]bool (the write-set).
+func isAliasGuard(pass *Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Aliased" {
+				found = true
+				return false
+			}
+		case *ast.IndexExpr:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if m, ok := t.Underlying().(*types.Map); ok {
+					if basic, ok := m.Elem().Underlying().(*types.Basic); ok && basic.Kind() == types.Bool {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rowWriteIn returns the raw row write inside a CFG node, or nil: a copy
+// whose destination goes through PeekRow, or an assignment whose left side
+// does.
+func rowWriteIn(pass *Pass, node ast.Node) ast.Node {
+	var w ast.Node
+	ast.Inspect(node, func(n ast.Node) bool {
+		if w != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && callsPeekRow(n.Args[0]) {
+					w = n
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if callsPeekRow(lhs) {
+					w = n
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return w
+}
+
+// callsPeekRow reports whether an expression contains a PeekRow call —
+// the raw-slice escape hatch of the memory API.
+func callsPeekRow(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "PeekRow" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsAliasing is the scope gate: the discipline only applies to
+// functions that participate in the aliasing protocol at all.
+func mentionsAliasing(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Aliased" || sel.Sel.Name == "AliasRow") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

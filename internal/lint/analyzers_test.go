@@ -51,3 +51,23 @@ func TestAPILeak(t *testing.T) {
 func TestIgnoreReason(t *testing.T) {
 	linttest.Run(t, lint.IgnoreReason, "testdata/src/ignorereason")
 }
+
+func TestLoopOwner(t *testing.T) {
+	linttest.Run(t, lint.LoopOwner, "testdata/src/loopowner")
+}
+
+func TestFrozenProg(t *testing.T) {
+	linttest.Run(t, lint.FrozenProg, "testdata/src/frozenprog")
+}
+
+func TestAliasWrite(t *testing.T) {
+	linttest.Run(t, lint.AliasWrite, "testdata/src/aliaswrite")
+}
+
+func TestJoinAll(t *testing.T) {
+	linttest.Run(t, lint.JoinAll, "testdata/src/joinall")
+}
+
+func TestLockPair(t *testing.T) {
+	linttest.Run(t, lint.LockPair, "testdata/src/lockpair")
+}

@@ -1,0 +1,225 @@
+package lint
+
+// This file is the interprocedural half of the engine: a module-internal
+// direct-call callgraph over one type-checked package. Edges are static
+// calls whose callee resolves to a function or method declared in the
+// package; calls through function values, interfaces, or other packages
+// are not edges (the analyzers that consume the graph are conservative in
+// the direction that matters to them). The graph distinguishes calls made
+// on the spawning goroutine from code launched via go statements, which is
+// what lets loopowner answer "which goroutine can reach this statement"
+// and joinall find a goroutine's join evidence through helper calls.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoSite is one go statement: the spawned function literal or named
+// callee, plus the direct same-package calls the spawned body makes on its
+// own goroutine (for literals; named callees contribute their Calls edge
+// through the graph).
+type GoSite struct {
+	Stmt *ast.GoStmt
+	// Lit is the spawned literal (nil when the go statement calls a named
+	// function or method).
+	Lit *ast.FuncLit
+	// Fn is the named callee when it resolves to a package-local
+	// declaration (nil for literals and unresolvable callees).
+	Fn *types.Func
+	// Calls are the direct package-local calls made from Lit's body,
+	// excluding code inside further nested go statements (those are their
+	// own sites).
+	Calls []*types.Func
+}
+
+// CallGraph is the package's direct-call graph.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	// calls[f] are the package-local functions f calls directly on its own
+	// goroutine (code inside go-launched literals is excluded — it runs
+	// elsewhere and is accounted to the GoSite instead).
+	calls map[*types.Func][]*types.Func
+	sites []GoSite
+}
+
+// BuildCallGraph constructs the callgraph of the package under analysis.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	cg := &CallGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				cg.decls[fn] = fd
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.walkBody(pass, fn, fd.Body)
+		}
+	}
+	return cg
+}
+
+// Decl returns the declaration of a package-local function, or nil.
+func (cg *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return cg.decls[fn] }
+
+// Decls returns every package-local declared function with a body. The map
+// is the graph's own index — callers must not mutate it.
+func (cg *CallGraph) Decls() map[*types.Func]*ast.FuncDecl { return cg.decls }
+
+// Calls returns fn's direct same-goroutine callees.
+func (cg *CallGraph) Calls(fn *types.Func) []*types.Func { return cg.calls[fn] }
+
+// GoSites returns every go statement in the package, in file order.
+func (cg *CallGraph) GoSites() []GoSite { return cg.sites }
+
+// walkBody collects call edges and go sites from one function body. owner
+// is the declared function the synchronous code belongs to.
+func (cg *CallGraph) walkBody(pass *Pass, owner *types.Func, body ast.Node) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			cg.addGoSite(pass, n)
+			// The call expression's arguments evaluate on the spawning
+			// goroutine; the spawned body does not.
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			if _, isLit := n.Call.Fun.(*ast.FuncLit); !isLit {
+				ast.Inspect(n.Call.Fun, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if callee := cg.resolve(pass, n); callee != nil {
+				cg.calls[owner] = append(cg.calls[owner], callee)
+			}
+		case *ast.FuncLit:
+			// Non-go literal: runs (when called) on contexts that at least
+			// include the owner's; attribute its calls to the owner.
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// addGoSite records one go statement, collecting the spawned literal's
+// direct calls (stopping at nested go statements, which recurse into their
+// own sites via the enclosing walk).
+func (cg *CallGraph) addGoSite(pass *Pass, g *ast.GoStmt) {
+	site := GoSite{Stmt: g}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		site.Lit = lit
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.GoStmt); ok {
+				cg.addGoSite(pass, inner)
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := cg.resolve(pass, call); callee != nil {
+					site.Calls = append(site.Calls, callee)
+				}
+			}
+			return true
+		})
+	} else if callee := cg.resolve(pass, g.Call); callee != nil {
+		site.Fn = callee
+	}
+	cg.sites = append(cg.sites, site)
+}
+
+// resolve returns the package-local declared function a call statically
+// targets, or nil.
+func (cg *CallGraph) resolve(pass *Pass, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return nil
+	}
+	if _, ok := cg.decls[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// Reachable returns the closure of seed under same-goroutine direct-call
+// edges, including the seeds themselves.
+func (cg *CallGraph) Reachable(seed ...*types.Func) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	var stack []*types.Func
+	for _, fn := range seed {
+		if fn != nil && !out[fn] {
+			out[fn] = true
+			stack = append(stack, fn)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range cg.calls[fn] {
+			if !out[callee] {
+				out[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return out
+}
+
+// GoroutineReachable returns every package-local function that can run on
+// a spawned goroutine: named go targets, direct calls from go-launched
+// literals, and the direct-call closure of both.
+func (cg *CallGraph) GoroutineReachable() map[*types.Func]bool {
+	var seed []*types.Func
+	for _, site := range cg.sites {
+		if site.Fn != nil {
+			seed = append(seed, site.Fn)
+		}
+		seed = append(seed, site.Calls...)
+	}
+	return cg.Reachable(seed...)
+}
+
+// funcBodies calls fn for every function body in the package: each
+// declared function and each function literal, with the literal's
+// enclosing declaration. Analyzers that build per-body CFGs iterate
+// through here so literal bodies are not skipped.
+func funcBodies(files []*ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd, nil, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(fd, lit, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+// This file is the dataflow half of the engine: a generic forward worklist
+// solver over a CFG. Analyzers supply the lattice (join, equality) and the
+// transfer function; the solver iterates to fixpoint, which is what makes
+// loop back-edges (a lock re-taken at the top of a retry loop, a frozen
+// program mutated on the second trip around) converge instead of being
+// missed by a single syntactic pass.
+
+// Solve runs a forward worklist dataflow analysis over g and returns the
+// fact holding at each block's entry. boundary is the fact at the entry
+// block; every other block starts at init (the lattice bottom). transfer
+// folds one block's Nodes over its entry fact and returns the exit fact;
+// it must not mutate its input (return a fresh value). join merges two
+// facts at a control-flow merge point; equal detects convergence.
+//
+// The worklist is seeded in block order and re-queues a block whenever a
+// predecessor's exit fact changes its entry fact, so the fixpoint is
+// reached regardless of loop shape. With a finite-height lattice (every
+// analyzer here uses finite sets over a function's identifiers) the loop
+// terminates.
+func Solve[S any](g *CFG, boundary, init S,
+	transfer func(*Block, S) S,
+	join func(S, S) S,
+	equal func(S, S) bool) map[*Block]S {
+
+	in := make(map[*Block]S, len(g.Blocks))
+	out := make(map[*Block]S, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = init
+		out[b] = transfer(b, init)
+	}
+	in[g.Entry] = boundary
+	out[g.Entry] = transfer(g.Entry, boundary)
+
+	work := make([]*Block, 0, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		entry := in[b]
+		if b == g.Entry {
+			entry = boundary
+		}
+		for _, p := range b.Preds {
+			entry = join(entry, out[p])
+		}
+		exit := transfer(b, entry)
+		in[b] = entry
+		if !equal(exit, out[b]) {
+			out[b] = exit
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,291 @@
+package lint
+
+// FrozenProg makes the program-cache immutability contract static. The
+// lowered-program cache (cmdstream.Cache) shares one entry across every
+// request that hits the same key, so an entry is frozen the moment it is
+// stored: mutating its fields or the backing arrays of its slices after
+// Store — or after fetching it back with Lookup — silently corrupts every
+// concurrent and future user of the cache. The analyzer runs the dataflow
+// solver with a "frozen roots" fact: Store freezes every variable the
+// stored entry was built from, Lookup freezes the fetched value, aliasing
+// expressions (selectors, indexes, type asserts, dereferences, slices,
+// address-of) propagate frozenness, and composite literals deliberately do
+// not — building a fresh value that copies fields out of a cached entry is
+// the sanctioned pattern.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FrozenProg flags mutation of cached program entries after insertion into
+// or retrieval from the program cache.
+var FrozenProg = &Analyzer{
+	Name: "frozenprog",
+	Doc: "flag writes to cmdstream program-cache entries (fields, slice " +
+		"elements, appends, mutating methods) after Store or Lookup",
+	Run: runFrozenProg,
+}
+
+// frozenFact is the set of local variables rooted in a cached entry.
+type frozenFact map[types.Object]bool
+
+func (f frozenFact) clone() frozenFact {
+	out := make(frozenFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func runFrozenProg(pass *Pass) error {
+	funcBodies(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		if !mentionsCache(pass, body) {
+			return
+		}
+		g := BuildCFG(body)
+		transfer := func(b *Block, in frozenFact) frozenFact {
+			fact := in.clone()
+			for _, n := range b.Nodes {
+				fact = frozenStep(pass, n, fact, nil)
+			}
+			return fact
+		}
+		join := func(a, b frozenFact) frozenFact {
+			out := a.clone()
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		}
+		equal := func(a, b frozenFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		}
+		entry := Solve(g, frozenFact{}, frozenFact{}, transfer, join, equal)
+		// Reporting pass: replay each block from its converged entry fact.
+		for _, b := range g.Blocks {
+			fact := entry[b].clone()
+			for _, n := range b.Nodes {
+				fact = frozenStep(pass, n, fact, pass.Reportf)
+			}
+		}
+	})
+	return nil
+}
+
+// frozenStep folds one CFG node over the frozen set. With report non-nil it
+// also diagnoses mutations of frozen-rooted expressions.
+func frozenStep(pass *Pass, node ast.Node, fact frozenFact,
+	report func(token.Pos, string, ...any)) frozenFact {
+
+	diag := func(pos token.Pos, format string, args ...any) {
+		if report != nil {
+			report(pos, format, args...)
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// Separate bodies get their own CFGs via funcBodies.
+			return false
+		case *ast.AssignStmt:
+			fact = frozenAssign(pass, n, fact, diag)
+			return true
+		case *ast.IncDecStmt:
+			if obj := frozenRoot(pass, n.X, fact); obj != nil {
+				diag(n.Pos(), "cached program entry %s is mutated after insertion into the program cache", obj.Name())
+			}
+			return true
+		case *ast.CallExpr:
+			fact = frozenCall(pass, n, fact, diag)
+			return true
+		}
+		return true
+	})
+	return fact
+}
+
+// frozenAssign handles one assignment: reports writes through frozen roots
+// and updates which plain identifiers are frozen.
+func frozenAssign(pass *Pass, as *ast.AssignStmt, fact frozenFact,
+	diag func(token.Pos, string, ...any)) frozenFact {
+
+	// A Lookup result is frozen the moment it is bound.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isCacheMethod(pass, call, "Lookup") {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := identObj(pass, id); obj != nil {
+					fact = fact.clone()
+					fact[obj] = true
+				}
+			}
+			return fact
+		}
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			obj := identObj(pass, id)
+			if obj == nil {
+				continue
+			}
+			frozen := false
+			if len(as.Rhs) == len(as.Lhs) {
+				frozen = frozenRoot(pass, as.Rhs[i], fact) != nil
+			}
+			fact = fact.clone()
+			if frozen {
+				fact[obj] = true
+			} else {
+				delete(fact, obj)
+			}
+			continue
+		}
+		if obj := frozenRoot(pass, lhs, fact); obj != nil {
+			diag(lhs.Pos(), "cached program entry %s is mutated after insertion into the program cache", obj.Name())
+		}
+	}
+	return fact
+}
+
+// frozenCall handles one call: Store freezes the stored value's roots,
+// copy/append into a frozen backing array and pointer-receiver methods on
+// frozen values are mutations.
+func frozenCall(pass *Pass, call *ast.CallExpr, fact frozenFact,
+	diag func(token.Pos, string, ...any)) frozenFact {
+
+	if isCacheMethod(pass, call, "Store") && len(call.Args) >= 2 {
+		fact = fact.clone()
+		ast.Inspect(call.Args[1], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, ok := identObj(pass, id).(*types.Var); ok && !obj.IsField() {
+					fact[obj] = true
+				}
+			}
+			return true
+		})
+		return fact
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) >= 1 {
+		switch id.Name {
+		case "copy":
+			if obj := frozenRoot(pass, call.Args[0], fact); obj != nil {
+				diag(call.Pos(), "copy writes into the backing array of cached program entry %s", obj.Name())
+			}
+		case "append":
+			if obj := frozenRoot(pass, call.Args[0], fact); obj != nil {
+				diag(call.Pos(), "append may write into the backing array of cached program entry %s", obj.Name())
+			}
+		}
+		return fact
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := frozenRoot(pass, sel.X, fact); obj != nil {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+				if recv := fn.Signature().Recv(); recv != nil {
+					if _, ptr := recv.Type().(*types.Pointer); ptr {
+						diag(call.Pos(), "pointer-receiver method %s may mutate cached program entry %s", fn.Name(), obj.Name())
+					}
+				}
+			}
+		}
+	}
+	return fact
+}
+
+// frozenRoot returns the frozen local variable an expression aliases, or
+// nil. Aliasing follows selectors, indexes, slices, dereferences, type
+// asserts, parens and address-of — but not composite literals or calls, so
+// a freshly built value that copies fields out of a cached entry is clean.
+func frozenRoot(pass *Pass, expr ast.Expr, fact frozenFact) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := identObj(pass, e)
+			if obj != nil && fact[obj] {
+				return obj
+			}
+			return nil
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return nil
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isCacheMethod reports whether call is cacheType.Store / cacheType.Lookup
+// — a method of that name on a named type called Cache (the cmdstream
+// program cache, or a fixture stand-in with the same shape).
+func isCacheMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Cache"
+}
+
+// mentionsCache is the cheap gate: only bodies that touch a Cache method
+// need the dataflow pass.
+func mentionsCache(pass *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isCacheMethod(pass, call, "Store") || isCacheMethod(pass, call, "Lookup") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,103 @@
+package lint
+
+// JoinAll enforces the "no orphan goroutines" rule on the batch and server
+// hot paths: every go statement must be tied to a join point the launcher
+// can observe — a WaitGroup Done/Wait pair, a channel send/receive/close
+// handshake (BatchRun's done channel, the server's outbox signal), a
+// select, or a context-cancellation receive. A goroutine with none of
+// these can outlive the window it was spawned for, racing the merge step
+// that assumes all shard work has quiesced. Evidence is searched in the
+// spawned body itself and through the module-internal callgraph (a helper
+// like outbox.pop blocking on <-o.signal counts), so the check follows the
+// code's real structure instead of demanding the join be written inline.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// JoinAll flags go statements whose spawned goroutine has no reachable
+// join evidence (send, receive, select, close, or WaitGroup call).
+var JoinAll = &Analyzer{
+	Name: "joinall",
+	Doc: "flag go statements not tied to a join point: no channel " +
+		"send/receive/close, select, or WaitGroup Done/Wait is reachable " +
+		"from the spawned body",
+	Run: runJoinAll,
+}
+
+func runJoinAll(pass *Pass) error {
+	cg := BuildCallGraph(pass)
+	for _, site := range cg.GoSites() {
+		if joinEvidence(pass, cg, site) {
+			continue
+		}
+		pass.Reportf(site.Stmt.Pos(),
+			"goroutine launched here has no visible join point: no channel send/receive/close, select, or WaitGroup Done/Wait is reachable from the spawned body")
+	}
+	return nil
+}
+
+// joinEvidence looks for a join point in the spawned body and in the
+// direct-call closure of the package-local functions it calls.
+func joinEvidence(pass *Pass, cg *CallGraph, site GoSite) bool {
+	if site.Lit != nil && hasJoinEvidence(pass, site.Lit.Body) {
+		return true
+	}
+	seed := append([]*types.Func{site.Fn}, site.Calls...)
+	for fn := range cg.Reachable(seed...) {
+		if decl := cg.Decl(fn); decl != nil && hasJoinEvidence(pass, decl.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasJoinEvidence scans one body for join constructs, excluding code that
+// runs on further-spawned goroutines (their sites are checked separately).
+func hasJoinEvidence(pass *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+					if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "sync" &&
+						(fn.Name() == "Done" || fn.Name() == "Wait") {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -204,5 +204,10 @@ func All() []*Analyzer {
 		TimeMix,
 		APILeak,
 		IgnoreReason,
+		LoopOwner,
+		FrozenProg,
+		AliasWrite,
+		JoinAll,
+		LockPair,
 	}
 }

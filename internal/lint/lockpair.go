@@ -1,0 +1,182 @@
+package lint
+
+// LockPair machine-checks the mutex discipline the concurrent paths rely
+// on (the sandbox pool's poolMu, the server's metrics mu, the per-
+// connection outbox mu): every sync.Mutex/RWMutex Lock must be released
+// on every control-flow path to the function's exit, either by an Unlock
+// that post-dominates it or by a deferred Unlock armed before any escape.
+// The check is CFG-based — a forward walk from each Lock call site — so
+// early returns, loop back-edges and panicking branches are real paths,
+// not text below the Lock.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockPair flags Lock/RLock calls that can reach a return while still
+// holding the lock, and Locks that can reach themselves again before an
+// Unlock (self-deadlock).
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc: "flag sync.Mutex/RWMutex Lock calls not paired with an Unlock on " +
+		"every path to return, and re-locks reachable before the Unlock",
+	Run: runLockPair,
+}
+
+const (
+	muLock = iota
+	muUnlock
+	muDeferUnlock
+)
+
+// muOp is one mutex operation found in a block, in execution order.
+type muOp struct {
+	kind int
+	key  string // receiver expression + "/r" for the read half of an RWMutex
+	pos  token.Pos
+	read bool
+}
+
+func runLockPair(pass *Pass) error {
+	funcBodies(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		g := BuildCFG(body)
+		ops := make([][]muOp, len(g.Blocks))
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				ops[b.Index] = append(ops[b.Index], mutexOps(pass, n)...)
+			}
+		}
+		for _, b := range g.Blocks {
+			for i, op := range ops[b.Index] {
+				if op.kind == muLock {
+					checkLock(pass, g, ops, b, i, op)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// checkLock walks forward from one Lock call. A path ends at a matching
+// Unlock or deferred Unlock; a path that reaches the CFG exit first means
+// the lock leaks on that return, and re-reaching a Lock of the same key
+// (write locks only — shared read locks may nest) means a self-deadlock.
+func checkLock(pass *Pass, g *CFG, ops [][]muOp, b *Block, idx int, lock muOp) {
+	leaked, relocked := false, false
+	visited := make([]bool, len(g.Blocks))
+	// scan processes a block's ops from position `from`; returns true when
+	// the path is closed by a release.
+	scan := func(blk *Block, from int) bool {
+		for _, op := range ops[blk.Index][from:] {
+			if op.key != lock.key {
+				continue
+			}
+			switch op.kind {
+			case muUnlock, muDeferUnlock:
+				return true
+			case muLock:
+				if !lock.read {
+					relocked = true
+				}
+			}
+		}
+		return false
+	}
+	var walk func(blk *Block)
+	walk = func(blk *Block) {
+		if visited[blk.Index] {
+			return
+		}
+		visited[blk.Index] = true
+		if blk == g.Exit {
+			leaked = true
+			return
+		}
+		if scan(blk, 0) {
+			return
+		}
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	if !scan(b, idx+1) {
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if leaked {
+		pass.Reportf(lock.pos,
+			"%s is locked here but not released on every path to return; add the missing Unlock or defer it", lock.key)
+	}
+	if relocked {
+		pass.Reportf(lock.pos,
+			"%s can be locked again before this Lock is released (self-deadlock on a reachable path)", lock.key)
+	}
+}
+
+// mutexOps extracts the mutex operations of one block-level node, in
+// pre-order (evaluation order for the flat statements the CFG emits).
+// Function literals are their own bodies; go statements run elsewhere.
+func mutexOps(pass *Pass, node ast.Node) []muOp {
+	var out []muOp
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() — or a deferred literal containing one.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if op, ok := mutexCall(pass, call); ok && op.kind == muUnlock {
+							op.kind = muDeferUnlock
+							out = append(out, op)
+						}
+					}
+					return true
+				})
+			} else if op, ok := mutexCall(pass, n.Call); ok && op.kind == muUnlock {
+				op.kind = muDeferUnlock
+				out = append(out, op)
+			}
+			return false
+		case *ast.CallExpr:
+			if op, ok := mutexCall(pass, n); ok {
+				out = append(out, op)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexCall classifies one call as a sync mutex Lock/Unlock, keyed by the
+// receiver expression so distinct mutexes in one function pair separately.
+func mutexCall(pass *Pass, call *ast.CallExpr) (muOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return muOp{}, false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return muOp{}, false
+	}
+	op := muOp{key: types.ExprString(sel.X), pos: call.Pos()}
+	switch fn.Name() {
+	case "Lock":
+		op.kind = muLock
+	case "Unlock":
+		op.kind = muUnlock
+	case "RLock":
+		op.kind, op.read = muLock, true
+		op.key += "/r"
+	case "RUnlock":
+		op.kind, op.read = muUnlock, true
+		op.key += "/r"
+	default:
+		return muOp{}, false
+	}
+	return op, true
+}

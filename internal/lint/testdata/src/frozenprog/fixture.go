@@ -1,0 +1,98 @@
+// Package frozenprogtest exercises the frozenprog analyzer with a local
+// stand-in for the cmdstream program cache (a named type Cache with
+// Store/Lookup methods, the shape the analyzer matches): mutating a
+// stored or looked-up entry — field writes, element stores, copy or
+// append into its backing arrays, pointer-receiver method calls — is a
+// positive; mutating before Store, or building a fresh value that copies
+// fields out of a cached entry, is a negative.
+package frozenprogtest
+
+type Cache struct{ m map[string]any }
+
+func NewCache() *Cache { return &Cache{m: make(map[string]any)} }
+
+func (c *Cache) Store(key []byte, e any) { c.m[string(key)] = e }
+
+func (c *Cache) Lookup(key []byte) (any, bool) {
+	e, ok := c.m[string(key)]
+	return e, ok
+}
+
+type Program struct{ Instrs []int }
+
+func (p *Program) Emit(x int) { p.Instrs = append(p.Instrs, x) }
+
+type entry struct {
+	prog  *Program
+	words []int
+}
+
+func badFieldAfterStore(c *Cache, p *Program) {
+	c.Store([]byte("k"), &entry{prog: p})
+	p.Instrs = nil // want `mutated after insertion`
+}
+
+func badMethodAfterStore(c *Cache, p *Program) {
+	c.Store([]byte("k"), p)
+	p.Emit(3) // want `pointer-receiver method Emit may mutate`
+}
+
+func badElemAfterLookup(c *Cache) {
+	e, ok := c.Lookup([]byte("k"))
+	if !ok {
+		return
+	}
+	ent := e.(*entry)
+	ent.words[0] = 1 // want `mutated after insertion`
+}
+
+func badAppendAfterLookup(c *Cache) []int {
+	e, _ := c.Lookup([]byte("k"))
+	ent := e.(*entry)
+	return append(ent.words, 1) // want `append may write into the backing array`
+}
+
+func badCopyAfterLookup(c *Cache, src []int) {
+	e, _ := c.Lookup([]byte("k"))
+	ent := e.(*entry)
+	copy(ent.words, src) // want `copy writes into the backing array`
+}
+
+// badLoopCarried only mutates an entry frozen on the previous loop
+// iteration — the dataflow back edge has to carry the fact around.
+func badLoopCarried(c *Cache, ps []*Program) {
+	var last *Program
+	for _, p := range ps {
+		if last != nil {
+			last.Emit(9) // want `pointer-receiver method Emit may mutate`
+		}
+		c.Store([]byte("k"), p)
+		last = p
+	}
+}
+
+func goodMutateBeforeStore(c *Cache, p *Program) {
+	p.Emit(1)
+	c.Store([]byte("k"), p)
+}
+
+// goodCopyOut builds a fresh value from a cached entry's fields — the
+// sanctioned copy-on-write pattern; the fresh value is freely mutable.
+func goodCopyOut(c *Cache) *entry {
+	e, ok := c.Lookup([]byte("k"))
+	if !ok {
+		return nil
+	}
+	ent := e.(*entry)
+	out := &entry{prog: ent.prog}
+	out.words = make([]int, len(ent.words))
+	copy(out.words, ent.words)
+	return out
+}
+
+// goodRebind reuses the variable for something unfrozen.
+func goodRebind(c *Cache, p *Program) {
+	c.Store([]byte("k"), p)
+	p = &Program{}
+	p.Emit(1)
+}

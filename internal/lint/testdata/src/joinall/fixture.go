@@ -1,0 +1,93 @@
+// Package joinalltest exercises the joinall analyzer: goroutines with no
+// channel, select, close or WaitGroup evidence anywhere in their call
+// closure are positives; inline joins and joins hidden behind a helper
+// call are negatives.
+package joinalltest
+
+import (
+	"sync"
+	"time"
+)
+
+var counter int
+
+func badFireAndForget() {
+	go func() { // want `no visible join point`
+		counter++
+	}()
+}
+
+func badNamedNoJoin() {
+	go spin() // want `no visible join point`
+}
+
+func spin() {
+	for i := 0; i < 10; i++ {
+		counter += i
+	}
+}
+
+func badExternalCallee() {
+	go time.Sleep(time.Millisecond) // want `no visible join point`
+}
+
+func goodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		counter++
+	}()
+	wg.Wait()
+}
+
+func goodChannelSend() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- counter
+	}()
+	return out
+}
+
+func goodClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		counter++
+		close(done)
+	}()
+	return done
+}
+
+func goodSelect(stop <-chan struct{}) {
+	go func() {
+		select {
+		case <-stop:
+		default:
+		}
+	}()
+}
+
+func goodRangeChannel(in <-chan int) {
+	go func() {
+		for v := range in {
+			counter += v
+		}
+	}()
+}
+
+// goodHelperJoin joins through a helper: the spawned body has no channel
+// op of its own, but the callgraph reaches one in pump.
+func goodHelperJoin(in <-chan int) {
+	go func() {
+		pump(in)
+	}()
+}
+
+func pump(in <-chan int) {
+	counter += <-in
+}
+
+// goodNamedHelper spawns a named function whose body blocks on a receive.
+func goodNamedHelper(in <-chan int) {
+	go pump(in)
+}

@@ -1,0 +1,96 @@
+// Package lockpairtest exercises the lockpair analyzer: locks leaked on an
+// early-return path and write locks retakeable before release are
+// positives; straightline pairs, deferred unlocks, RW read pairs and
+// independent mutexes are negatives.
+package lockpairtest
+
+import "sync"
+
+func badLeakOnBranch(mu *sync.Mutex, ok bool) {
+	mu.Lock() // want `locked here but not released on every path to return`
+	if ok {
+		return
+	}
+	mu.Unlock()
+}
+
+func badLeakAlways(mu *sync.Mutex, xs []int) int {
+	mu.Lock() // want `locked here but not released on every path to return`
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func badRelock(mu *sync.Mutex, hot bool) {
+	mu.Lock() // want `locked again before this Lock is released`
+	if hot {
+		mu.Lock()
+		mu.Unlock()
+	}
+	mu.Unlock()
+}
+
+func badRWLeak(mu *sync.RWMutex, ok bool) int {
+	mu.RLock() // want `locked here but not released on every path to return`
+	if ok {
+		return 1
+	}
+	mu.RUnlock()
+	return 0
+}
+
+func goodStraightline(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func goodDefer(mu *sync.Mutex, ok bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if ok {
+		return 1
+	}
+	return 2
+}
+
+func goodDeferredLit(mu *sync.Mutex, ok bool) int {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+	if ok {
+		return 1
+	}
+	return 2
+}
+
+func goodBothBranches(mu *sync.Mutex, ok bool) {
+	mu.Lock()
+	if ok {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+func goodLoopPair(mu *sync.Mutex, xs []int) {
+	for range xs {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
+
+func goodTwoMutexes(a, b *sync.Mutex) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func goodRW(mu *sync.RWMutex) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return 0
+}

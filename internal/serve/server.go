@@ -55,14 +55,17 @@ type Server struct {
 	reqCh chan envelope
 	now   func() time.Time
 
-	// State-loop-owned fields — no locking, single goroutine.
-	tenants  map[string]*tenant
-	builder  *pinatubo.BatchBuilder
-	pending  []windowOp
-	run      *pinatubo.BatchRun
-	running  []windowOp
-	windowID int64
-	queued   int
+	// State-loop-owned fields — no locking, single goroutine. The
+	// pinlint:owned directives make the convention machine-checked:
+	// loopowner flags any access outside Run's call tree or from a
+	// goroutine-reachable function.
+	tenants  map[string]*tenant     //pinlint:owned Run
+	builder  *pinatubo.BatchBuilder //pinlint:owned Run
+	pending  []windowOp             //pinlint:owned Run
+	run      *pinatubo.BatchRun     //pinlint:owned Run
+	running  []windowOp             //pinlint:owned Run
+	windowID int64                  //pinlint:owned Run
+	queued   int                    //pinlint:owned Run
 
 	mu  sync.Mutex
 	met *metricsState

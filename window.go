@@ -191,9 +191,11 @@ type BatchRun struct {
 	ctxErrs []error
 	done    chan struct{}
 
-	waited bool
-	res    BatchResult
-	err    error
+	// Owned by the caller's Wait: shard goroutines report through
+	// results/errs slots and done, never through these.
+	waited bool        //pinlint:owned Wait
+	res    BatchResult //pinlint:owned Wait
+	err    error       //pinlint:owned Wait
 }
 
 // Start launches the admitted batch: it snapshots the live rows every
