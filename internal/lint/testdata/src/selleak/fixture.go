@@ -1,0 +1,16 @@
+package selleak
+
+import "sync"
+
+// leakInSelect: lock held; one select branch unlocks, the other returns
+// while still holding the lock. Should be flagged as a leak.
+func leakInSelect(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	select {
+	case v := <-ch:
+		mu.Unlock()
+		return v
+	case <-ch:
+		return 0 // leak: no unlock on this path
+	}
+}

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinatubo/internal/lint"
+)
+
+func TestSelectLeakRepro(t *testing.T) {
+	loader, err := lint.NewLoader("testdata/src/selleak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("testdata/src/selleak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(lint.LockPair, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Logf("diag: %v", d)
+	}
+	if len(diags) == 0 {
+		t.Errorf("expected a leak finding for the select branch that returns while locked; got none")
+	}
+}
