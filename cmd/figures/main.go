@@ -11,6 +11,9 @@
 //	figures -fig batch -benchgate BENCH_batch.json  # fail on >15% makespan regression
 //	figures -fig apply -applyout BENCH_apply.json   # Apply hot-path benchmark artifact
 //	figures -fig apply -applygate BENCH_apply.json  # fail on >15% allocs/op or hit-rate regression
+//	figures -fig techcompare                        # NVM-vs-DRAM latency/throughput/energy sweep
+//	figures -fig dram -dramout BENCH_dram.json      # DRAM TRA backend benchmark artifact
+//	figures -fig dram -dramgate BENCH_dram.json     # fail on >15% allocs/op, hit-rate, sim-time or energy regression
 package main
 
 import (
@@ -25,21 +28,23 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, replication, ecc, headroom, batch, apply, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: table1, 9, 10, 11, 12, 13, margins, ablation, extended, faults, replication, ecc, headroom, batch, apply, techcompare, dram, all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (figs 9-13)")
 	benchOut := flag.String("benchout", "", "also write the batch smoke benchmark JSON to this file")
 	benchGate := flag.String("benchgate", "", "fail if the fresh batch benchmark's simulated makespan regresses >15% vs this baseline JSON")
 	applyOut := flag.String("applyout", "", "also write the Apply hot-path benchmark JSON to this file")
 	applyGate := flag.String("applygate", "", "fail if the fresh Apply benchmark's allocs/op or cache hit rate regresses >15% vs this baseline JSON")
+	dramOut := flag.String("dramout", "", "also write the DRAM TRA backend benchmark JSON to this file")
+	dramGate := flag.String("dramgate", "", "fail if the fresh DRAM benchmark's gated figures regress >15% vs this baseline JSON")
 	flag.Parse()
 
-	if err := run(*fig, *csvOut, *benchOut, *benchGate, *applyOut, *applyGate); err != nil {
+	if err := run(*fig, *csvOut, *benchOut, *benchGate, *applyOut, *applyGate, *dramOut, *dramGate); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, csvOut bool, benchOut, benchGate, applyOut, applyGate string) error {
+func run(fig string, csvOut bool, benchOut, benchGate, applyOut, applyGate, dramOut, dramGate string) error {
 	want := func(name string) bool { return fig == "all" || fig == name }
 	printed := false
 
@@ -201,6 +206,25 @@ func run(fig string, csvOut bool, benchOut, benchGate, applyOut, applyGate strin
 		fmt.Println(figures.FormatApplyBench(res))
 		printed = true
 	}
+	if want("techcompare") {
+		rows, err := figures.TechCompare()
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			return figures.WriteTechCompareCSV(os.Stdout, rows)
+		}
+		fmt.Println(figures.FormatTechCompare(rows))
+		printed = true
+	}
+	if want("dram") {
+		res, err := figures.DRAMBench()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.FormatDRAMBench(res))
+		printed = true
+	}
 	if !printed {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -210,7 +234,51 @@ func run(fig string, csvOut bool, benchOut, benchGate, applyOut, applyGate strin
 		}
 	}
 	if applyOut != "" || applyGate != "" {
-		return runApplyBench(applyOut, applyGate)
+		if err := runApplyBench(applyOut, applyGate); err != nil {
+			return err
+		}
+	}
+	if dramOut != "" || dramGate != "" {
+		return runDRAMBench(dramOut, dramGate)
+	}
+	return nil
+}
+
+// runDRAMBench runs the DRAM TRA backend benchmark once, optionally
+// persisting the result and optionally gating its host-independent
+// figures against a committed baseline.
+func runDRAMBench(dramOut, dramGate string) error {
+	res, err := figures.DRAMBench()
+	if err != nil {
+		return err
+	}
+	if dramOut != "" {
+		f, err := os.Create(dramOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := figures.WriteDRAMBenchResultJSON(f, res); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if dramGate != "" {
+		data, err := os.ReadFile(dramGate)
+		if err != nil {
+			return err
+		}
+		var baseline figures.DRAMBenchResult
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", dramGate, err)
+		}
+		if err := figures.GateDRAMBench(res, baseline, 0.15); err != nil {
+			return err
+		}
+		fmt.Printf("dramgate: %.1f allocs/op, hit rate %.3f, %.3es sim/op, %.3f pJ/bit within 15%% of baseline (%s)\n",
+			res.AllocsPerOp, res.CacheHitRate, res.SimSecondsPerOp, res.PJPerBit, dramGate)
 	}
 	return nil
 }

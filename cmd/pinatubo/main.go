@@ -33,7 +33,7 @@ func main() {
 	op := flag.String("op", "or", "operation: or, and, xor, not")
 	rows := flag.Int("rows", 2, "operand rows (or: any >= 1; and/xor: 2; not: 1)")
 	bits := flag.Int("bits", 1<<19, "bit-vector length")
-	tech := flag.String("tech", "pcm", "technology: pcm, stt, reram")
+	tech := flag.String("tech", "pcm", "technology: pcm, stt, reram, dram")
 	inspect := flag.Bool("inspect", false, "print geometry and technology tables and exit")
 	showCmds := flag.Bool("showcmds", false, "dump the DDR command sequence of the operation")
 	waveform := flag.Bool("waveform", false, "render the CSA sensing transient and exit")
@@ -237,6 +237,8 @@ func parseTech(name string) (pinatubo.Tech, error) {
 		return pinatubo.STTMRAM, nil
 	case "reram":
 		return pinatubo.ReRAM, nil
+	case "dram":
+		return pinatubo.DRAM, nil
 	default:
 		return 0, fmt.Errorf("unknown technology %q", name)
 	}
@@ -396,10 +398,11 @@ func runBatch(opName string, rows, n int, techName string, seed int64, fc pinatu
 			return err
 		}
 		ops[i] = pinatubo.BatchOp{Op: op, Dst: dst, Srcs: srcs}
-		// Pad out the rest of the subarray (its last row is scratch) so the
-		// next op's rows land in the next bank instead of packing behind
-		// this op and serialising on its bank resource.
-		usable := cfg.Geometry.RowsPerSubarray - 1
+		// Pad out the rest of the subarray (its tail rows are reserved for
+		// scratch and the backend's compute group) so the next op's rows
+		// land in the next bank instead of packing behind this op and
+		// serialising on its bank resource.
+		usable := sys.UsableRowsPerSubarray()
 		if pad := usable - (nsrc + 1); pad > 0 && i < n-1 {
 			if _, err := sys.AllocGroup(pad, bits); err != nil {
 				return err

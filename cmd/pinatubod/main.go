@@ -41,7 +41,7 @@ func main() {
 	listen := flag.String("listen", "", "serve TCP clients on this address (e.g. :7117)")
 	stdin := flag.Bool("stdin", false, "serve one client session on stdin/stdout (pipe mode)")
 	demo := flag.Int("demo", 0, "run an in-process demo with this many concurrent clients and print sustained metrics")
-	tech := flag.String("tech", "pcm", "technology: pcm, stt, reram")
+	tech := flag.String("tech", "pcm", "technology: pcm, stt, reram, dram")
 	verify := flag.String("verify", "auto", "verification mode: auto, off, readback, ecc")
 	faultRate := flag.Float64("faultrate", 0, "sense-flip probability per bit (0 = no faults)")
 	actFail := flag.Float64("actfail", 0, "transient activation failure probability per extra open row")
@@ -71,6 +71,8 @@ func run(listen string, stdin bool, demo int, tech, verify string,
 		cfg.Tech = pinatubo.STTMRAM
 	case "reram":
 		cfg.Tech = pinatubo.ReRAM
+	case "dram":
+		cfg.Tech = pinatubo.DRAM
 	default:
 		return fmt.Errorf("unknown technology %q", tech)
 	}

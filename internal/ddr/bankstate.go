@@ -56,10 +56,13 @@ func (s *BankState) Apply(c Cmd) error {
 		delete(s.open, k)
 		s.armed[k] = true
 
-	case CmdAct:
+	case CmdAct, CmdActTRA:
+		// A triple-row activation opens the compute group in one command;
+		// the checker tracks it by the group's addressed first row — like
+		// CmdAct, it requires the subarray precharged.
 		if len(s.open[k]) > 0 {
-			return fmt.Errorf("ddr: ACT %v with %d row(s) already open and no RESET",
-				c.Addr, len(s.open[k]))
+			return fmt.Errorf("ddr: %v %v with %d row(s) already open and no RESET",
+				c.Kind, c.Addr, len(s.open[k]))
 		}
 		s.addOpen(k, c.Addr.Row)
 

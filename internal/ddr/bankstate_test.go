@@ -156,3 +156,28 @@ func TestOpenRowsAccounting(t *testing.T) {
 		t.Error("PRE did not close rows")
 	}
 }
+
+// TestActTRAProtocol: a triple-row activation behaves like a full ACT at
+// the protocol level — it needs its subarray precharged, opens the
+// addressed row (so SENSE is legal), and a second activation into the
+// same subarray without a PRE is rejected.
+func TestActTRAProtocol(t *testing.T) {
+	cmds := []Cmd{
+		{Kind: CmdActTRA, Addr: addr(0, 30)},
+		{Kind: CmdSense, Addr: addr(0, 30)},
+		{Kind: CmdWBack, Addr: addr(0, 5)},
+		{Kind: CmdPre},
+	}
+	if err := ValidateSequence(cmds); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Cmd{
+		{Kind: CmdAct, Addr: addr(0, 0)},
+		{Kind: CmdActTRA, Addr: addr(0, 30)}, // subarray still open
+		{Kind: CmdPre},
+	}
+	err := ValidateSequence(bad)
+	if err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("err=%v", err)
+	}
+}

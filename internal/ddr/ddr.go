@@ -51,13 +51,19 @@ const (
 	// CmdIOMove streams one row between a bank and the rank's I/O buffer
 	// (inter-bank datapath).
 	CmdIOMove
+	// CmdActTRA simultaneously activates a DRAM subarray's designated
+	// triple-row compute group (the in-DRAM computing backend): charge
+	// sharing across the three cells on each bitline resolves it to the
+	// majority value, which the SAs amplify and restore into all three
+	// rows. Addressed by the group's first row; full tRCD, like CmdAct.
+	CmdActTRA
 )
 
 // String names the command.
 func (k CmdKind) String() string {
 	names := [...]string{
 		"MRS", "LWL-RESET", "ACT", "ACT-LATCH", "SENSE", "RD", "WR",
-		"WBACK", "PRE", "GDL-MOVE", "IO-MOVE",
+		"WBACK", "PRE", "GDL-MOVE", "IO-MOVE", "ACT-TRA",
 	}
 	if k < 0 || int(k) >= len(names) {
 		return fmt.Sprintf("CmdKind(%d)", int(k))
@@ -115,7 +121,7 @@ func CmdTime(c Cmd, t nvm.Timing, bus BusParams) float64 {
 		return t.TCMD
 	case CmdLWLReset:
 		return t.TRST
-	case CmdAct:
+	case CmdAct, CmdActTRA:
 		return t.TRCD
 	case CmdSense:
 		return t.TCL

@@ -13,7 +13,7 @@ var pcmTiming = nvm.Get(nvm.PCM).Timing
 
 func TestCmdKindStrings(t *testing.T) {
 	kinds := []CmdKind{CmdMRS, CmdLWLReset, CmdAct, CmdActLatch, CmdSense,
-		CmdRd, CmdWr, CmdWBack, CmdPre, CmdGDLMove, CmdIOMove}
+		CmdRd, CmdWr, CmdWBack, CmdPre, CmdGDLMove, CmdIOMove, CmdActTRA}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -41,6 +41,7 @@ func TestDurationSingleCommands(t *testing.T) {
 		{Cmd{Kind: CmdMRS}, pcmTiming.TCMD},
 		{Cmd{Kind: CmdLWLReset}, pcmTiming.TRST},
 		{Cmd{Kind: CmdAct}, pcmTiming.TRCD},
+		{Cmd{Kind: CmdActTRA}, pcmTiming.TRCD},
 		{Cmd{Kind: CmdActLatch}, pcmTiming.TCMD},
 		{Cmd{Kind: CmdSense}, pcmTiming.TCL},
 		{Cmd{Kind: CmdPre}, pcmTiming.TCMD},

@@ -1,0 +1,157 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"pinatubo"
+)
+
+// Technology comparison: the same public operations run on every backend
+// the seam supports — the three resistive technologies computing in their
+// modified sense amplifiers, and DRAM computing by triple-row activation
+// — priced by each backend's own lowering. This is the figure that keeps
+// the backends honest against each other: DRAM pays 11 copies and 3
+// activations for an XOR the NVMs resolve in one sensing pass, and the
+// table shows it.
+
+// TechCompareRow is one (technology, operation) measurement over a full
+// row-width operand set.
+type TechCompareRow struct {
+	Tech     string
+	Op       string
+	Latency  time.Duration // simulated operation latency
+	GBps     float64       // result bits per simulated second
+	PJPerBit float64       // operation energy per result bit
+}
+
+// techCompareTechs is the sweep order; PCM first so relative columns can
+// reference it.
+var techCompareTechs = []pinatubo.Tech{
+	pinatubo.PCM, pinatubo.STTMRAM, pinatubo.ReRAM, pinatubo.DRAM,
+}
+
+// techCompareOps names the swept operations. or4 is deliberately deeper
+// than the pairwise limit of STT-MRAM and DRAM, so those technologies pay
+// their chained lowering while PCM/ReRAM do one multi-row activation.
+var techCompareOps = []struct {
+	name string
+	nsrc int
+	run  func(s *pinatubo.System, dst *pinatubo.BitVector, srcs []*pinatubo.BitVector) (pinatubo.Result, error)
+}{
+	{"and", 2, func(s *pinatubo.System, d *pinatubo.BitVector, v []*pinatubo.BitVector) (pinatubo.Result, error) {
+		return s.And(d, v[0], v[1])
+	}},
+	{"or2", 2, func(s *pinatubo.System, d *pinatubo.BitVector, v []*pinatubo.BitVector) (pinatubo.Result, error) {
+		return s.Or(d, v...)
+	}},
+	{"or4", 4, func(s *pinatubo.System, d *pinatubo.BitVector, v []*pinatubo.BitVector) (pinatubo.Result, error) {
+		return s.Or(d, v...)
+	}},
+	{"xor", 2, func(s *pinatubo.System, d *pinatubo.BitVector, v []*pinatubo.BitVector) (pinatubo.Result, error) {
+		return s.Xor(d, v[0], v[1])
+	}},
+	{"not", 1, func(s *pinatubo.System, d *pinatubo.BitVector, v []*pinatubo.BitVector) (pinatubo.Result, error) {
+		return s.Not(d, v[0])
+	}},
+}
+
+// TechCompare sweeps every technology over every operation at row width
+// on the default geometry.
+func TechCompare() ([]TechCompareRow, error) {
+	var rows []TechCompareRow
+	for _, tech := range techCompareTechs {
+		sys, err := pinatubo.New(pinatubo.Config{Tech: tech})
+		if err != nil {
+			return nil, fmt.Errorf("building %v system: %w", tech, err)
+		}
+		bits := sys.RowBits()
+		vs, err := sys.AllocGroup(5, bits)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(77))
+		data := make([]uint64, bits/64)
+		for _, v := range vs[:4] {
+			for i := range data {
+				data[i] = rng.Uint64()
+			}
+			if _, err := sys.Write(v, data); err != nil {
+				return nil, err
+			}
+		}
+		for _, op := range techCompareOps {
+			res, err := op.run(sys, vs[4], vs[:op.nsrc])
+			if err != nil {
+				return nil, fmt.Errorf("%v %s: %w", tech, op.name, err)
+			}
+			row := TechCompareRow{
+				Tech:    tech.String(),
+				Op:      op.name,
+				Latency: res.Latency,
+			}
+			if s := res.Latency.Seconds(); s > 0 {
+				row.GBps = float64(bits) / 8 / s / 1e9
+			}
+			row.PJPerBit = res.EnergyJoules / float64(bits) * 1e12
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTechCompare renders the sweep as one block per operation with a
+// latency column relative to PCM (the paper's case-study technology).
+func FormatTechCompare(rows []TechCompareRow) string {
+	var sb strings.Builder
+	sb.WriteString("Technology comparison — one row-width op, default geometry, per-backend lowering\n")
+	sb.WriteString("  (or4 exceeds the pairwise limit of STT-MRAM and DRAM: those chain through scratch)\n")
+	for _, op := range techCompareOps {
+		fmt.Fprintf(&sb, "  %s\n", op.name)
+		var pcm float64
+		for _, r := range rows {
+			if r.Op == op.name && r.Tech == "PCM" {
+				pcm = r.Latency.Seconds()
+			}
+		}
+		for _, r := range rows {
+			if r.Op != op.name {
+				continue
+			}
+			rel := "     —"
+			if pcm > 0 && r.Latency.Seconds() > 0 {
+				rel = fmt.Sprintf("%5.2fx", r.Latency.Seconds()/pcm)
+			}
+			fmt.Fprintf(&sb, "    %-9s latency %12v  %9.1f GB/s  %7.3f pJ/bit  vs PCM %s\n",
+				r.Tech, r.Latency, r.GBps, r.PJPerBit, rel)
+		}
+	}
+	return sb.String()
+}
+
+// WriteTechCompareCSV emits: tech, op, latency_s, gbps, pj_per_bit.
+func WriteTechCompareCSV(w io.Writer, rows []TechCompareRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tech", "op", "latency_s", "gbps", "pj_per_bit"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Tech,
+			r.Op,
+			strconv.FormatFloat(r.Latency.Seconds(), 'e', 6, 64),
+			strconv.FormatFloat(r.GBps, 'f', 3, 64),
+			strconv.FormatFloat(r.PJPerBit, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

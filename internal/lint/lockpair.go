@@ -125,6 +125,13 @@ func mutexOps(pass *Pass, node ast.Node) []muOp {
 		switch n := n.(type) {
 		case *ast.FuncLit, *ast.GoStmt:
 			return false
+		case *ast.SelectStmt:
+			// The CFG records the select statement itself as a node of the
+			// block that reaches it (joinall looks for it there), but its
+			// comm clauses and bodies live in the successor branch blocks.
+			// Descending here would attribute one branch's Unlock to the
+			// pre-select path and hide a leak in a sibling branch.
+			return false
 		case *ast.DeferStmt:
 			// defer mu.Unlock() — or a deferred literal containing one.
 			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {

@@ -94,3 +94,26 @@ func goodRW(mu *sync.RWMutex) int {
 	defer mu.RUnlock()
 	return 0
 }
+
+func badSelectBranchLeak(mu *sync.Mutex, ch chan int) int {
+	mu.Lock() // want `locked here but not released on every path to return`
+	select {
+	case v := <-ch:
+		mu.Unlock()
+		return v
+	case <-ch:
+		return 0 // leak: no unlock on this path
+	}
+}
+
+func goodSelectBothBranches(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	select {
+	case v := <-ch:
+		mu.Unlock()
+		return v
+	case <-ch:
+		mu.Unlock()
+		return 0
+	}
+}

@@ -26,8 +26,9 @@ const (
 	// ReRAM is resistive RAM (HfOx-class). Behaves like PCM for Pinatubo:
 	// high ON/OFF ratio, multi-row OR capable.
 	ReRAM
-	// DRAM is included for the baselines only; it is charge based, so it
-	// cannot run Pinatubo's resistive sensing at all.
+	// DRAM is charge based, so it cannot run Pinatubo's resistive sensing;
+	// it computes through the triple-row-activation backend instead
+	// (internal/dram) and also parameterises the S-DRAM baseline.
 	DRAM
 )
 
@@ -267,6 +268,7 @@ var dramParams = Params{
 		LogicPerBit:  6.0e-12,
 		BufferPerBit: 0.5e-12,
 		RefreshPerB:  0.05e-12,
+		ECCPerBit:    0.3e-12, // same shallow XOR-tree logic as the NVMs
 	},
 	MaxOpenRows: 3, // triple-row activation used by in-DRAM computing
 }

@@ -12,13 +12,16 @@ import (
 	"fmt"
 
 	"pinatubo/internal/analog"
+	"pinatubo/internal/backend"
 	"pinatubo/internal/bitvec"
 	"pinatubo/internal/cmdstream"
 	"pinatubo/internal/ddr"
+	"pinatubo/internal/dram"
 	"pinatubo/internal/ecc"
 	"pinatubo/internal/energy"
 	"pinatubo/internal/fault"
 	"pinatubo/internal/memarch"
+	"pinatubo/internal/nvm"
 	"pinatubo/internal/sense"
 )
 
@@ -61,8 +64,9 @@ var ErrSharedRow = errors.New("pim: operands share a physical row; Pinatubo requ
 
 // ErrActivationFault is returned when a multi-row activation transiently
 // fails under fault injection. The operation touched no cell state, so the
-// caller may simply reissue it.
-var ErrActivationFault = errors.New("pim: transient multi-row activation fault")
+// caller may simply reissue it. It aliases the backend seam's sentinel so
+// errors.Is works on either side of the interface.
+var ErrActivationFault = backend.ErrActivationFault
 
 // InterORLimit caps the operand count of a single inter-subarray/bank OR
 // request; longer chains are split by the runtime scheduler.
@@ -98,10 +102,14 @@ type Counters struct {
 	BusBits     int64           // data bits that crossed the DDR bus
 }
 
-// Controller drives one NVM main memory with Pinatubo extensions.
+// Controller drives one PIM-extended main memory. The technology-specific
+// part — how a co-located operand set is computed inside the array — lives
+// behind the backend seam; the controller owns placement classification,
+// the digital inter-subarray/bank datapath, write-back routing, caching,
+// counters and ECC, which are technology-generic.
 type Controller struct {
 	mem      *memarch.Memory
-	sa       *sense.Array
+	be       backend.Backend
 	bus      ddr.BusParams
 	mrs      ddr.ModeRegisters
 	counters Counters
@@ -170,20 +178,48 @@ func (c *Controller) voteScratch(r, w int) [][]uint64 {
 	return outs
 }
 
-// NewController builds a controller over mem. checkBits configures the
-// per-op analog cross-check sample of the SA model (0 disables).
+// NewController builds a controller over mem, selecting the compute
+// backend from the memory's technology: the modified-SA backend for the
+// resistive NVMs, the triple-row-activation backend for DRAM. checkBits
+// configures the per-op analog cross-check sample of the SA model (0
+// disables; ignored by the DRAM backend, whose compute is digital).
 func NewController(mem *memarch.Memory, checkBits int) (*Controller, error) {
-	sa, err := sense.NewArray(mem.Tech(), analog.DefaultSenseConfig(), checkBits)
+	be, err := defaultBackend(mem, checkBits)
 	if err != nil {
 		return nil, err
 	}
+	return NewControllerWith(mem, be)
+}
+
+// defaultBackend maps a technology to its compute backend.
+func defaultBackend(mem *memarch.Memory, checkBits int) (backend.Backend, error) {
+	p := mem.Tech()
+	switch p.Tech {
+	case nvm.PCM, nvm.STTMRAM, nvm.ReRAM:
+		return backend.NewSenseAmp(p, analog.DefaultSenseConfig(), checkBits)
+	case nvm.DRAM:
+		return dram.New(p, mem.Geometry())
+	default:
+		return nil, fmt.Errorf("pim: no compute backend for technology %s", p.Tech)
+	}
+}
+
+// NewControllerWith builds a controller over mem with an explicit compute
+// backend — the pluggable entry point behind NewController's selection.
+func NewControllerWith(mem *memarch.Memory, be backend.Backend) (*Controller, error) {
+	if be == nil {
+		return nil, errors.New("pim: nil compute backend")
+	}
 	return &Controller{
 		mem:      mem,
-		sa:       sa,
+		be:       be,
 		bus:      ddr.DefaultBus(),
 		counters: Counters{Ops: make(map[Class]int64)},
 	}, nil
 }
+
+// Backend returns the controller's compute backend.
+func (c *Controller) Backend() backend.Backend { return c.be }
 
 // AttachInjector wires a fault injector into the controller's sensing and
 // cell-write paths. Passing nil restores the ideal-hardware model.
@@ -262,7 +298,7 @@ func (c *Controller) ResetForReuse() {
 	if c.cache != nil {
 		c.cache.ResetStats()
 	}
-	c.sa.Reset()
+	c.be.Reset()
 }
 
 // Counters returns a snapshot of the accumulated hardware activity.
@@ -287,6 +323,9 @@ func countersFor(cmds []ddr.Cmd) (act, senseSteps, wb, bus int64) {
 		switch cmd.Kind {
 		case ddr.CmdAct, ddr.CmdActLatch:
 			act++
+		case ddr.CmdActTRA:
+			// A triple-row activation fires three wordlines in one command.
+			act += 3
 		case ddr.CmdSense:
 			senseSteps++
 		case ddr.CmdWBack, ddr.CmdWr:
@@ -321,7 +360,7 @@ func (c *Controller) Bus() ddr.BusParams { return c.bus }
 
 // MaxORRows returns the one-step OR operand limit of the technology
 // (sensing margin and architectural cap combined).
-func (c *Controller) MaxORRows() int { return c.sa.MaxORRows() }
+func (c *Controller) MaxORRows() int { return c.be.Caps().MaxORRows }
 
 // ModeRegister returns the current value of the PIM configuration register.
 // Panics only if the built-in PIMRegister index is rejected — a constants
@@ -363,7 +402,7 @@ func (c *Controller) Classify(srcs []memarch.RowAddr) (Class, error) {
 // validateOperandCount applies the per-class operand rules.
 func (c *Controller) validateOperandCount(op sense.Op, class Class, n int) error {
 	if class == ClassIntraSub {
-		return c.sa.ValidateOperands(op, n)
+		return c.be.ValidateOperands(op, n)
 	}
 	// Inter-subarray/bank ops run through digital logic: AND/XOR stay
 	// 2-operand, INV/READ 1-operand, OR chains up to the request cap.
@@ -520,8 +559,8 @@ func (c *Controller) executeCached(op sense.Op, srcs []memarch.RowAddr, bits int
 	res := &Result{Op: op, Class: ent.class, Rows: len(srcs), Bits: bits,
 		Seconds: ent.seconds, Energy: ent.energy, Commands: ent.commands}
 	if ent.class == ClassIntraSub {
-		out, err := c.sa.ComputeWords(op, rows)
-		if err != nil {
+		out := make([]uint64, w)
+		if err := c.be.ComputeInto(out, op, rows); err != nil {
 			return nil, false, err
 		}
 		res.Words = out
@@ -677,46 +716,15 @@ func (c *Controller) store(addr memarch.RowAddr, words []uint64) error {
 // senseGroups returns how many serial column-group sensing steps cover
 // `bits` bits.
 func senseGroups(geo memarch.Geometry, bits int) int {
-	sw := geo.SenseWidthBits()
-	return (bits + sw - 1) / sw
+	return backend.SenseGroups(geo, bits)
 }
 
-// execIntra performs the one-step multi-row operation in the SAs.
+// execIntra delegates the in-array computation to the technology backend:
+// it peeks the operand rows, hands the request to the backend's lowering
+// (which appends commands, charges energy and computes the result into a
+// fresh buffer), and routes the result through the generic write-back.
 func (c *Controller) execIntra(op sense.Op, srcs []memarch.RowAddr, bits int, dst *memarch.RowAddr, res *Result) error {
 	geo := c.mem.Geometry()
-	e := c.mem.Tech().Energy
-
-	// Multi-row activation through the LWL latches (protocol-checked).
-	lwl := NewLWL(geo.RowsPerSubarray)
-	lwl.Reset()
-	res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdLWLReset, Addr: srcs[0]})
-	for i, s := range srcs {
-		if err := lwl.Latch(s.Row); err != nil {
-			return err
-		}
-		kind := ddr.CmdActLatch
-		if i == 0 {
-			kind = ddr.CmdAct // the first activate biases the array: full tRCD
-		}
-		res.Commands = append(res.Commands, ddr.Cmd{Kind: kind, Addr: s})
-	}
-	if lwl.OpenCount() != len(srcs) {
-		return fmt.Errorf("pim: LWL opened %d rows, want %d", lwl.OpenCount(), len(srcs))
-	}
-	if c.inj != nil && c.inj.ActivationFault(len(srcs)) {
-		// The latches lost a row address before sensing began; no cell or
-		// buffer state changed, so the request can simply be reissued.
-		return fmt.Errorf("pim: activating %d rows: %w", len(srcs), ErrActivationFault)
-	}
-
-	// Sensing: one CmdSense per column group per micro-step.
-	groups := senseGroups(geo, bits)
-	steps := groups * op.SenseSteps()
-	for i := 0; i < steps; i++ {
-		res.Commands = append(res.Commands, ddr.Cmd{Kind: ddr.CmdSense, Addr: srcs[0]})
-	}
-
-	// Functional result through the SA model.
 	w := bitvec.WordsFor(bits)
 	if cap(c.rowsScratch) < len(srcs) {
 		c.rowsScratch = make([][]uint64, len(srcs))
@@ -725,25 +733,22 @@ func (c *Controller) execIntra(op sense.Op, srcs []memarch.RowAddr, bits int, ds
 	for i, s := range srcs {
 		rows[i] = c.mem.PeekRow(s)[:w]
 	}
-	out, err := c.sa.ComputeWords(op, rows)
+	req := backend.IntraRequest{
+		Op:     op,
+		Srcs:   srcs,
+		Bits:   bits,
+		Rows:   rows,
+		Out:    make([]uint64, w),
+		Geo:    geo,
+		Inj:    c.inj,
+		Energy: &res.Energy,
+	}
+	cmds, err := c.be.LowerIntra(&req, res.Commands)
 	if err != nil {
 		return err
 	}
-	if c.inj != nil {
-		c.inj.FlipSensed(op, len(srcs), bits, out)
-	}
-	res.Words = out
-
-	// Energy: one bitline bias per sensed bit (the BL is shared by all open
-	// rows), the cell read current of every open row folded into the
-	// per-row SA adder, and LWL decode+latch switching per activation.
-	fbits := float64(bits)
-	n := float64(len(srcs))
-	res.Energy.Add(energy.CellArray, fbits*e.ActPerBit)
-	res.Energy.Add(energy.LWLDriver, n*e.LWLPerAct)
-	res.Energy.Add(energy.SenseAmp,
-		float64(op.SenseSteps())*fbits*(e.SensePerBit+n*e.SenseRowAdd))
-
+	res.Commands = cmds
+	res.Words = req.Out
 	return c.writeback(srcs[0], bits, dst, res, ClassIntraSub)
 }
 

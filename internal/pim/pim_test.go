@@ -516,13 +516,34 @@ func TestWriteRowFromHostAndReadRow(t *testing.T) {
 	}
 }
 
-func TestNewControllerRejectsDRAM(t *testing.T) {
+func TestNewControllerSelectsDRAMBackend(t *testing.T) {
 	mem, err := memarch.NewMemory(memarch.Default(), nvm.Get(nvm.DRAM))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewController(mem, 0); err == nil {
-		t.Fatal("DRAM controller should fail: no resistive sensing")
+	ctl, err := NewController(mem, 0)
+	if err != nil {
+		t.Fatalf("DRAM controller: %v", err)
+	}
+	caps := ctl.Backend().Caps()
+	if caps.VotedSensing {
+		t.Error("DRAM backend must not offer voted sensing (TRA is destructive)")
+	}
+	if caps.ComputeRows == 0 {
+		t.Error("DRAM backend must reserve compute rows")
+	}
+	if got := ctl.MaxORRows(); got != 2 {
+		t.Errorf("DRAM MaxORRows = %d, want 2 (pairwise TRA)", got)
+	}
+	// Voted execution is gated on the capability, not the request shape.
+	geo := mem.Geometry()
+	sets := [][]memarch.RowAddr{
+		{{Row: 0}, {Row: 1}},
+		{{Row: 2}, {Row: 3}},
+		{{Row: 4}, {Row: 5}},
+	}
+	if _, err := ctl.ExecuteVoted(sense.OpOR, sets, geo.RowBits(), nil); err == nil {
+		t.Fatal("ExecuteVoted on the DRAM backend should fail")
 	}
 }
 

@@ -29,6 +29,10 @@ import (
 // Panics if the command sequence it built violates the extended-DDR
 // protocol (a controller bug by construction, like Execute).
 func (c *Controller) ExecuteVoted(op sense.Op, sets [][]memarch.RowAddr, bits int, dst *memarch.RowAddr) (*Result, error) {
+	if !c.be.Caps().VotedSensing {
+		return nil, fmt.Errorf("pim: voted execution requires a backend that can re-sense an operand set at full margin; the %s backend cannot",
+			c.be.Params().Tech)
+	}
 	r := len(sets)
 	if r%2 == 0 || r < 3 || r > 7 {
 		return nil, fmt.Errorf("pim: voted execution needs an odd replica count in 3..7, got %d", r)
@@ -118,7 +122,7 @@ func (c *Controller) ExecuteVoted(op sense.Op, sets [][]memarch.RowAddr, bits in
 			rows[i] = c.mem.PeekRow(s)[:w]
 		}
 		out := outs[si]
-		if err := c.sa.ComputeWordsInto(out, op, rows); err != nil {
+		if err := c.be.ComputeInto(out, op, rows); err != nil {
 			return nil, err
 		}
 		if c.inj != nil {

@@ -33,7 +33,10 @@ type Allocator struct {
 	retired map[uint64]bool // worn-out rows, permanently out of circulation
 	next    uint64          // next never-allocated row index
 	max     uint64
-	scratch bool // reserve the last row of every subarray for the scheduler
+	// tail is how many rows at the end of every subarray are reserved and
+	// never handed out: the scheduler's scratch row plus whatever the
+	// technology backend claims as compute rows (Caps().ComputeRows).
+	tail int
 }
 
 // NewAllocator builds an allocator over the whole memory. When
@@ -41,17 +44,37 @@ type Allocator struct {
 // out — the driver library keeps it as the scheduler's partial-result row
 // (ScratchRow returns it).
 func NewAllocator(geo memarch.Geometry, reserveScratch bool) (*Allocator, error) {
+	tail := 0
+	if reserveScratch {
+		tail = 1
+	}
+	return NewAllocatorTail(geo, tail)
+}
+
+// NewAllocatorTail builds an allocator that keeps the last tail rows of
+// every subarray out of circulation. The System sizes the tail as one
+// scratch row plus the backend's reserved compute rows, so a backend that
+// claims designated rows (the DRAM TRA group) can never collide with data.
+func NewAllocatorTail(geo memarch.Geometry, tail int) (*Allocator, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
+	}
+	if tail < 0 || tail >= geo.RowsPerSubarray {
+		return nil, fmt.Errorf("pimrt: reserved tail of %d rows outside 0..%d",
+			tail, geo.RowsPerSubarray-1)
 	}
 	return &Allocator{
 		geo:     geo,
 		free:    make(map[uint64]bool),
 		retired: make(map[uint64]bool),
 		max:     uint64(geo.TotalRows()),
-		scratch: reserveScratch,
+		tail:    tail,
 	}, nil
 }
+
+// UsableRowsPerSubarray reports how many rows of each subarray the
+// allocator may hand out.
+func (a *Allocator) UsableRowsPerSubarray() int { return a.geo.RowsPerSubarray - a.tail }
 
 // ScratchRow returns the reserved scratch row of the subarray containing a.
 func ScratchRow(geo memarch.Geometry, a memarch.RowAddr) memarch.RowAddr {
@@ -59,13 +82,13 @@ func ScratchRow(geo memarch.Geometry, a memarch.RowAddr) memarch.RowAddr {
 	return a
 }
 
-// skipReserved advances the frontier past reserved scratch rows.
+// skipReserved advances the frontier past the reserved tail rows.
 func (a *Allocator) skipReserved() {
-	if !a.scratch {
+	if a.tail == 0 {
 		return
 	}
 	per := uint64(a.geo.RowsPerSubarray)
-	for a.next < a.max && a.next%per == per-1 {
+	for a.next < a.max && a.next%per >= per-uint64(a.tail) {
 		a.next++
 	}
 }
@@ -112,16 +135,13 @@ func (a *Allocator) AllocGroupRows(n int) ([]memarch.RowAddr, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("pimrt: alloc of %d rows", n)
 	}
-	avail := a.geo.RowsPerSubarray
-	if a.scratch {
-		avail--
-	}
+	avail := a.UsableRowsPerSubarray()
 	if n > avail {
 		return nil, fmt.Errorf("pimrt: group of %d rows exceeds subarray (%d usable rows)",
 			n, avail)
 	}
 	// Advance the frontier to a subarray boundary if the group would
-	// straddle one (counting the reserved scratch row as unusable).
+	// straddle one (counting the reserved tail rows as unusable).
 	per := uint64(a.geo.RowsPerSubarray)
 	used := a.next % per
 	if used+uint64(n) > uint64(avail) {

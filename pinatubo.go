@@ -52,6 +52,15 @@ const (
 	STTMRAM
 	// ReRAM behaves like PCM for Pinatubo purposes.
 	ReRAM
+	// DRAM selects the in-DRAM processing-using-memory backend: AND/OR by
+	// triple-row activation over a designated compute-row group (majority
+	// of the charge-shared cells), NOT through a dual-contact-cell row,
+	// XOR synthesized from both, operands staged by RowClone-style bulk
+	// copies. Operations are pairwise (like STT-MRAM, deep ORs chain),
+	// each subarray loses 7 rows to the compute group, and the resistive
+	// fault/replication machinery does not apply — DRAM has no sensing
+	// margins to derate.
+	DRAM
 )
 
 func (t Tech) internal() (nvm.Tech, error) {
@@ -62,6 +71,8 @@ func (t Tech) internal() (nvm.Tech, error) {
 		return nvm.STTMRAM, nil
 	case ReRAM:
 		return nvm.ReRAM, nil
+	case DRAM:
+		return nvm.DRAM, nil
 	default:
 		return 0, fmt.Errorf("pinatubo: unknown technology %d", int(t))
 	}
@@ -76,6 +87,8 @@ func (t Tech) String() string {
 		return "STT-MRAM"
 	case ReRAM:
 		return "ReRAM"
+	case DRAM:
+		return "DRAM"
 	default:
 		return fmt.Sprintf("Tech(%d)", int(t))
 	}
@@ -350,7 +363,15 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	alloc, err := pimrt.NewAllocator(geo, true)
+	// Reserve the scheduler's scratch row plus whatever the technology
+	// backend claims as designated compute rows (0 for the NVMs, the TRA
+	// group for DRAM) at the tail of every subarray.
+	reserve := 1 + ctl.Backend().Caps().ComputeRows
+	if geo.RowsPerSubarray-reserve < 2 {
+		return nil, fmt.Errorf("pinatubo: %d rows per subarray leave fewer than 2 usable after the %d reserved for scratch and the %s backend",
+			geo.RowsPerSubarray, reserve, cfg.Tech)
+	}
+	alloc, err := pimrt.NewAllocatorTail(geo, reserve)
 	if err != nil {
 		return nil, err
 	}
@@ -369,6 +390,18 @@ func New(cfg Config) (*System, error) {
 	faultCfg := cfg.Fault.internal()
 	if err := faultCfg.Validate(); err != nil {
 		return nil, err
+	}
+	if tech == nvm.DRAM {
+		// The fault model derates resistive sensing margins and the
+		// replication rung majority-votes repeated analog senses — neither
+		// has a physical meaning for charge-based TRA compute, so both are
+		// configuration errors rather than silent no-ops.
+		if faultCfg.Enabled() {
+			return nil, errors.New("pinatubo: fault injection models resistive sensing margins; not supported with Tech: DRAM")
+		}
+		if cfg.Resilience.Replicate != 0 {
+			return nil, errors.New("pinatubo: Replicate requires modified-SA multi-row sensing; not supported with Tech: DRAM")
+		}
 	}
 	if mode == VerifyAuto {
 		// The historical default: read-back verification exactly when the
@@ -511,9 +544,15 @@ func (s *System) remapRow(old memarch.RowAddr) (memarch.RowAddr, error) {
 }
 
 // MaxORRows returns the one-step OR depth of the configured technology
-// (128 for PCM/ReRAM, 2 for STT-MRAM). Wider ORs are legal — the runtime
-// chains them — but pay intermediate writebacks.
+// (128 for PCM/ReRAM, 2 for STT-MRAM and DRAM). Wider ORs are legal — the
+// runtime chains them — but pay intermediate writebacks.
 func (s *System) MaxORRows() int { return s.ctl.MaxORRows() }
+
+// UsableRowsPerSubarray reports how many rows of each subarray the
+// allocator may hand out: the geometry's rows minus the scheduler's
+// scratch row and the technology backend's reserved compute rows (0 for
+// the NVMs, 7 for DRAM).
+func (s *System) UsableRowsPerSubarray() int { return s.alloc.UsableRowsPerSubarray() }
 
 // RowBits returns the rank-logical row length in bits: vectors up to this
 // length occupy a single row and enjoy one-step operations.
